@@ -1,0 +1,84 @@
+// Baseline comparison from the paper's related work (§8): bisimulation-based
+// structural indexes "grow exponentially with the neighborhood and can be as
+// large as the input graph", which is why the paper builds clique-based
+// quotients instead. This bench puts numbers on that claim: data-node counts
+// of k-bisimulation at k = 1..4 against the four paper summaries, on BSBM.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "summary/dataguide.h"
+#include "summary/summarizer.h"
+#include "util/csv.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using summary::Summarize;
+using summary::SummaryKind;
+using summary::SummaryOptions;
+using summary::BuildStrongDataguide;
+using summary::DataguideOptions;
+
+void PrintBaseline() {
+  TablePrinter table({"triples", "W", "TW", "bisim k=1", "bisim k=2",
+                      "bisim k=4", "dataguide", "k=4 / W"});
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    auto w = Summarize(g, SummaryKind::kWeak);
+    auto tw = Summarize(g, SummaryKind::kTypedWeak);
+    std::vector<uint64_t> bisim_nodes;
+    for (uint32_t k : {1u, 2u, 4u}) {
+      SummaryOptions options;
+      options.bisimulation_depth = k;
+      auto b = Summarize(g, SummaryKind::kBisimulation, options);
+      bisim_nodes.push_back(b.stats.num_data_nodes);
+    }
+    // The Dataguide baseline ([10]): guard against powerset blow-up.
+    DataguideOptions dgopt;
+    dgopt.max_states = 2'000'000;
+    auto guide = BuildStrongDataguide(g, dgopt);
+    std::string guide_cell =
+        guide.ok() ? Num(guide->num_states) : std::string("blow-up");
+    table.AddRow(
+        {Num(g.NumTriples()), Num(w.stats.num_data_nodes),
+         Num(tw.stats.num_data_nodes), Num(bisim_nodes[0]),
+         Num(bisim_nodes[1]), Num(bisim_nodes[2]), guide_cell,
+         FormatDouble(static_cast<double>(bisim_nodes[2]) /
+                          static_cast<double>(w.stats.num_data_nodes),
+                      0) +
+             "x"});
+  }
+  table.Print(std::cout,
+              "Baselines (§8): k-bisimulation and Dataguide vs the paper's "
+              "summaries (data nodes)");
+  std::cout.flush();
+}
+
+void BM_Bisimulation(benchmark::State& state) {
+  const Graph& g = CachedBsbm(100'000);
+  SummaryOptions options;
+  options.bisimulation_depth = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = Summarize(g, SummaryKind::kBisimulation, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Bisimulation)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  rdfsum::PrintBaseline();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

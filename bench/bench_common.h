@@ -1,0 +1,50 @@
+#ifndef RDFSUM_BENCH_BENCH_COMMON_H_
+#define RDFSUM_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gen/bsbm.h"
+#include "rdf/graph.h"
+#include "util/string_util.h"
+
+namespace rdfsum::bench {
+
+/// Benchmark scales in target triple counts. The paper sweeps BSBM from 10M
+/// to 100M triples on a Xeon + PostgreSQL; in-process and offline we sweep
+/// the same shape at 50k-1M (override the ceiling with
+/// RDFSUM_BENCH_MAX_TRIPLES to go bigger on a beefier machine).
+inline std::vector<uint64_t> BenchScales() {
+  uint64_t max_triples = 1'000'000;
+  if (const char* env = std::getenv("RDFSUM_BENCH_MAX_TRIPLES")) {
+    max_triples = std::strtoull(env, nullptr, 10);
+    if (max_triples < 50'000) max_triples = 50'000;
+  }
+  std::vector<uint64_t> scales;
+  for (uint64_t s : {50'000ull, 100'000ull, 250'000ull, 500'000ull,
+                     1'000'000ull, 2'000'000ull, 5'000'000ull}) {
+    if (s <= max_triples) scales.push_back(s);
+  }
+  return scales;
+}
+
+/// Generates (and memoizes per process) the BSBM graph of ~`triples` size.
+inline const Graph& CachedBsbm(uint64_t triples) {
+  static std::map<uint64_t, Graph>* cache = new std::map<uint64_t, Graph>();
+  auto it = cache->find(triples);
+  if (it == cache->end()) {
+    gen::BsbmOptions opt;
+    opt.num_products = gen::BsbmProductsForTriples(triples);
+    it = cache->emplace(triples, gen::GenerateBsbm(opt)).first;
+  }
+  return it->second;
+}
+
+inline std::string Num(uint64_t n) { return FormatWithCommas(n); }
+
+}  // namespace rdfsum::bench
+
+#endif  // RDFSUM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,71 @@
+// Reproduces the §7 compactness claim: "the summary occupies at most 0.028
+// of the data size, and in the best case, only 2.8e-4 of the data size."
+// We report |H|e / |G|e for every kind and scale, and the same ratio for the
+// node counts.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "rdf/graph_stats.h"
+#include "summary/summarizer.h"
+#include "util/csv.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using summary::Summarize;
+using summary::SummaryKind;
+using summary::SummaryKindName;
+
+void PrintCompactness() {
+  TablePrinter table({"triples", "kind", "|H| edges", "edge ratio",
+                      "|H| nodes", "node ratio"});
+  double best = 1.0, worst = 0.0;
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    GraphStats gs = ComputeGraphStats(g);
+    for (SummaryKind kind : summary::kAllQuotientKinds) {
+      auto r = Summarize(g, kind);
+      double edge_ratio = static_cast<double>(r.stats.num_all_edges) /
+                          static_cast<double>(gs.num_edges);
+      double node_ratio = static_cast<double>(r.stats.num_all_nodes) /
+                          static_cast<double>(gs.num_nodes);
+      best = std::min(best, edge_ratio);
+      worst = std::max(worst, edge_ratio);
+      table.AddRow({Num(g.NumTriples()), SummaryKindName(kind),
+                    Num(r.stats.num_all_edges), FormatDouble(edge_ratio, 6),
+                    Num(r.stats.num_all_nodes), FormatDouble(node_ratio, 6)});
+    }
+  }
+  table.Print(std::cout, "Compactness (§7): summary size / input size");
+  std::cout << "\nworst edge ratio = " << FormatDouble(worst, 6)
+            << " (paper: <= 0.028), best = " << FormatDouble(best, 6)
+            << " (paper: 2.8e-4)\n";
+  std::cout.flush();
+}
+
+void BM_SummarizeAllKinds(benchmark::State& state) {
+  const Graph& g = CachedBsbm(100'000);
+  for (auto _ : state) {
+    for (SummaryKind kind : summary::kAllQuotientKinds) {
+      auto r = Summarize(g, kind);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_SummarizeAllKinds)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  rdfsum::PrintCompactness();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Figure 11 of the paper: the number of data nodes (top chart)
+// and of all nodes (bottom chart) in the four BSBM summaries, as the input
+// grows. The paper's x-axis is 10M-100M triples; ours is 50k-1M (see
+// bench_common.h). The claims to check:
+//   - W and S counts are close to each other;
+//   - TW and TS counts are close to each other;
+//   - isolating typed nodes multiplies data nodes by ~5-50x;
+//   - class nodes exceed W/S data nodes by a wide margin.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "summary/summarizer.h"
+#include "util/csv.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using summary::Summarize;
+using summary::SummaryKind;
+using summary::SummaryResult;
+
+void PrintFigure11() {
+  TablePrinter data_nodes(
+      {"triples", "Weak", "Strong", "TypedWeak", "TypedStrong", "TW/W factor"});
+  TablePrinter all_nodes(
+      {"triples", "Weak", "Strong", "TypedWeak", "TypedStrong", "class nodes"});
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    SummaryResult w = Summarize(g, SummaryKind::kWeak);
+    SummaryResult s = Summarize(g, SummaryKind::kStrong);
+    SummaryResult tw = Summarize(g, SummaryKind::kTypedWeak);
+    SummaryResult ts = Summarize(g, SummaryKind::kTypedStrong);
+    double factor = static_cast<double>(tw.stats.num_data_nodes) /
+                    static_cast<double>(w.stats.num_data_nodes);
+    data_nodes.AddRow({Num(g.NumTriples()), Num(w.stats.num_data_nodes),
+                       Num(s.stats.num_data_nodes),
+                       Num(tw.stats.num_data_nodes),
+                       Num(ts.stats.num_data_nodes),
+                       FormatDouble(factor, 1) + "x"});
+    all_nodes.AddRow({Num(g.NumTriples()), Num(w.stats.num_all_nodes),
+                      Num(s.stats.num_all_nodes), Num(tw.stats.num_all_nodes),
+                      Num(ts.stats.num_all_nodes),
+                      Num(w.stats.num_class_nodes)});
+  }
+  data_nodes.Print(std::cout,
+                   "Figure 11 (top): data nodes in BSBM summaries");
+  all_nodes.Print(std::cout,
+                  "Figure 11 (bottom): all nodes in BSBM summaries");
+  std::cout.flush();
+}
+
+void BM_SummarizeNodes(benchmark::State& state, SummaryKind kind) {
+  const Graph& g = CachedBsbm(100'000);
+  uint64_t nodes = 0;
+  for (auto _ : state) {
+    SummaryResult r = Summarize(g, kind);
+    nodes = r.stats.num_data_nodes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["data_nodes"] = static_cast<double>(nodes);
+  state.counters["triples"] = static_cast<double>(g.NumTriples());
+}
+
+BENCHMARK_CAPTURE(BM_SummarizeNodes, weak, SummaryKind::kWeak)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SummarizeNodes, strong, SummaryKind::kStrong)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SummarizeNodes, typed_weak, SummaryKind::kTypedWeak)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SummarizeNodes, typed_strong, SummaryKind::kTypedStrong)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  rdfsum::PrintFigure11();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

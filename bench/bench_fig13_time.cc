@@ -1,0 +1,87 @@
+// Reproduces Figure 13: summarization time against input size, for the four
+// summary kinds. The paper (Java + PostgreSQL, 10M-100M triples) reports
+// W and S within 8 minutes, TS up to ~16 minutes and TW up to ~32 minutes,
+// with near-linear growth. Offline and in-memory our absolute numbers are
+// milliseconds; the shapes to check are (a) near-linear scaling and (b) the
+// typed summaries costing more than the type-first ones.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "summary/summarizer.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using summary::Summarize;
+using summary::SummaryKind;
+
+void PrintFigure13() {
+  TablePrinter table({"triples", "Weak (ms)", "Strong (ms)", "TypedWeak (ms)",
+                      "TypedStrong (ms)"});
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    std::vector<std::string> row{Num(g.NumTriples())};
+    for (SummaryKind kind :
+         {SummaryKind::kWeak, SummaryKind::kStrong, SummaryKind::kTypedWeak,
+          SummaryKind::kTypedStrong}) {
+      // Best of three runs, like a steady-state measurement.
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer timer;
+        auto r = Summarize(g, kind);
+        benchmark::DoNotOptimize(r);
+        best = std::min(best, timer.ElapsedSeconds());
+      }
+      row.push_back(FormatDouble(best * 1000.0, 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout, "Figure 13: summarization time vs input size");
+  std::cout.flush();
+}
+
+void BM_Summarize(benchmark::State& state, SummaryKind kind) {
+  const Graph& g = CachedBsbm(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = Summarize(g, kind);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+  state.counters["triples"] = static_cast<double>(g.NumTriples());
+}
+
+BENCHMARK_CAPTURE(BM_Summarize, weak, SummaryKind::kWeak)
+    ->Arg(50'000)
+    ->Arg(250'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Summarize, strong, SummaryKind::kStrong)
+    ->Arg(50'000)
+    ->Arg(250'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Summarize, typed_weak, SummaryKind::kTypedWeak)
+    ->Arg(50'000)
+    ->Arg(250'000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Summarize, typed_strong, SummaryKind::kTypedStrong)
+    ->Arg(50'000)
+    ->Arg(250'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  rdfsum::PrintFigure13();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

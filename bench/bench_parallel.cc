@@ -1,0 +1,113 @@
+// The paper's §9 future work — parallel summarization — measured: the
+// thread-sharded weak summarizer against the sequential batch builder, plus
+// the streaming maintainer's per-triple cost.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "summary/isomorphism.h"
+#include "summary/maintenance.h"
+#include "summary/parallel.h"
+#include "summary/summarizer.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using summary::ParallelWeakOptions;
+using summary::ParallelWeakSummarize;
+using summary::Summarize;
+using summary::SummaryKind;
+
+void PrintParallel() {
+  TablePrinter table({"triples", "sequential (ms)", "2 threads (ms)",
+                      "4 threads (ms)", "speedup@4", "equal"});
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    Timer t0;
+    auto batch = Summarize(g, SummaryKind::kWeak);
+    double seq = t0.ElapsedSeconds();
+
+    auto timed = [&](uint32_t threads) {
+      ParallelWeakOptions options;
+      options.num_threads = threads;
+      Timer t;
+      auto r = ParallelWeakSummarize(g, options);
+      double secs = t.ElapsedSeconds();
+      return std::make_pair(secs, std::move(r));
+    };
+    auto [t2, r2] = timed(2);
+    auto [t4, r4] = timed(4);
+    bool equal = summary::AreSummariesIsomorphic(batch.graph, r4.graph);
+    table.AddRow({Num(g.NumTriples()), FormatDouble(seq * 1e3, 1),
+                  FormatDouble(t2 * 1e3, 1), FormatDouble(t4 * 1e3, 1),
+                  FormatDouble(seq / t4, 2) + "x",
+                  equal ? "yes" : "NO (bug!)"});
+  }
+  table.Print(std::cout, "Future work (§9): parallel weak summarization");
+
+  // Streaming maintenance: amortized cost per inserted triple.
+  TablePrinter stream({"triples", "maintainer total (ms)", "ns/triple",
+                       "snapshot (ms)"});
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    Timer t;
+    summary::WeakSummaryMaintainer maintainer(g.dict_ptr());
+    g.ForEachTriple(
+        [&](const Triple& triple) { maintainer.AddTriple(triple); });
+    double feed = t.ElapsedSeconds();
+    Timer ts;
+    auto snap = maintainer.Snapshot();
+    double snap_s = ts.ElapsedSeconds();
+    benchmark::DoNotOptimize(snap);
+    stream.AddRow({Num(g.NumTriples()), FormatDouble(feed * 1e3, 1),
+                   FormatDouble(feed / static_cast<double>(g.NumTriples()) *
+                                    1e9,
+                                0),
+                   FormatDouble(snap_s * 1e3, 2)});
+  }
+  stream.Print(std::cout, "Streaming maintenance cost (insert-only)");
+  std::cout.flush();
+}
+
+void BM_ParallelWeak(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  ParallelWeakOptions options;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = ParallelWeakSummarize(g, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelWeak)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_MaintainerInsert(benchmark::State& state) {
+  const Graph& g = CachedBsbm(100'000);
+  for (auto _ : state) {
+    summary::WeakSummaryMaintainer maintainer(g.dict_ptr());
+    g.ForEachTriple(
+        [&](const Triple& triple) { maintainer.AddTriple(triple); });
+    benchmark::DoNotOptimize(maintainer);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+}
+BENCHMARK(BM_MaintainerInsert)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  rdfsum::PrintParallel();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

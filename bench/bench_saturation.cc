@@ -1,0 +1,96 @@
+// Substrate bench: RDFS saturation throughput and blow-up factor on BSBM
+// (shallow hierarchy) and LUBM (deep hierarchy, heavier reasoning).
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "gen/lubm.h"
+#include "reasoner/saturation.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using reasoner::SaturationStats;
+
+void PrintSaturation() {
+  TablePrinter table({"dataset", "triples in", "triples out", "blowup",
+                      "time (ms)", "Mtriples/s"});
+  for (uint64_t scale : BenchScales()) {
+    const Graph& g = CachedBsbm(scale);
+    SaturationStats stats;
+    Timer timer;
+    Graph sat = reasoner::Saturate(g, &stats);
+    double secs = timer.ElapsedSeconds();
+    table.AddRow(
+        {"bsbm", Num(stats.input_triples), Num(stats.output_triples),
+         FormatDouble(static_cast<double>(stats.output_triples) /
+                          static_cast<double>(stats.input_triples),
+                      2),
+         FormatDouble(secs * 1e3, 1),
+         FormatDouble(static_cast<double>(stats.input_triples) / secs / 1e6,
+                      2)});
+  }
+  for (uint64_t unis : {2ull, 8ull, 32ull}) {
+    gen::LubmOptions opt;
+    opt.num_universities = unis;
+    Graph g = gen::GenerateLubm(opt);
+    SaturationStats stats;
+    Timer timer;
+    Graph sat = reasoner::Saturate(g, &stats);
+    double secs = timer.ElapsedSeconds();
+    table.AddRow(
+        {"lubm", Num(stats.input_triples), Num(stats.output_triples),
+         FormatDouble(static_cast<double>(stats.output_triples) /
+                          static_cast<double>(stats.input_triples),
+                      2),
+         FormatDouble(secs * 1e3, 1),
+         FormatDouble(static_cast<double>(stats.input_triples) / secs / 1e6,
+                      2)});
+  }
+  table.Print(std::cout, "Saturation (G -> G∞) throughput");
+  std::cout.flush();
+}
+
+void BM_SaturateBsbm(benchmark::State& state) {
+  const Graph& g = CachedBsbm(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    Graph sat = reasoner::Saturate(g);
+    benchmark::DoNotOptimize(sat);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+}
+BENCHMARK(BM_SaturateBsbm)
+    ->Arg(50'000)
+    ->Arg(250'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SaturateLubm(benchmark::State& state) {
+  gen::LubmOptions opt;
+  opt.num_universities = static_cast<uint64_t>(state.range(0));
+  Graph g = gen::GenerateLubm(opt);
+  for (auto _ : state) {
+    Graph sat = reasoner::Saturate(g);
+    benchmark::DoNotOptimize(sat);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+}
+BENCHMARK(BM_SaturateLubm)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  rdfsum::PrintSaturation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Substrate micro-benchmarks: the N-Triples parser/writer, the dictionary,
+// and the triple-table pattern scans the query evaluator builds on.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "io/ntriples_parser.h"
+#include "io/ntriples_writer.h"
+#include "store/triple_table.h"
+#include "util/random.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::CachedBsbm;
+
+void BM_NTriplesWrite(benchmark::State& state) {
+  const Graph& g = CachedBsbm(100'000);
+  for (auto _ : state) {
+    std::string text = io::NTriplesWriter::ToString(g);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+}
+BENCHMARK(BM_NTriplesWrite)->Unit(benchmark::kMillisecond);
+
+void BM_NTriplesParse(benchmark::State& state) {
+  const Graph& g = CachedBsbm(100'000);
+  std::string text = io::NTriplesWriter::ToString(g);
+  for (auto _ : state) {
+    Graph parsed;
+    io::ParseStats stats;
+    auto st = io::NTriplesParser::ParseString(text, &parsed, &stats);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_NTriplesParse)->Unit(benchmark::kMillisecond);
+
+void BM_DictionaryEncode(benchmark::State& state) {
+  for (auto _ : state) {
+    Dictionary dict;
+    for (int i = 0; i < 10000; ++i) {
+      dict.EncodeIri("http://bench.example.org/resource/" +
+                     std::to_string(i % 4096));
+    }
+    benchmark::DoNotOptimize(dict);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_DictionaryEncode);
+
+void BM_TripleTableFreeze(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  std::vector<Triple> rows;
+  g.ForEachTriple([&](const Triple& t) { rows.push_back(t); });
+  for (auto _ : state) {
+    store::TripleTable table;
+    table.AppendAll(rows);
+    table.Freeze();
+    benchmark::DoNotOptimize(table);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows.size()));
+}
+BENCHMARK(BM_TripleTableFreeze)->Unit(benchmark::kMillisecond);
+
+void BM_TripleTableScanByProperty(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  store::TripleTable table;
+  g.ForEachTriple([&](const Triple& t) { table.Append(t); });
+  table.Freeze();
+  // Scan every property id round-robin.
+  std::vector<TermId> props;
+  for (const Triple& t : g.data()) props.push_back(t.p);
+  Random rng(5);
+  size_t i = 0;
+  for (auto _ : state) {
+    store::TriplePattern q;
+    q.p = props[i++ % props.size()];
+    benchmark::DoNotOptimize(table.Count(q));
+  }
+}
+BENCHMARK(BM_TripleTableScanByProperty)->Unit(benchmark::kMicrosecond);
+
+void BM_TripleTablePointLookup(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  store::TripleTable table;
+  std::vector<Triple> rows;
+  g.ForEachTriple([&](const Triple& t) {
+    table.Append(t);
+    rows.push_back(t);
+  });
+  table.Freeze();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Contains(rows[i++ % rows.size()]));
+  }
+}
+BENCHMARK(BM_TripleTablePointLookup);
+
+}  // namespace
+}  // namespace rdfsum
+
+BENCHMARK_MAIN();

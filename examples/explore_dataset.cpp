@@ -1,0 +1,75 @@
+// Dataset exploration — the paper's first motivating use case: getting
+// acquainted with an unknown RDF dataset by looking at its summaries.
+//
+//   ./examples/explore_dataset [file.nt] [output-prefix]
+//
+// With no arguments, a BSBM-like dataset is generated. Otherwise the given
+// N-Triples file is loaded. The tool prints dataset statistics, builds all
+// four summaries, and writes each one both as N-Triples and as Graphviz DOT
+// next to the output prefix (default: ./explore).
+
+#include <iostream>
+#include <string>
+
+#include "gen/bsbm.h"
+#include "io/dot_writer.h"
+#include "io/ntriples_parser.h"
+#include "io/ntriples_writer.h"
+#include "rdf/graph_stats.h"
+#include "summary/summarizer.h"
+#include "util/timer.h"
+
+using namespace rdfsum;
+
+int main(int argc, char** argv) {
+  Graph g;
+  if (argc > 1) {
+    io::ParseStats stats;
+    io::ParseOptions options;
+    options.strict = false;  // tolerate crawl noise
+    Timer timer;
+    Status st = io::NTriplesParser::ParseFile(argv[1], &g, &stats, options);
+    if (!st.ok()) {
+      std::cerr << "failed to load " << argv[1] << ": " << st.ToString()
+                << "\n";
+      return 1;
+    }
+    std::cout << "Loaded " << argv[1] << ": " << stats.triples << " triples ("
+              << stats.skipped << " malformed lines skipped) in "
+              << timer.ElapsedMillis() << " ms\n";
+  } else {
+    gen::BsbmOptions opt;
+    opt.num_products = 2000;
+    g = gen::GenerateBsbm(opt);
+    std::cout << "No input file given; generated a BSBM-like dataset.\n";
+  }
+
+  GraphStats stats = ComputeGraphStats(g);
+  std::cout << "\nDataset profile:\n  " << stats.ToString() << "\n";
+  double typed_share = stats.num_data_nodes == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(
+                                         stats.num_typed_resources) /
+                                 static_cast<double>(stats.num_data_nodes);
+  std::cout << "  typed resources: " << typed_share << "%\n\n";
+
+  std::string prefix = argc > 2 ? argv[2] : "explore";
+  for (summary::SummaryKind kind : summary::kAllQuotientKinds) {
+    Timer timer;
+    summary::SummaryResult r = summary::Summarize(g, kind);
+    std::cout << "Summary " << summary::SummaryKindName(kind) << " ("
+              << timer.ElapsedMillis() << " ms): " << r.stats.ToString()
+              << "\n";
+    std::string base =
+        prefix + "." + std::string(summary::SummaryKindName(kind));
+    Status st = io::NTriplesWriter::WriteFile(r.graph, base + ".nt");
+    if (st.ok()) st = io::DotWriter::WriteFile(r.graph, base + ".dot");
+    if (!st.ok()) {
+      std::cerr << "  write failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  wrote " << base << ".nt and " << base << ".dot\n";
+  }
+  std::cout << "\nRender with: dot -Tpng " << prefix << ".W.dot -o summary.png\n";
+  return 0;
+}

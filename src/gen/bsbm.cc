@@ -1,0 +1,269 @@
+#include "gen/bsbm.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfsum::gen {
+namespace {
+
+constexpr const char* kNs = "http://bsbm.example.org/";
+
+constexpr const char* kCountries[] = {
+    "US", "DE", "FR", "GB", "JP", "CN", "RU", "ES", "IT", "NL",
+    "AT", "CH", "SE", "NO", "DK", "FI", "PL", "CZ", "PT", "BE"};
+
+struct Ids {
+  // Classes.
+  TermId product, producer, vendor, offer, review, person, feature;
+  // Properties.
+  TermId label, comment, product_feature, producer_prop, numeric[4],
+      textual[2], product_property;
+  TermId offer_product, offer_vendor, price, valid_from, valid_to,
+      delivery_days;
+  TermId review_for, reviewer, review_title, review_text, review_date,
+      rating[4], rating_super;
+  TermId name, mbox, country, homepage;
+};
+
+Ids MakeIds(Dictionary& d) {
+  auto iri = [&](const std::string& local) {
+    return d.EncodeIri(kNs + local);
+  };
+  Ids ids;
+  ids.product = iri("Product");
+  ids.producer = iri("Producer");
+  ids.vendor = iri("Vendor");
+  ids.offer = iri("Offer");
+  ids.review = iri("Review");
+  ids.person = iri("Person");
+  ids.feature = iri("ProductFeature");
+  ids.label = iri("label");
+  ids.comment = iri("comment");
+  ids.product_feature = iri("productFeature");
+  ids.producer_prop = iri("producer");
+  for (int i = 0; i < 4; ++i) {
+    ids.numeric[i] = iri("productPropertyNumeric" + std::to_string(i + 1));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ids.textual[i] = iri("productPropertyTextual" + std::to_string(i + 1));
+  }
+  ids.product_property = iri("productProperty");
+  ids.offer_product = iri("offerProduct");
+  ids.offer_vendor = iri("offerVendor");
+  ids.price = iri("price");
+  ids.valid_from = iri("validFrom");
+  ids.valid_to = iri("validTo");
+  ids.delivery_days = iri("deliveryDays");
+  ids.review_for = iri("reviewFor");
+  ids.reviewer = iri("reviewer");
+  ids.review_title = iri("reviewTitle");
+  ids.review_text = iri("reviewText");
+  ids.review_date = iri("reviewDate");
+  for (int i = 0; i < 4; ++i) {
+    ids.rating[i] = iri("rating" + std::to_string(i + 1));
+  }
+  ids.rating_super = iri("rating");
+  ids.name = iri("name");
+  ids.mbox = iri("mbox");
+  ids.country = iri("country");
+  ids.homepage = iri("homepage");
+  return ids;
+}
+
+struct Sizes {
+  uint64_t products;
+  uint64_t product_types;  // nodes of the type tree (excluding the root)
+  uint64_t producers;
+  uint64_t features;
+  uint64_t vendors;
+  uint64_t persons;
+  uint64_t offers;
+  uint64_t reviews;
+};
+
+Sizes DeriveSizes(const BsbmOptions& o) {
+  Sizes s;
+  s.products = o.num_products;
+  // The paper's BSBM runs show 100-1300 class nodes across 10M-100M triples;
+  // 5*sqrt(P) reproduces that band at proportional scales (P = #products).
+  s.product_types = std::max<uint64_t>(
+      9, static_cast<uint64_t>(5.0 * std::sqrt(static_cast<double>(
+                                         std::max<uint64_t>(1, s.products)))));
+  s.producers = s.products / 20 + 1;
+  s.features = s.products / 5 + 10;
+  s.vendors = s.products / 50 + 2;
+  s.persons = s.products / 10 + 5;
+  s.offers = s.products * 2;
+  s.reviews = s.products + s.products / 2;
+  return s;
+}
+
+}  // namespace
+
+uint64_t ApproxBsbmTriples(const BsbmOptions& options) {
+  Sizes s = DeriveSizes(options);
+  // products ~8.5 (2 types, label, producer, ~1.5 features, ~2 numeric,
+  // ~0.6 textual), offers ~6.9, reviews ~7.2, entity tables small.
+  return s.products * 8 + s.offers * 7 + s.reviews * 7 + s.producers * 4 +
+         s.features * 2 + s.vendors * 4 + s.persons * 4 +
+         (options.include_schema ? s.product_types + 20 : 0);
+}
+
+uint64_t BsbmProductsForTriples(uint64_t target_triples) {
+  return std::max<uint64_t>(1, target_triples / 34);
+}
+
+Graph GenerateBsbm(const BsbmOptions& options) {
+  Graph g;
+  Dictionary& d = g.dict();
+  const Vocabulary& v = g.vocab();
+  Ids ids = MakeIds(d);
+  Sizes sizes = DeriveSizes(options);
+  Random rng(options.seed);
+
+  auto iri = [&](const char* prefix, uint64_t i) {
+    return d.EncodeIri(std::string(kNs) + prefix + std::to_string(i));
+  };
+  auto lit = [&](const std::string& s) { return d.EncodeLiteral(s); };
+  auto int_lit = [&](uint64_t n) { return d.EncodeLiteral(std::to_string(n)); };
+
+  // --- Product type tree (classes), breadth-first with branching 3; the
+  // root is bsbm:Product itself. Leaves type products.
+  std::vector<TermId> type_nodes;
+  for (uint64_t i = 0; i < sizes.product_types; ++i) {
+    TermId t = iri("ProductType", i);
+    type_nodes.push_back(t);
+    TermId parent = i == 0 ? ids.product : type_nodes[(i - 1) / 3];
+    if (options.include_schema) g.Add({t, v.subclass, parent});
+  }
+  // Leaves: nodes without children.
+  uint64_t first_leaf =
+      sizes.product_types <= 1 ? 0 : (sizes.product_types - 2) / 3 + 1;
+  std::vector<TermId> leaf_types(type_nodes.begin() + first_leaf,
+                                 type_nodes.end());
+  if (leaf_types.empty()) leaf_types.push_back(ids.product);
+
+  // --- Schema: subproperties and domain/range constraints.
+  if (options.include_schema) {
+    for (int i = 0; i < 4; ++i) {
+      g.Add({ids.rating[i], v.subproperty, ids.rating_super});
+      g.Add({ids.numeric[i], v.subproperty, ids.product_property});
+    }
+    g.Add({ids.producer_prop, v.domain, ids.product});
+    g.Add({ids.producer_prop, v.range, ids.producer});
+    g.Add({ids.product_feature, v.domain, ids.product});
+    g.Add({ids.product_feature, v.range, ids.feature});
+    g.Add({ids.offer_product, v.domain, ids.offer});
+    g.Add({ids.offer_product, v.range, ids.product});
+    g.Add({ids.offer_vendor, v.domain, ids.offer});
+    g.Add({ids.offer_vendor, v.range, ids.vendor});
+    g.Add({ids.review_for, v.domain, ids.review});
+    g.Add({ids.review_for, v.range, ids.product});
+    g.Add({ids.reviewer, v.domain, ids.review});
+    g.Add({ids.reviewer, v.range, ids.person});
+  }
+
+  // --- Entity tables.
+  std::vector<TermId> producers, features, vendors, persons, products;
+  for (uint64_t i = 0; i < sizes.producers; ++i) {
+    TermId node = iri("producer/Producer", i);
+    producers.push_back(node);
+    g.Add({node, v.rdf_type, ids.producer});
+    g.Add({node, ids.label, lit("Producer #" + std::to_string(i))});
+    g.Add({node, ids.country,
+           lit(kCountries[rng.Uniform(std::size(kCountries))])});
+    g.Add({node, ids.homepage, iri("producer/site", i)});
+  }
+  for (uint64_t i = 0; i < sizes.features; ++i) {
+    TermId node = iri("feature/Feature", i);
+    features.push_back(node);
+    g.Add({node, v.rdf_type, ids.feature});
+    g.Add({node, ids.label, lit("Feature #" + std::to_string(i))});
+  }
+  for (uint64_t i = 0; i < sizes.vendors; ++i) {
+    TermId node = iri("vendor/Vendor", i);
+    vendors.push_back(node);
+    g.Add({node, v.rdf_type, ids.vendor});
+    g.Add({node, ids.label, lit("Vendor #" + std::to_string(i))});
+    g.Add({node, ids.country,
+           lit(kCountries[rng.Uniform(std::size(kCountries))])});
+    g.Add({node, ids.homepage, iri("vendor/site", i)});
+  }
+  for (uint64_t i = 0; i < sizes.persons; ++i) {
+    TermId node = iri("person/Person", i);
+    persons.push_back(node);
+    g.Add({node, v.rdf_type, ids.person});
+    g.Add({node, ids.name, lit("Person " + std::to_string(i))});
+    g.Add({node, ids.mbox, lit("person" + std::to_string(i) + "@mail.org")});
+    g.Add({node, ids.country,
+           lit(kCountries[rng.Uniform(std::size(kCountries))])});
+  }
+
+  // --- Products: type pair {Product, leaf}, producer, features, label,
+  // comment, a heterogeneous subset of numeric/textual properties.
+  for (uint64_t i = 0; i < sizes.products; ++i) {
+    TermId node = iri("product/Product", i);
+    products.push_back(node);
+    g.Add({node, v.rdf_type, ids.product});
+    TermId leaf = leaf_types[rng.Zipf(leaf_types.size(), 0.5)];
+    g.Add({node, v.rdf_type, leaf});
+    g.Add({node, ids.label, lit("Product #" + std::to_string(i))});
+    g.Add({node, ids.producer_prop,
+           producers[rng.Uniform(producers.size())]});
+    uint64_t nfeat = 1 + rng.Uniform(2);
+    for (uint64_t f = 0; f < nfeat; ++f) {
+      g.Add({node, ids.product_feature,
+             features[rng.Uniform(features.size())]});
+    }
+    for (int k = 0; k < 4; ++k) {
+      if (rng.Bernoulli(0.5)) {
+        g.Add({node, ids.numeric[k], int_lit(rng.Uniform(2000))});
+      }
+    }
+    if (rng.Bernoulli(0.6)) {
+      g.Add({node, ids.textual[0], lit("text-" + std::to_string(rng.Uniform(
+                                              1u << 20)))});
+    }
+  }
+
+  // --- Offers.
+  for (uint64_t i = 0; i < sizes.offers; ++i) {
+    TermId node = iri("offer/Offer", i);
+    if (!rng.Bernoulli(options.untyped_offer_fraction)) {
+      g.Add({node, v.rdf_type, ids.offer});
+    }
+    g.Add({node, ids.offer_product, products[rng.Uniform(products.size())]});
+    g.Add({node, ids.offer_vendor, vendors[rng.Uniform(vendors.size())]});
+    g.Add({node, ids.price, int_lit(1 + rng.Uniform(10000))});
+    g.Add({node, ids.valid_from,
+           lit("2015-" + std::to_string(1 + rng.Uniform(12)) + "-01")});
+    g.Add({node, ids.valid_to,
+           lit("2016-" + std::to_string(1 + rng.Uniform(12)) + "-01")});
+    g.Add({node, ids.delivery_days, int_lit(1 + rng.Uniform(14))});
+  }
+
+  // --- Reviews: heterogeneous optional ratings.
+  for (uint64_t i = 0; i < sizes.reviews; ++i) {
+    TermId node = iri("review/Review", i);
+    g.Add({node, v.rdf_type, ids.review});
+    g.Add({node, ids.review_for, products[rng.Uniform(products.size())]});
+    g.Add({node, ids.reviewer, persons[rng.Uniform(persons.size())]});
+    g.Add({node, ids.review_title,
+           lit("Review title " + std::to_string(i))});
+    g.Add({node, ids.review_date,
+           lit("2015-" + std::to_string(1 + rng.Uniform(12)) + "-" +
+               std::to_string(1 + rng.Uniform(28)))});
+    for (int k = 0; k < 4; ++k) {
+      if (rng.Bernoulli(0.55)) {
+        g.Add({node, ids.rating[k], int_lit(1 + rng.Uniform(10))});
+      }
+    }
+  }
+
+  return g;
+}
+
+}  // namespace rdfsum::gen

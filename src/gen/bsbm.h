@@ -1,0 +1,39 @@
+#ifndef RDFSUM_GEN_BSBM_H_
+#define RDFSUM_GEN_BSBM_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rdfsum::gen {
+
+/// Options for the BSBM-like generator (the Berlin SPARQL Benchmark shape
+/// [3], which the paper's Figures 11-13 are measured on). The generator is
+/// deterministic for a given option set.
+struct BsbmOptions {
+  /// Scale factor: everything else is derived from the product count.
+  /// Roughly 34 triples are emitted per product (see ApproxBsbmTriples).
+  uint64_t num_products = 1000;
+  uint64_t seed = 42;
+  /// Emit the product-type subclass tree, ≺sp declarations and domain/range
+  /// constraints (BSBM always has them; disable for schema-less ablations).
+  bool include_schema = true;
+  /// Fraction of offers emitted without an rdf:type triple — BSBM proper has
+  /// none, but the paper's typed summaries only differ from W/S when some
+  /// resources are untyped, and the domain/range constraints then type them
+  /// implicitly (exactly the §4.2/§5.2 discussion).
+  double untyped_offer_fraction = 0.1;
+};
+
+/// Approximate number of triples GenerateBsbm will produce for `options`.
+uint64_t ApproxBsbmTriples(const BsbmOptions& options);
+
+/// Number of products needed to reach ~`target_triples`.
+uint64_t BsbmProductsForTriples(uint64_t target_triples);
+
+/// Generates the dataset.
+Graph GenerateBsbm(const BsbmOptions& options);
+
+}  // namespace rdfsum::gen
+
+#endif  // RDFSUM_GEN_BSBM_H_

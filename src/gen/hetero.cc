@@ -1,0 +1,95 @@
+#include "gen/hetero.h"
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfsum::gen {
+namespace {
+
+constexpr const char* kNs = "http://hetero.example.org/";
+
+}  // namespace
+
+Graph GenerateHetero(const HeteroOptions& options) {
+  Graph g;
+  Dictionary& d = g.dict();
+  const Vocabulary& v = g.vocab();
+  Random rng(options.seed);
+
+  std::vector<TermId> nodes, props, classes;
+  for (uint64_t i = 0; i < options.num_nodes; ++i) {
+    nodes.push_back(d.EncodeIri(std::string(kNs) + "n" + std::to_string(i)));
+  }
+  for (uint64_t i = 0; i < options.num_properties; ++i) {
+    props.push_back(d.EncodeIri(std::string(kNs) + "p" + std::to_string(i)));
+  }
+  for (uint64_t i = 0; i < options.num_classes; ++i) {
+    classes.push_back(d.EncodeIri(std::string(kNs) + "C" + std::to_string(i)));
+  }
+  if (nodes.empty() || props.empty()) return g;
+
+  // Schema first (subproperty edges must stay acyclic-ish; i -> j with
+  // i < j guarantees a DAG over the dense property indexes).
+  if (!classes.empty()) {
+    for (uint32_t i = 0; i < options.num_subclass_edges; ++i) {
+      uint64_t a = rng.Uniform(classes.size());
+      uint64_t b = rng.Uniform(classes.size());
+      if (a == b) continue;
+      g.Add({classes[std::min(a, b)], v.subclass, classes[std::max(a, b)]});
+    }
+  }
+  for (uint32_t i = 0; i < options.num_subproperty_edges; ++i) {
+    uint64_t a = rng.Uniform(props.size());
+    uint64_t b = rng.Uniform(props.size());
+    if (a == b) continue;
+    g.Add({props[std::min(a, b)], v.subproperty, props[std::max(a, b)]});
+  }
+  if (!classes.empty()) {
+    for (uint32_t i = 0; i < options.num_domain_constraints; ++i) {
+      g.Add({props[rng.Uniform(props.size())], v.domain,
+             classes[rng.Uniform(classes.size())]});
+    }
+    for (uint32_t i = 0; i < options.num_range_constraints; ++i) {
+      g.Add({props[rng.Uniform(props.size())], v.range,
+             classes[rng.Uniform(classes.size())]});
+    }
+  }
+
+  // Data edges.
+  uint64_t num_edges = static_cast<uint64_t>(
+      options.mean_out_degree * static_cast<double>(options.num_nodes));
+  uint64_t literal_counter = 0;
+  for (uint64_t e = 0; e < num_edges; ++e) {
+    TermId s = nodes[rng.Uniform(nodes.size())];
+    TermId p = props[rng.Zipf(props.size(), 0.8)];
+    TermId o;
+    if (rng.Bernoulli(options.literal_fraction)) {
+      // A mix of shared and unique literals.
+      if (rng.Bernoulli(0.5)) {
+        o = d.EncodeLiteral("shared-" + std::to_string(rng.Uniform(10)));
+      } else {
+        o = d.EncodeLiteral("lit-" + std::to_string(literal_counter++));
+      }
+    } else {
+      o = nodes[rng.Uniform(nodes.size())];
+    }
+    g.Add({s, p, o});
+  }
+
+  // Types.
+  if (!classes.empty()) {
+    for (TermId n : nodes) {
+      if (!rng.Bernoulli(options.type_probability)) continue;
+      uint32_t k = 1 + static_cast<uint32_t>(
+                           rng.Uniform(options.max_types_per_node));
+      for (uint32_t i = 0; i < k; ++i) {
+        g.Add({n, v.rdf_type, classes[rng.Uniform(classes.size())]});
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace rdfsum::gen

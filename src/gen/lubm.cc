@@ -1,0 +1,149 @@
+#include "gen/lubm.h"
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rdfsum::gen {
+namespace {
+
+constexpr const char* kNs = "http://lubm.example.org/";
+
+}  // namespace
+
+uint64_t ApproxLubmTriplesPerUniversity() { return 900; }
+
+Graph GenerateLubm(const LubmOptions& options) {
+  Graph g;
+  Dictionary& d = g.dict();
+  const Vocabulary& v = g.vocab();
+  Random rng(options.seed);
+
+  auto cls = [&](const char* local) {
+    return d.EncodeIri(std::string(kNs) + local);
+  };
+  auto iri = [&](const std::string& local) {
+    return d.EncodeIri(kNs + local);
+  };
+  auto lit = [&](const std::string& s) { return d.EncodeLiteral(s); };
+
+  // Classes.
+  TermId person = cls("Person"), employee = cls("Employee"),
+         faculty_c = cls("Faculty"), professor = cls("Professor"),
+         full_prof = cls("FullProfessor"), assoc_prof =
+             cls("AssociateProfessor"),
+         assist_prof = cls("AssistantProfessor"), student = cls("Student"),
+         grad_student = cls("GraduateStudent"),
+         undergrad = cls("UndergraduateStudent"),
+         organization = cls("Organization"), university = cls("University"),
+         department = cls("Department"), course = cls("Course"),
+         publication = cls("Publication");
+
+  // Properties.
+  TermId works_for = iri("worksFor"), head_of = iri("headOf"),
+         member_of = iri("memberOf"), advisor = iri("advisor"),
+         takes_course = iri("takesCourse"), teacher_of = iri("teacherOf"),
+         pub_author = iri("publicationAuthor"), name = iri("name"),
+         email = iri("emailAddress"), research = iri("researchInterest"),
+         sub_org = iri("subOrganizationOf");
+
+  if (options.include_schema) {
+    g.Add({full_prof, v.subclass, professor});
+    g.Add({assoc_prof, v.subclass, professor});
+    g.Add({assist_prof, v.subclass, professor});
+    g.Add({professor, v.subclass, faculty_c});
+    g.Add({faculty_c, v.subclass, employee});
+    g.Add({employee, v.subclass, person});
+    g.Add({grad_student, v.subclass, student});
+    g.Add({undergrad, v.subclass, student});
+    g.Add({student, v.subclass, person});
+    g.Add({university, v.subclass, organization});
+    g.Add({department, v.subclass, organization});
+    g.Add({head_of, v.subproperty, works_for});
+    g.Add({works_for, v.domain, employee});
+    g.Add({works_for, v.range, organization});
+    g.Add({member_of, v.range, organization});
+    g.Add({advisor, v.range, professor});
+    g.Add({teacher_of, v.domain, faculty_c});
+    g.Add({teacher_of, v.range, course});
+    g.Add({takes_course, v.domain, student});
+    g.Add({pub_author, v.domain, publication});
+    g.Add({pub_author, v.range, person});
+  }
+
+  const TermId prof_classes[3] = {full_prof, assoc_prof, assist_prof};
+  uint64_t pub_counter = 0;
+
+  for (uint64_t u = 0; u < options.num_universities; ++u) {
+    std::string uni_tag = "univ" + std::to_string(u);
+    TermId uni = iri(uni_tag);
+    g.Add({uni, v.rdf_type, university});
+    g.Add({uni, name, lit("University " + std::to_string(u))});
+
+    uint64_t num_depts = 3 + rng.Uniform(5);
+    for (uint64_t dep = 0; dep < num_depts; ++dep) {
+      std::string dep_tag = uni_tag + "/dept" + std::to_string(dep);
+      TermId dept = iri(dep_tag);
+      g.Add({dept, v.rdf_type, department});
+      g.Add({dept, sub_org, uni});
+      g.Add({dept, name, lit("Department " + std::to_string(dep))});
+
+      std::vector<TermId> dept_faculty;
+      std::vector<TermId> dept_courses;
+      uint64_t num_faculty = 7 + rng.Uniform(4);
+      for (uint64_t f = 0; f < num_faculty; ++f) {
+        TermId prof = iri(dep_tag + "/prof" + std::to_string(f));
+        dept_faculty.push_back(prof);
+        g.Add({prof, v.rdf_type, prof_classes[rng.Uniform(3)]});
+        if (f == 0) {
+          g.Add({prof, head_of, dept});
+        } else {
+          g.Add({prof, works_for, dept});
+        }
+        g.Add({prof, name, lit("Prof " + dep_tag + std::to_string(f))});
+        g.Add({prof, email, lit("prof" + std::to_string(f) + "@" + uni_tag)});
+        if (rng.Bernoulli(0.7)) {
+          g.Add({prof, research,
+                 lit("research area " + std::to_string(rng.Uniform(40)))});
+        }
+        for (int c = 0; c < 2; ++c) {
+          TermId crs = iri(dep_tag + "/course" + std::to_string(f * 2 + c));
+          dept_courses.push_back(crs);
+          g.Add({crs, v.rdf_type, course});
+          g.Add({crs, name, lit("Course " + std::to_string(f * 2 + c))});
+          g.Add({prof, teacher_of, crs});
+        }
+        for (int pnum = 0; pnum < 2; ++pnum) {
+          TermId pub = iri("pub" + std::to_string(pub_counter++));
+          if (!rng.Bernoulli(options.untyped_publication_fraction)) {
+            g.Add({pub, v.rdf_type, publication});
+          }
+          g.Add({pub, pub_author, prof});
+          g.Add({pub, name, lit("Publication " + std::to_string(pub_counter))});
+        }
+      }
+
+      uint64_t num_students = 20 + rng.Uniform(11);
+      for (uint64_t s = 0; s < num_students; ++s) {
+        TermId stu = iri(dep_tag + "/student" + std::to_string(s));
+        bool grad = rng.Bernoulli(0.3);
+        g.Add({stu, v.rdf_type, grad ? grad_student : undergrad});
+        g.Add({stu, member_of, dept});
+        g.Add({stu, name, lit("Student " + dep_tag + std::to_string(s))});
+        uint64_t num_courses = 2 + rng.Uniform(3);
+        for (uint64_t c = 0; c < num_courses; ++c) {
+          g.Add({stu, takes_course,
+                 dept_courses[rng.Uniform(dept_courses.size())]});
+        }
+        if (grad) {
+          g.Add({stu, advisor,
+                 dept_faculty[rng.Uniform(dept_faculty.size())]});
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace rdfsum::gen

@@ -1,0 +1,31 @@
+#ifndef RDFSUM_GEN_LUBM_H_
+#define RDFSUM_GEN_LUBM_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rdfsum::gen {
+
+/// Options for the LUBM-like generator (Lehigh University Benchmark shape) —
+/// the "other popular RDF datasets" the paper reports on in [5]. Universities
+/// contain departments, faculty, students, courses and publications, with a
+/// deep subclass hierarchy and ≺sp/domain/range constraints, making it a
+/// heavier reasoning workload than BSBM.
+struct LubmOptions {
+  uint64_t num_universities = 2;
+  uint64_t seed = 7;
+  bool include_schema = true;
+  /// Fraction of publications emitted without a type (typed implicitly via
+  /// the publicationAuthor domain constraint).
+  double untyped_publication_fraction = 0.2;
+};
+
+/// Approximate triples per university (~900).
+uint64_t ApproxLubmTriplesPerUniversity();
+
+Graph GenerateLubm(const LubmOptions& options);
+
+}  // namespace rdfsum::gen
+
+#endif  // RDFSUM_GEN_LUBM_H_

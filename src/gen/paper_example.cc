@@ -1,0 +1,134 @@
+#include "gen/paper_example.h"
+
+#include "rdf/vocabulary.h"
+
+namespace rdfsum::gen {
+namespace {
+
+constexpr const char* kNs = "http://example.org/fig2/";
+
+}  // namespace
+
+Figure2Example BuildFigure2() {
+  Figure2Example ex;
+  Graph& g = ex.graph;
+  Dictionary& d = g.dict();
+  auto iri = [&](const char* local) {
+    return d.EncodeIri(std::string(kNs) + local);
+  };
+
+  ex.r1 = iri("r1");
+  ex.r2 = iri("r2");
+  ex.r3 = iri("r3");
+  ex.r4 = iri("r4");
+  ex.r5 = iri("r5");
+  ex.r6 = iri("r6");
+  ex.a1 = iri("a1");
+  ex.a2 = iri("a2");
+  ex.t1 = iri("t1");
+  ex.t2 = iri("t2");
+  ex.t3 = iri("t3");
+  ex.t4 = iri("t4");
+  ex.e1 = iri("e1");
+  ex.e2 = iri("e2");
+  ex.c1 = iri("c1");
+  ex.author = iri("author");
+  ex.title = iri("title");
+  ex.editor = iri("editor");
+  ex.comment = iri("comment");
+  ex.reviewed = iri("reviewed");
+  ex.published = iri("published");
+  ex.book = iri("Book");
+  ex.journal = iri("Journal");
+  ex.spec = iri("Spec");
+
+  g.Add({ex.r1, ex.author, ex.a1});
+  g.Add({ex.r1, ex.title, ex.t1});
+  g.Add({ex.r2, ex.title, ex.t2});
+  g.Add({ex.r2, ex.editor, ex.e1});
+  g.Add({ex.r3, ex.editor, ex.e2});
+  g.Add({ex.r3, ex.comment, ex.c1});
+  g.Add({ex.r4, ex.author, ex.a2});
+  g.Add({ex.r4, ex.title, ex.t3});
+  g.Add({ex.r5, ex.title, ex.t4});
+  g.Add({ex.r5, ex.editor, ex.e2});
+  g.Add({ex.a1, ex.reviewed, ex.r4});
+  g.Add({ex.e1, ex.published, ex.r4});
+
+  const TermId rdf_type = g.vocab().rdf_type;
+  g.Add({ex.r1, rdf_type, ex.book});
+  g.Add({ex.r2, rdf_type, ex.journal});
+  g.Add({ex.r5, rdf_type, ex.spec});
+  g.Add({ex.r6, rdf_type, ex.journal});
+  return ex;
+}
+
+BookExample BuildBookExample() {
+  BookExample ex;
+  Graph& g = ex.graph;
+  Dictionary& d = g.dict();
+  auto iri = [&](const char* local) {
+    return d.EncodeIri(std::string("http://example.org/book/") + local);
+  };
+
+  ex.doi1 = iri("doi1");
+  ex.b1 = d.EncodeBlank("b1");
+  ex.book = iri("Book");
+  ex.publication = iri("Publication");
+  ex.person = iri("Person");
+  ex.written_by = iri("writtenBy");
+  ex.has_author = iri("hasAuthor");
+  ex.has_title = iri("hasTitle");
+  ex.has_name = iri("hasName");
+  ex.published_in = iri("publishedIn");
+
+  const Vocabulary& v = g.vocab();
+  g.Add({ex.doi1, v.rdf_type, ex.book});
+  g.Add({ex.doi1, ex.written_by, ex.b1});
+  g.Add({ex.doi1, ex.has_title, d.EncodeLiteral("Le Port des Brumes")});
+  g.Add({ex.b1, ex.has_name, d.EncodeLiteral("G. Simenon")});
+  g.Add({ex.doi1, ex.published_in, d.EncodeLiteral("1932")});
+
+  g.Add({ex.book, v.subclass, ex.publication});
+  g.Add({ex.written_by, v.subproperty, ex.has_author});
+  g.Add({ex.written_by, v.domain, ex.book});
+  g.Add({ex.written_by, v.range, ex.person});
+  return ex;
+}
+
+Graph BuildFigure5() {
+  Graph g;
+  Dictionary& d = g.dict();
+  auto iri = [&](const char* local) {
+    return d.EncodeIri(std::string("http://example.org/fig5/") + local);
+  };
+  TermId r1 = iri("r1"), r2 = iri("r2");
+  TermId x = iri("x"), y1 = iri("y1"), y2 = iri("y2"), z = iri("z");
+  TermId a1 = iri("a1"), b1 = iri("b1"), b2 = iri("b2"), b = iri("b");
+  TermId c = iri("c");
+  g.Add({r1, a1, y1});
+  g.Add({r1, b1, x});
+  g.Add({r2, b2, y2});
+  g.Add({r2, c, z});
+  g.Add({b1, g.vocab().subproperty, b});
+  g.Add({b2, g.vocab().subproperty, b});
+  return g;
+}
+
+Graph BuildFigure8() {
+  Graph g;
+  Dictionary& d = g.dict();
+  auto iri = [&](const char* local) {
+    return d.EncodeIri(std::string("http://example.org/fig8/") + local);
+  };
+  TermId r1 = iri("r1"), r2 = iri("r2");
+  TermId x = iri("x"), y1 = iri("y1"), y2 = iri("y2");
+  TermId a = iri("a"), b = iri("b"), c = iri("c");
+  g.Add({r1, a, y1});
+  g.Add({r1, b, x});
+  g.Add({r2, b, y2});
+  g.Add({a, g.vocab().domain, c});
+  return g;
+}
+
+}  // namespace rdfsum::gen

@@ -1,0 +1,50 @@
+#ifndef RDFSUM_GEN_PAPER_EXAMPLE_H_
+#define RDFSUM_GEN_PAPER_EXAMPLE_H_
+
+#include "rdf/graph.h"
+
+namespace rdfsum::gen {
+
+/// The sample RDF graph of Figure 2, with every term id exposed so tests can
+/// assert the paper's Table 1 and Figures 4/6/7/9 exactly.
+///
+/// Data edges: r1 -author-> a1, r1 -title-> t1, r2 -title-> t2,
+/// r2 -editor-> e1, r3 -editor-> e2, r3 -comment-> c1, r4 -author-> a2,
+/// r4 -title-> t3, r5 -title-> t4, r5 -editor-> e2, a1 -reviewed-> r4,
+/// e1 -published-> r4. Types: r1 τ Book, r2 τ Journal, r5 τ Spec,
+/// r6 τ Journal. No schema.
+struct Figure2Example {
+  Graph graph;
+  TermId r1, r2, r3, r4, r5, r6;
+  TermId a1, a2, t1, t2, t3, t4, e1, e2, c1;
+  TermId author, title, editor, comment, reviewed, published;
+  TermId book, journal, spec;
+};
+
+Figure2Example BuildFigure2();
+
+/// The §2.1 book example: doi1 with its explicit triples and the four RDFS
+/// constraints (books are publications; writtenBy ≺sp hasAuthor;
+/// writtenBy ←↩d Book; writtenBy ↪→r Person).
+struct BookExample {
+  Graph graph;
+  TermId doi1, b1;
+  TermId book, publication, person;
+  TermId written_by, has_author, has_title, has_name, published_in;
+};
+
+BookExample BuildBookExample();
+
+/// Figure 5's graph, illustrating weak-summary completeness:
+/// r1 -a1-> y1, r1 -b1-> x, r2 -b2-> y2, r2 -c-> z, with b1 ≺sp b and
+/// b2 ≺sp b. Saturation bridges the two source cliques through b.
+Graph BuildFigure5();
+
+/// Figure 8's graph, the typed-weak non-completeness counterexample:
+/// r1 -a-> y1, r1 -b-> x, r2 -b-> y2, with a ←↩d c. Saturation types r1 but
+/// not r2, so TW(G∞) separates what TW(G) merged.
+Graph BuildFigure8();
+
+}  // namespace rdfsum::gen
+
+#endif  // RDFSUM_GEN_PAPER_EXAMPLE_H_

@@ -1,0 +1,105 @@
+#include "io/dot_writer.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+namespace rdfsum::io {
+namespace {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string NodeLabel(const Dictionary& dict, TermId id, bool local) {
+  const Term& t = dict.Decode(id);
+  std::string text;
+  switch (t.kind) {
+    case TermKind::kIri:
+      text = local ? IriLocalName(t.lexical) : t.lexical;
+      break;
+    case TermKind::kBlank:
+      text = "_:" + t.lexical;
+      break;
+    case TermKind::kLiteral:
+      text = "\"" + t.lexical + "\"";
+      break;
+  }
+  return DotEscape(text);
+}
+
+}  // namespace
+
+std::string IriLocalName(const std::string& iri) {
+  size_t pos = iri.find_last_of("#/:");
+  if (pos == std::string::npos || pos + 1 >= iri.size()) return iri;
+  return iri.substr(pos + 1);
+}
+
+void DotWriter::Write(const Graph& graph, std::ostream& os,
+                      const DotOptions& options) {
+  const Dictionary& dict = graph.dict();
+  os << "digraph \"" << DotEscape(options.graph_name) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n";
+
+  std::unordered_set<TermId> class_nodes;
+  for (const Triple& t : graph.types()) class_nodes.insert(t.o);
+  for (TermId c : class_nodes) {
+    os << "  n" << c << " [label=\""
+       << NodeLabel(dict, c, options.local_names)
+       << "\", shape=box, color=purple, fontcolor=purple];\n";
+  }
+
+  auto edge = [&](const Triple& t, const char* style) {
+    os << "  n" << t.s << " -> n" << t.o << " [label=\""
+       << NodeLabel(dict, t.p, options.local_names) << "\"" << style << "];\n";
+  };
+  for (const Triple& t : graph.data()) edge(t, "");
+  for (const Triple& t : graph.types()) {
+    os << "  n" << t.s << " -> n" << t.o
+       << " [label=\"type\", style=dashed, color=purple, "
+          "fontcolor=purple];\n";
+  }
+  for (const Triple& t : graph.schema()) edge(t, ", style=dotted");
+
+  // Emit labels for non-class nodes appearing in data triples.
+  std::unordered_set<TermId> emitted = class_nodes;
+  auto emit_node = [&](TermId id) {
+    if (!emitted.insert(id).second) return;
+    os << "  n" << id << " [label=\"" << NodeLabel(dict, id, options.local_names)
+       << "\"];\n";
+  };
+  for (const Triple& t : graph.data()) {
+    emit_node(t.s);
+    emit_node(t.o);
+  }
+  for (const Triple& t : graph.types()) emit_node(t.s);
+  for (const Triple& t : graph.schema()) {
+    emit_node(t.s);
+    emit_node(t.o);
+  }
+  os << "}\n";
+}
+
+std::string DotWriter::ToString(const Graph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  Write(graph, os, options);
+  return os.str();
+}
+
+Status DotWriter::WriteFile(const Graph& graph, const std::string& path,
+                            const DotOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  Write(graph, out, options);
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace rdfsum::io

@@ -1,0 +1,38 @@
+#ifndef RDFSUM_IO_DOT_WRITER_H_
+#define RDFSUM_IO_DOT_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfsum::io {
+
+/// Graphviz export used to eyeball summaries (the paper's companion website
+/// shows exactly such drawings). Data edges are solid and labeled with the
+/// property's local name; type edges are dashed purple arrows into box-shaped
+/// class nodes; schema edges are dotted.
+struct DotOptions {
+  /// Strip IRI namespaces down to the local name for readability.
+  bool local_names = true;
+  std::string graph_name = "rdf";
+};
+
+class DotWriter {
+ public:
+  static void Write(const Graph& graph, std::ostream& os,
+                    const DotOptions& options = {});
+  static std::string ToString(const Graph& graph,
+                              const DotOptions& options = {});
+  static Status WriteFile(const Graph& graph, const std::string& path,
+                          const DotOptions& options = {});
+};
+
+/// Returns the local name of an IRI (substring after the last '#' or '/'),
+/// or the input unchanged if neither occurs.
+std::string IriLocalName(const std::string& iri);
+
+}  // namespace rdfsum::io
+
+#endif  // RDFSUM_IO_DOT_WRITER_H_

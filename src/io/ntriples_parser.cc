@@ -1,0 +1,283 @@
+#include "io/ntriples_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace rdfsum::io {
+namespace {
+
+bool IsWs(char c) { return c == ' ' || c == '\t'; }
+
+void SkipWs(std::string_view text, size_t& pos) {
+  while (pos < text.size() && IsWs(text[pos])) ++pos;
+}
+
+/// Appends the UTF-8 encoding of `cp` to `out`; returns false for invalid
+/// code points.
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp <= 0x7F) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    if (cp >= 0xD800 && cp <= 0xDFFF) return false;  // surrogate
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0x10FFFF) {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseHex(std::string_view text, size_t pos, size_t len, uint32_t* out) {
+  if (pos + len > text.size()) return false;
+  uint32_t value = 0;
+  for (size_t i = 0; i < len; ++i) {
+    char c = text[pos + i];
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') value |= static_cast<uint32_t>(c - 'A' + 10);
+    else return false;
+  }
+  *out = value;
+  return true;
+}
+
+/// Decodes escapes valid in both IRIs and literals; advances pos past the
+/// escape sequence (pos initially points at the backslash).
+Status DecodeEscape(std::string_view text, size_t& pos, std::string* out) {
+  if (pos + 1 >= text.size()) {
+    return Status::InvalidArgument("dangling backslash");
+  }
+  char c = text[pos + 1];
+  switch (c) {
+    case 't': out->push_back('\t'); pos += 2; return Status::OK();
+    case 'b': out->push_back('\b'); pos += 2; return Status::OK();
+    case 'n': out->push_back('\n'); pos += 2; return Status::OK();
+    case 'r': out->push_back('\r'); pos += 2; return Status::OK();
+    case 'f': out->push_back('\f'); pos += 2; return Status::OK();
+    case '"': out->push_back('"'); pos += 2; return Status::OK();
+    case '\'': out->push_back('\''); pos += 2; return Status::OK();
+    case '\\': out->push_back('\\'); pos += 2; return Status::OK();
+    case 'u': {
+      uint32_t cp = 0;
+      if (!ParseHex(text, pos + 2, 4, &cp) || !AppendUtf8(cp, out)) {
+        return Status::InvalidArgument("bad \\u escape");
+      }
+      pos += 6;
+      return Status::OK();
+    }
+    case 'U': {
+      uint32_t cp = 0;
+      if (!ParseHex(text, pos + 2, 8, &cp) || !AppendUtf8(cp, out)) {
+        return Status::InvalidArgument("bad \\U escape");
+      }
+      pos += 10;
+      return Status::OK();
+    }
+    default:
+      return Status::InvalidArgument(std::string("unknown escape \\") + c);
+  }
+}
+
+StatusOr<Term> ParseIriAt(std::string_view text, size_t& pos) {
+  // text[pos] == '<'
+  ++pos;
+  std::string iri;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == '>') {
+      ++pos;
+      if (iri.empty()) return Status::InvalidArgument("empty IRI");
+      return Term::Iri(iri);
+    }
+    if (c == '\\') {
+      RDFSUM_RETURN_IF_ERROR(DecodeEscape(text, pos, &iri));
+      continue;
+    }
+    if (c == ' ' || c == '<' || c == '"' || c == '{' || c == '}' ||
+        c == '|' || c == '^' || c == '`') {
+      return Status::InvalidArgument("illegal character in IRI");
+    }
+    iri.push_back(c);
+    ++pos;
+  }
+  return Status::InvalidArgument("unterminated IRI");
+}
+
+StatusOr<Term> ParseBlankAt(std::string_view text, size_t& pos) {
+  // text[pos..pos+1] == "_:"
+  pos += 2;
+  std::string label;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+        c == '.') {
+      label.push_back(c);
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  // A trailing '.' belongs to the statement terminator, not the label.
+  while (!label.empty() && label.back() == '.') {
+    label.pop_back();
+    --pos;
+  }
+  if (label.empty()) return Status::InvalidArgument("empty blank node label");
+  return Term::Blank(label);
+}
+
+StatusOr<Term> ParseLiteralAt(std::string_view text, size_t& pos) {
+  // text[pos] == '"'
+  ++pos;
+  std::string lex;
+  bool closed = false;
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == '"') {
+      ++pos;
+      closed = true;
+      break;
+    }
+    if (c == '\\') {
+      RDFSUM_RETURN_IF_ERROR(DecodeEscape(text, pos, &lex));
+      continue;
+    }
+    lex.push_back(c);
+    ++pos;
+  }
+  if (!closed) return Status::InvalidArgument("unterminated literal");
+  if (pos < text.size() && text[pos] == '@') {
+    ++pos;
+    std::string lang;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '-')) {
+      lang.push_back(text[pos]);
+      ++pos;
+    }
+    if (lang.empty()) return Status::InvalidArgument("empty language tag");
+    return Term::LangLiteral(lex, lang);
+  }
+  if (pos + 1 < text.size() && text[pos] == '^' && text[pos + 1] == '^') {
+    pos += 2;
+    if (pos >= text.size() || text[pos] != '<') {
+      return Status::InvalidArgument("datatype must be an IRI");
+    }
+    auto dt = ParseIriAt(text, pos);
+    if (!dt.ok()) return dt.status();
+    return Term::TypedLiteral(lex, dt->lexical);
+  }
+  return Term::Literal(lex);
+}
+
+StatusOr<Term> ParseTermAt(std::string_view text, size_t& pos) {
+  SkipWs(text, pos);
+  if (pos >= text.size()) return Status::InvalidArgument("expected term");
+  char c = text[pos];
+  if (c == '<') return ParseIriAt(text, pos);
+  if (c == '"') return ParseLiteralAt(text, pos);
+  if (c == '_' && pos + 1 < text.size() && text[pos + 1] == ':') {
+    return ParseBlankAt(text, pos);
+  }
+  return Status::InvalidArgument("unrecognized term start: '" +
+                                 std::string(1, c) + "'");
+}
+
+Status ParseLine(std::string_view line, Graph* graph, ParseStats* stats) {
+  size_t pos = 0;
+  auto s = ParseTermAt(line, pos);
+  if (!s.ok()) return s.status();
+  auto p = ParseTermAt(line, pos);
+  if (!p.ok()) return p.status();
+  if (!p->is_iri()) {
+    return Status::InvalidArgument("property must be an IRI");
+  }
+  auto o = ParseTermAt(line, pos);
+  if (!o.ok()) return o.status();
+  if (s->is_literal()) {
+    return Status::InvalidArgument("subject must not be a literal");
+  }
+  SkipWs(line, pos);
+  if (pos >= line.size() || line[pos] != '.') {
+    return Status::InvalidArgument("missing statement terminator '.'");
+  }
+  ++pos;
+  SkipWs(line, pos);
+  if (pos != line.size()) {
+    return Status::InvalidArgument("trailing garbage after '.'");
+  }
+  bool fresh = graph->AddTerms(*s, *p, *o);
+  if (stats != nullptr) {
+    ++stats->triples;
+    if (!fresh) ++stats->duplicates;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Term> NTriplesParser::ParseTerm(std::string_view text) {
+  size_t pos = 0;
+  auto term = ParseTermAt(text, pos);
+  if (!term.ok()) return term;
+  SkipWs(text, pos);
+  if (pos != text.size()) {
+    return Status::InvalidArgument("trailing characters after term");
+  }
+  return term;
+}
+
+Status NTriplesParser::ParseString(std::string_view text, Graph* graph,
+                                   ParseStats* stats,
+                                   const ParseOptions& options) {
+  size_t start = 0;
+  uint64_t line_no = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    std::string_view stripped = StripWhitespace(line);
+    if (stats != nullptr) ++stats->lines;
+    if (!stripped.empty() && stripped[0] != '#') {
+      Status st = ParseLine(stripped, graph, stats);
+      if (!st.ok()) {
+        if (options.strict) {
+          return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                         ": " + st.message());
+        }
+        if (stats != nullptr) ++stats->skipped;
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+Status NTriplesParser::ParseFile(const std::string& path, Graph* graph,
+                                 ParseStats* stats,
+                                 const ParseOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseString(buffer.str(), graph, stats, options);
+}
+
+}  // namespace rdfsum::io

@@ -1,0 +1,55 @@
+#ifndef RDFSUM_IO_NTRIPLES_PARSER_H_
+#define RDFSUM_IO_NTRIPLES_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdfsum::io {
+
+/// Parsing knobs.
+struct ParseOptions {
+  /// In strict mode any malformed line aborts with InvalidArgument; otherwise
+  /// malformed lines are counted and skipped (useful for crawled data).
+  bool strict = true;
+};
+
+/// Counters filled by the parser.
+struct ParseStats {
+  uint64_t lines = 0;
+  uint64_t triples = 0;     // triples successfully added (before dedup)
+  uint64_t duplicates = 0;  // triples already present in the graph
+  uint64_t skipped = 0;     // malformed lines skipped (strict = false)
+};
+
+/// A line-oriented N-Triples 1.1 parser (the role raptor/serd/Jena play for
+/// the paper's prototype; see DESIGN.md §5 on this substitution).
+///
+/// Supported term forms: <iri>, _:label, "literal", "literal"@lang,
+/// "literal"^^<datatype>, with \t \b \n \r \f \" \' \\ \uXXXX \UXXXXXXXX
+/// escapes in literals and \uXXXX escapes in IRIs. Comment lines (#) and
+/// blank lines are ignored.
+class NTriplesParser {
+ public:
+  /// Parses all lines of `text` into `graph`.
+  static Status ParseString(std::string_view text, Graph* graph,
+                            ParseStats* stats = nullptr,
+                            const ParseOptions& options = {});
+
+  /// Parses the file at `path` into `graph`.
+  static Status ParseFile(const std::string& path, Graph* graph,
+                          ParseStats* stats = nullptr,
+                          const ParseOptions& options = {});
+
+  /// Parses a single term serialization, e.g. `<http://a>` or `"x"@en`.
+  /// Exposed for tests and for the SPARQL parser, which reuses it.
+  static StatusOr<Term> ParseTerm(std::string_view text);
+};
+
+}  // namespace rdfsum::io
+
+#endif  // RDFSUM_IO_NTRIPLES_PARSER_H_

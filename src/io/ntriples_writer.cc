@@ -1,0 +1,31 @@
+#include "io/ntriples_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rdfsum::io {
+
+void NTriplesWriter::Write(const Graph& graph, std::ostream& os) {
+  const Dictionary& dict = graph.dict();
+  graph.ForEachTriple([&](const Triple& t) {
+    os << dict.Decode(t.s).ToNTriples() << " " << dict.Decode(t.p).ToNTriples()
+       << " " << dict.Decode(t.o).ToNTriples() << " .\n";
+  });
+}
+
+std::string NTriplesWriter::ToString(const Graph& graph) {
+  std::ostringstream os;
+  Write(graph, os);
+  return os.str();
+}
+
+Status NTriplesWriter::WriteFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  Write(graph, out);
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace rdfsum::io

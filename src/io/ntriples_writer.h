@@ -1,0 +1,23 @@
+#ifndef RDFSUM_IO_NTRIPLES_WRITER_H_
+#define RDFSUM_IO_NTRIPLES_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfsum::io {
+
+/// Serializes a graph in N-Triples 1.1. Output order is D, then T, then S
+/// component; round-trips through NTriplesParser.
+class NTriplesWriter {
+ public:
+  static void Write(const Graph& graph, std::ostream& os);
+  static std::string ToString(const Graph& graph);
+  static Status WriteFile(const Graph& graph, const std::string& path);
+};
+
+}  // namespace rdfsum::io
+
+#endif  // RDFSUM_IO_NTRIPLES_WRITER_H_

@@ -1,0 +1,368 @@
+#include "io/turtle_parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/vocabulary.h"
+#include "util/statusor.h"
+#include "util/string_util.h"
+
+namespace rdfsum::io {
+namespace {
+
+constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+constexpr std::string_view kXsdDecimal =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+constexpr std::string_view kXsdBoolean =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+
+class Parser {
+ public:
+  Parser(std::string_view text, Graph* graph, TurtleParseStats* stats)
+      : text_(text), graph_(graph), stats_(stats) {}
+
+  Status Run() {
+    while (true) {
+      SkipWsAndComments();
+      if (pos_ >= text_.size()) return Status::OK();
+      RDFSUM_RETURN_IF_ERROR(ParseStatement());
+    }
+  }
+
+ private:
+  // ------------------------------------------------------------- lexing
+  void SkipWsAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWsAndComments();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(line_) + ": " +
+                                   msg);
+  }
+
+  bool EatKeyword(std::string_view kw) {
+    SkipWsAndComments();
+    if (pos_ + kw.size() > text_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(kw[i]))) {
+        return false;
+      }
+    }
+    // Keyword must not continue as a name.
+    size_t end = pos_ + kw.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_' || text_[end] == ':')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  // ------------------------------------------------------------- grammar
+  Status ParseStatement() {
+    bool at_prefix = EatKeyword("@prefix");
+    if (at_prefix || EatKeyword("PREFIX")) {
+      RDFSUM_RETURN_IF_ERROR(ParsePrefixDecl());
+      // @prefix requires a trailing dot; SPARQL-style PREFIX takes none.
+      if (at_prefix && !Eat('.')) return Err("@prefix must end with '.'");
+      return Status::OK();
+    }
+    bool at_base = EatKeyword("@base");
+    if (at_base || EatKeyword("BASE")) {
+      auto iri = ParseIriRef();
+      if (!iri.ok()) return iri.status();
+      base_ = iri->lexical;
+      if (at_base && !Eat('.')) return Err("@base must end with '.'");
+      return Status::OK();
+    }
+    // subject predicate-object-list '.'
+    auto subject = ParseTermChecked(/*allow_literal=*/false);
+    if (!subject.ok()) return subject.status();
+    RDFSUM_RETURN_IF_ERROR(ParsePredicateObjectList(*subject));
+    if (!Eat('.')) return Err("expected '.' at end of statement");
+    return Status::OK();
+  }
+
+  Status ParsePrefixDecl() {
+    SkipWsAndComments();
+    std::string label;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      label.push_back(text_[pos_++]);
+    }
+    if (!Eat(':')) return Err("expected ':' in prefix declaration");
+    auto iri = ParseIriRef();
+    if (!iri.ok()) return iri.status();
+    prefixes_[label] = iri->lexical;
+    if (stats_ != nullptr) ++stats_->prefixes;
+    return Status::OK();
+  }
+
+  Status ParsePredicateObjectList(const Term& subject) {
+    while (true) {
+      Term predicate;
+      SkipWsAndComments();
+      if (EatKeyword("a")) {
+        predicate = Term::Iri(vocab::kRdfType);
+      } else {
+        auto p = ParseTermChecked(/*allow_literal=*/false);
+        if (!p.ok()) return p.status();
+        if (!p->is_iri()) return Err("predicate must be an IRI");
+        predicate = std::move(*p);
+      }
+      // Object list.
+      while (true) {
+        auto object = ParseTermChecked(/*allow_literal=*/true);
+        if (!object.ok()) return object.status();
+        bool fresh = graph_->AddTerms(subject, predicate, *object);
+        if (stats_ != nullptr) {
+          ++stats_->triples;
+          if (!fresh) ++stats_->duplicates;
+        }
+        if (!Eat(',')) break;
+      }
+      if (!Eat(';')) break;
+      // A dangling ';' before '.' is legal Turtle.
+      SkipWsAndComments();
+      if (pos_ < text_.size() && text_[pos_] == '.') break;
+    }
+    return Status::OK();
+  }
+
+  // ------------------------------------------------------------- terms
+  StatusOr<Term> ParseTermChecked(bool allow_literal) {
+    SkipWsAndComments();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '<') return ParseIriRef();
+    if (c == '_') return ParseBlank();
+    if (c == '[') {
+      ++pos_;
+      SkipWsAndComments();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return Term::Blank("anon" + std::to_string(anon_counter_++));
+      }
+      return Status::NotSupported(
+          "blank node property lists [ p o ] are not supported");
+    }
+    if (c == '(') {
+      return Status::NotSupported("RDF collections ( ... ) are not supported");
+    }
+    if (c == '"' || c == '\'') {
+      if (!allow_literal) return Err("literal not allowed here");
+      return ParseQuotedLiteral();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '+' || c == '-') {
+      if (!allow_literal) return Err("numeric literal not allowed here");
+      return ParseNumericLiteral();
+    }
+    if (EatKeyword("true")) return Term::TypedLiteral("true", kXsdBoolean);
+    if (EatKeyword("false")) return Term::TypedLiteral("false", kXsdBoolean);
+    return ParsePrefixedName();
+  }
+
+  StatusOr<Term> ParseIriRef() {
+    SkipWsAndComments();
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return Err("expected IRI");
+    }
+    ++pos_;
+    std::string iri;
+    while (pos_ < text_.size() && text_[pos_] != '>') {
+      if (text_[pos_] == '\\') {
+        // Keep escapes verbatim minus the backslash for \u handling already
+        // done by the N-Triples path; here accept the raw character.
+        ++pos_;
+        if (pos_ >= text_.size()) return Err("dangling escape in IRI");
+      }
+      iri.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return Err("unterminated IRI");
+    ++pos_;
+    // Resolve against @base for relative IRIs (pragmatic concatenation).
+    if (!base_.empty() && iri.find(':') == std::string::npos) {
+      iri = base_ + iri;
+    }
+    if (iri.empty()) return Err("empty IRI");
+    return Term::Iri(iri);
+  }
+
+  StatusOr<Term> ParseBlank() {
+    // text_[pos_] == '_'
+    if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != ':') {
+      return Err("expected blank node label");
+    }
+    pos_ += 2;
+    std::string label;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      label.push_back(text_[pos_++]);
+    }
+    if (label.empty()) return Err("empty blank node label");
+    return Term::Blank(label);
+  }
+
+  StatusOr<Term> ParseQuotedLiteral() {
+    char quote = text_[pos_];
+    if (pos_ + 2 < text_.size() && text_[pos_ + 1] == quote &&
+        text_[pos_ + 2] == quote) {
+      return Status::NotSupported("triple-quoted literals are not supported");
+    }
+    ++pos_;
+    std::string lex;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      char c = text_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Err("dangling escape");
+        char e = text_[pos_ + 1];
+        switch (e) {
+          case 't': lex.push_back('\t'); break;
+          case 'n': lex.push_back('\n'); break;
+          case 'r': lex.push_back('\r'); break;
+          case 'b': lex.push_back('\b'); break;
+          case 'f': lex.push_back('\f'); break;
+          case '"': lex.push_back('"'); break;
+          case '\'': lex.push_back('\''); break;
+          case '\\': lex.push_back('\\'); break;
+          default:
+            return Err(std::string("unknown escape \\") + e);
+        }
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') return Err("newline in single-quoted literal");
+      lex.push_back(c);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Err("unterminated literal");
+    ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '@') {
+      ++pos_;
+      std::string lang;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '-')) {
+        lang.push_back(text_[pos_++]);
+      }
+      if (lang.empty()) return Err("empty language tag");
+      return Term::LangLiteral(lex, lang);
+    }
+    if (pos_ + 1 < text_.size() && text_[pos_] == '^' &&
+        text_[pos_ + 1] == '^') {
+      pos_ += 2;
+      SkipWsAndComments();
+      StatusOr<Term> dt = text_[pos_] == '<' ? ParseIriRef()
+                                             : ParsePrefixedName();
+      if (!dt.ok()) return dt.status();
+      if (!dt->is_iri()) return Err("datatype must be an IRI");
+      return Term::TypedLiteral(lex, dt->lexical);
+    }
+    return Term::Literal(lex);
+  }
+
+  StatusOr<Term> ParseNumericLiteral() {
+    std::string digits;
+    bool is_decimal = false;
+    if (text_[pos_] == '+' || text_[pos_] == '-') {
+      digits.push_back(text_[pos_++]);
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.')) {
+      if (text_[pos_] == '.') {
+        // A '.' not followed by a digit terminates the statement instead.
+        if (pos_ + 1 >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+          break;
+        }
+        is_decimal = true;
+      }
+      digits.push_back(text_[pos_++]);
+    }
+    if (digits.empty() || digits == "+" || digits == "-") {
+      return Err("malformed numeric literal");
+    }
+    return Term::TypedLiteral(digits, is_decimal ? kXsdDecimal : kXsdInteger);
+  }
+
+  StatusOr<Term> ParsePrefixedName() {
+    SkipWsAndComments();
+    std::string prefix;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      prefix.push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size() || text_[pos_] != ':') {
+      return Err("expected prefixed name, found '" + prefix + "'");
+    }
+    ++pos_;
+    std::string local;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-')) {
+      local.push_back(text_[pos_++]);
+    }
+    auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Err("undeclared prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  std::string_view text_;
+  Graph* graph_;
+  TurtleParseStats* stats_;
+  size_t pos_ = 0;
+  uint64_t line_ = 1;
+  uint64_t anon_counter_ = 0;
+  std::string base_;
+  std::unordered_map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Status TurtleParser::ParseString(std::string_view text, Graph* graph,
+                                 TurtleParseStats* stats) {
+  Parser parser(text, graph, stats);
+  return parser.Run();
+}
+
+Status TurtleParser::ParseFile(const std::string& path, Graph* graph,
+                               TurtleParseStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseString(buffer.str(), graph, stats);
+}
+
+}  // namespace rdfsum::io

@@ -1,0 +1,41 @@
+#ifndef RDFSUM_IO_TURTLE_PARSER_H_
+#define RDFSUM_IO_TURTLE_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/graph.h"
+#include "util/status.h"
+
+namespace rdfsum::io {
+
+/// Counters filled by the Turtle parser.
+struct TurtleParseStats {
+  uint64_t triples = 0;
+  uint64_t duplicates = 0;
+  uint64_t prefixes = 0;
+};
+
+/// A parser for the Turtle subset real datasets actually use — everything
+/// N-Triples has, plus:
+///   - @prefix / PREFIX and @base / BASE declarations,
+///   - prefixed names (ex:thing) and the 'a' keyword,
+///   - predicate lists (s p1 o1 ; p2 o2 .) and object lists (s p o1, o2 .),
+///   - [] anonymous blank nodes in subject/object position,
+///   - numeric (integer/decimal), boolean and quoted literals with
+///     @lang / ^^datatype.
+///
+/// Not supported (NotSupported is returned): collections "( ... )",
+/// non-empty blank-node property lists "[ p o ]", and triple-quoted long
+/// literals.
+class TurtleParser {
+ public:
+  static Status ParseString(std::string_view text, Graph* graph,
+                            TurtleParseStats* stats = nullptr);
+  static Status ParseFile(const std::string& path, Graph* graph,
+                          TurtleParseStats* stats = nullptr);
+};
+
+}  // namespace rdfsum::io
+
+#endif  // RDFSUM_IO_TURTLE_PARSER_H_

@@ -1,0 +1,44 @@
+#include "query/bgp.h"
+
+#include <unordered_set>
+
+namespace rdfsum::query {
+
+std::string PatternTerm::ToString() const {
+  if (is_var) return "?" + var;
+  return term.ToNTriples();
+}
+
+std::string TriplePatternQ::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString();
+}
+
+std::vector<std::string> BgpQuery::BodyVariables() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto visit = [&](const PatternTerm& t) {
+    if (t.is_var && seen.insert(t.var).second) out.push_back(t.var);
+  };
+  for (const TriplePatternQ& t : triples) {
+    visit(t.s);
+    visit(t.p);
+    visit(t.o);
+  }
+  return out;
+}
+
+std::string BgpQuery::ToString() const {
+  std::string head = "q(";
+  for (size_t i = 0; i < distinguished.size(); ++i) {
+    if (i > 0) head += ", ";
+    head += "?" + distinguished[i];
+  }
+  head += ") :- ";
+  for (size_t i = 0; i < triples.size(); ++i) {
+    if (i > 0) head += ", ";
+    head += triples[i].ToString();
+  }
+  return head;
+}
+
+}  // namespace rdfsum::query

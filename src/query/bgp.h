@@ -1,0 +1,56 @@
+#ifndef RDFSUM_QUERY_BGP_H_
+#define RDFSUM_QUERY_BGP_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace rdfsum::query {
+
+/// One position of a triple pattern: either a variable or a constant term.
+struct PatternTerm {
+  bool is_var = false;
+  std::string var;  // variable name, without the leading '?'
+  Term term;        // constant (valid iff !is_var)
+
+  static PatternTerm Var(std::string name) {
+    PatternTerm t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static PatternTerm Const(Term term) {
+    PatternTerm t;
+    t.term = std::move(term);
+    return t;
+  }
+
+  std::string ToString() const;
+};
+
+/// A triple pattern.
+struct TriplePatternQ {
+  PatternTerm s;
+  PatternTerm p;
+  PatternTerm o;
+
+  std::string ToString() const;
+};
+
+/// A basic graph pattern (conjunctive) query q(x̄) :- t1, ..., tα (§2.1).
+/// An empty `distinguished` list makes the query boolean.
+struct BgpQuery {
+  std::vector<std::string> distinguished;
+  std::vector<TriplePatternQ> triples;
+
+  /// All variable names occurring in the body, in first-occurrence order.
+  std::vector<std::string> BodyVariables() const;
+
+  /// Renders the query in conjunctive-query notation.
+  std::string ToString() const;
+};
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_BGP_H_

@@ -1,0 +1,216 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace rdfsum::query {
+namespace {
+
+/// Compiled pattern position: variable index (dense) or constant TermId.
+struct SlotC {
+  bool is_var = false;
+  uint32_t var = 0;
+  TermId constant = kInvalidTermId;
+  /// True when the constant does not occur in the graph's dictionary; the
+  /// pattern can never match.
+  bool impossible = false;
+};
+
+struct PatternC {
+  SlotC s, p, o;
+};
+
+struct Compiled {
+  std::vector<PatternC> patterns;
+  std::unordered_map<std::string, uint32_t> var_index;
+  std::vector<std::string> var_names;
+  bool impossible = false;
+};
+
+Compiled Compile(const BgpQuery& q, const Dictionary& dict) {
+  Compiled out;
+  auto slot = [&](const PatternTerm& t) {
+    SlotC s;
+    if (t.is_var) {
+      s.is_var = true;
+      auto [it, inserted] = out.var_index.emplace(
+          t.var, static_cast<uint32_t>(out.var_names.size()));
+      if (inserted) out.var_names.push_back(t.var);
+      s.var = it->second;
+    } else {
+      s.constant = dict.Lookup(t.term);
+      if (s.constant == kInvalidTermId) s.impossible = true;
+    }
+    return s;
+  };
+  for (const TriplePatternQ& t : q.triples) {
+    PatternC pc{slot(t.s), slot(t.p), slot(t.o)};
+    if (pc.s.impossible || pc.p.impossible || pc.o.impossible) {
+      out.impossible = true;
+    }
+    out.patterns.push_back(pc);
+  }
+  return out;
+}
+
+constexpr TermId kUnbound = kInvalidTermId;
+
+class Search {
+ public:
+  Search(const store::TripleTable& table, const Compiled& query)
+      : table_(table), query_(query) {
+    bindings_.assign(query_.var_names.size(), kUnbound);
+    used_.assign(query_.patterns.size(), false);
+  }
+
+  /// Invokes `fn(bindings)` for each embedding; fn returns false to stop.
+  template <typename Fn>
+  void Enumerate(Fn&& fn) {
+    if (query_.impossible) return;
+    stop_ = false;
+    Recurse(0, fn);
+  }
+
+ private:
+  /// Number of unbound variables in a pattern under current bindings.
+  int Unbound(const PatternC& p) const {
+    int n = 0;
+    for (const SlotC* s : {&p.s, &p.p, &p.o}) {
+      if (s->is_var && bindings_[s->var] == kUnbound) ++n;
+    }
+    return n;
+  }
+
+  store::TriplePattern Instantiate(const PatternC& p) const {
+    store::TriplePattern q;
+    auto fill = [&](const SlotC& s) -> std::optional<TermId> {
+      if (!s.is_var) return s.constant;
+      TermId b = bindings_[s.var];
+      if (b != kUnbound) return b;
+      return std::nullopt;
+    };
+    q.s = fill(p.s);
+    q.p = fill(p.p);
+    q.o = fill(p.o);
+    return q;
+  }
+
+  template <typename Fn>
+  void Recurse(size_t depth, Fn&& fn) {
+    if (stop_) return;
+    if (depth == query_.patterns.size()) {
+      if (!fn(bindings_)) stop_ = true;
+      return;
+    }
+    // Most-constrained-first: pick the unused pattern with the fewest
+    // unbound variables (cheap selectivity heuristic).
+    size_t best = SIZE_MAX;
+    int best_unbound = 4;
+    for (size_t i = 0; i < query_.patterns.size(); ++i) {
+      if (used_[i]) continue;
+      int u = Unbound(query_.patterns[i]);
+      if (u < best_unbound) {
+        best_unbound = u;
+        best = i;
+      }
+    }
+    used_[best] = true;
+    const PatternC& pat = query_.patterns[best];
+    store::TriplePattern probe = Instantiate(pat);
+    std::vector<Triple> matches = table_.Scan(probe);
+    for (const Triple& m : matches) {
+      // Bind the unbound variable slots; a pattern with repeated variables
+      // (e.g. ?x p ?x) must bind consistently.
+      std::vector<std::pair<uint32_t, TermId>> newly;
+      bool ok = true;
+      auto bind = [&](const SlotC& s, TermId value) {
+        if (!s.is_var) return;
+        TermId cur = bindings_[s.var];
+        if (cur == kUnbound) {
+          bindings_[s.var] = value;
+          newly.emplace_back(s.var, value);
+        } else if (cur != value) {
+          ok = false;
+        }
+      };
+      bind(pat.s, m.s);
+      if (ok) bind(pat.p, m.p);
+      if (ok) bind(pat.o, m.o);
+      if (ok) Recurse(depth + 1, fn);
+      for (auto& [v, _] : newly) bindings_[v] = kUnbound;
+      if (stop_) break;
+    }
+    used_[best] = false;
+  }
+
+  const store::TripleTable& table_;
+  const Compiled& query_;
+  std::vector<TermId> bindings_;
+  std::vector<bool> used_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+BgpEvaluator::BgpEvaluator(const Graph& g) : graph_(g) {
+  g.ForEachTriple([&](const Triple& t) { table_.Append(t); });
+  table_.Freeze();
+}
+
+bool BgpEvaluator::ExistsMatch(const BgpQuery& q) const {
+  Compiled c = Compile(q, graph_.dict());
+  bool found = false;
+  Search search(table_, c);
+  search.Enumerate([&](const std::vector<TermId>&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
+                                                  size_t limit) const {
+  Compiled c = Compile(q, graph_.dict());
+  // Head variables must occur in the body.
+  std::vector<uint32_t> head;
+  for (const std::string& v : q.distinguished) {
+    auto it = c.var_index.find(v);
+    if (it == c.var_index.end()) {
+      return Status::InvalidArgument("distinguished variable ?" + v +
+                                     " does not occur in the query body");
+    }
+    head.push_back(it->second);
+  }
+  std::set<std::vector<TermId>> dedup;
+  Search search(table_, c);
+  search.Enumerate([&](const std::vector<TermId>& bindings) {
+    std::vector<TermId> row;
+    row.reserve(head.size());
+    for (uint32_t v : head) row.push_back(bindings[v]);
+    dedup.insert(std::move(row));
+    return dedup.size() < limit;
+  });
+  std::vector<Row> rows;
+  rows.reserve(dedup.size());
+  for (const auto& encoded : dedup) {
+    Row row;
+    row.reserve(encoded.size());
+    for (TermId id : encoded) row.push_back(graph_.dict().Decode(id));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+uint64_t BgpEvaluator::CountEmbeddings(const BgpQuery& q) const {
+  Compiled c = Compile(q, graph_.dict());
+  uint64_t n = 0;
+  Search search(table_, c);
+  search.Enumerate([&](const std::vector<TermId>&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace rdfsum::query

@@ -1,0 +1,44 @@
+#ifndef RDFSUM_QUERY_EVALUATOR_H_
+#define RDFSUM_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/bgp.h"
+#include "rdf/graph.h"
+#include "store/triple_table.h"
+#include "util/statusor.h"
+
+namespace rdfsum::query {
+
+/// One answer row: the bindings of the distinguished variables, in query
+/// head order.
+using Row = std::vector<Term>;
+
+/// Evaluates BGP queries against one graph by backtracking join over the
+/// store's pattern indexes. Evaluation sees exactly the triples of the graph
+/// it is given — evaluate against Saturate(g) for complete answers (§2.1).
+class BgpEvaluator {
+ public:
+  explicit BgpEvaluator(const Graph& g);
+
+  /// True iff the query has at least one embedding into the graph.
+  bool ExistsMatch(const BgpQuery& q) const;
+
+  /// Returns up to `limit` distinct answer rows (projections of embeddings
+  /// on the distinguished variables; for a boolean query, one empty row if
+  /// the query matches).
+  StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
+                                      size_t limit = SIZE_MAX) const;
+
+  /// Number of embeddings of the query body (not deduplicated by head).
+  uint64_t CountEmbeddings(const BgpQuery& q) const;
+
+ private:
+  const Graph& graph_;
+  store::TripleTable table_;
+};
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_EVALUATOR_H_

@@ -1,0 +1,50 @@
+#include "query/pruned_evaluator.h"
+
+#include "query/rbgp.h"
+#include "reasoner/saturation.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::query {
+
+SummaryPrunedEvaluator::SummaryPrunedEvaluator(const Graph& g,
+                                               const Options& options) {
+  summary::SummaryResult h = summary::Summarize(g, options.kind);
+  if (options.saturate) {
+    graph_ = reasoner::Saturate(g);
+    summary_ = reasoner::Saturate(h.graph);
+  } else {
+    graph_ = g.Clone();
+    summary_ = std::move(h.graph);
+  }
+  on_graph_.emplace(graph_);
+  on_summary_.emplace(summary_);
+}
+
+bool SummaryPrunedEvaluator::SummaryAdmits(const BgpQuery& q) {
+  // Proposition 1 covers RBGP queries only; other shapes bypass the filter.
+  if (!ValidateRbgp(q).ok()) return true;
+  return on_summary_->ExistsMatch(q);
+}
+
+bool SummaryPrunedEvaluator::ExistsMatch(const BgpQuery& q) {
+  ++stats_.exists_checks;
+  if (!SummaryAdmits(q)) {
+    ++stats_.pruned_by_summary;
+    return false;
+  }
+  ++stats_.graph_probes;
+  return on_graph_->ExistsMatch(q);
+}
+
+StatusOr<std::vector<Row>> SummaryPrunedEvaluator::Evaluate(const BgpQuery& q,
+                                                            size_t limit) {
+  ++stats_.exists_checks;
+  if (!SummaryAdmits(q)) {
+    ++stats_.pruned_by_summary;
+    return std::vector<Row>{};
+  }
+  ++stats_.graph_probes;
+  return on_graph_->Evaluate(q, limit);
+}
+
+}  // namespace rdfsum::query

@@ -1,0 +1,69 @@
+#ifndef RDFSUM_QUERY_PRUNED_EVALUATOR_H_
+#define RDFSUM_QUERY_PRUNED_EVALUATOR_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "query/evaluator.h"
+#include "rdf/graph.h"
+#include "summary/summary.h"
+
+namespace rdfsum::query {
+
+/// The paper's query-optimization use case packaged as an evaluator: every
+/// request is first checked for emptiness against the (saturated) summary.
+/// By RBGP representativeness (Proposition 1), a query that is empty on
+/// (H_G)∞ is empty on G∞, so the full graph is never touched for such
+/// queries — and the summary is usually orders of magnitude smaller.
+///
+/// Queries outside the RBGP dialect (constants in subject/object positions)
+/// are not covered by Proposition 1; for those the summary check is skipped
+/// and evaluation goes straight to the graph.
+class SummaryPrunedEvaluator {
+ public:
+  struct Options {
+    summary::SummaryKind kind = summary::SummaryKind::kWeak;
+    /// Evaluate against the saturations (complete answers, §2.1). When
+    /// false, both sides use the explicit triples only.
+    bool saturate = true;
+  };
+
+  /// Pruning-effectiveness counters.
+  struct Stats {
+    uint64_t exists_checks = 0;
+    uint64_t pruned_by_summary = 0;
+    uint64_t graph_probes = 0;
+  };
+
+  /// Uses the default options (weak summary, saturated evaluation).
+  explicit SummaryPrunedEvaluator(const Graph& g)
+      : SummaryPrunedEvaluator(g, Options()) {}
+
+  SummaryPrunedEvaluator(const Graph& g, const Options& options);
+
+  /// True iff q has an embedding in (G∞ or G, per options). Consults the
+  /// summary first.
+  bool ExistsMatch(const BgpQuery& q);
+
+  /// Full evaluation; returns no rows without touching the graph when the
+  /// summary proves emptiness.
+  StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
+                                      size_t limit = SIZE_MAX);
+
+  const Stats& stats() const { return stats_; }
+  /// The summary used for pruning (an RDF graph).
+  const Graph& summary_graph() const { return summary_; }
+
+ private:
+  bool SummaryAdmits(const BgpQuery& q);
+
+  Graph graph_;    // G (or G∞)
+  Graph summary_;  // H (or H∞)
+  std::optional<BgpEvaluator> on_graph_;
+  std::optional<BgpEvaluator> on_summary_;
+  Stats stats_;
+};
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_PRUNED_EVALUATOR_H_

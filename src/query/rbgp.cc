@@ -1,0 +1,133 @@
+#include "query/rbgp.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/vocabulary.h"
+
+namespace rdfsum::query {
+
+Status ValidateRbgp(const BgpQuery& q) {
+  for (const TriplePatternQ& t : q.triples) {
+    if (t.p.is_var) {
+      return Status::InvalidArgument("RBGP requires a URI in every property "
+                                     "position: " +
+                                     t.ToString());
+    }
+    if (!t.p.term.is_iri()) {
+      return Status::InvalidArgument("property is not a URI: " + t.ToString());
+    }
+    bool is_type = t.p.term.lexical == vocab::kRdfType;
+    if (is_type) {
+      if (t.o.is_var || !t.o.term.is_iri()) {
+        return Status::InvalidArgument(
+            "RBGP requires a URI object in τ triples: " + t.ToString());
+      }
+    } else if (!t.o.is_var) {
+      return Status::InvalidArgument(
+          "RBGP requires a variable in non-τ object positions: " +
+          t.ToString());
+    }
+    if (!t.s.is_var) {
+      return Status::InvalidArgument(
+          "RBGP requires a variable in subject positions: " + t.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+BgpQuery GenerateRbgpQuery(const Graph& g, Random& rng,
+                           const RbgpGeneratorOptions& options) {
+  BgpQuery query;
+  if (g.data().empty() && g.types().empty()) return query;
+
+  // Index triples by node for the walk.
+  std::unordered_map<TermId, std::vector<const Triple*>> by_subject;
+  std::unordered_map<TermId, std::vector<const Triple*>> by_object;
+  for (const Triple& t : g.data()) {
+    by_subject[t.s].push_back(&t);
+    by_object[t.o].push_back(&t);
+  }
+  std::unordered_map<TermId, std::vector<TermId>> types_of;
+  for (const Triple& t : g.types()) types_of[t.s].push_back(t.o);
+
+  std::unordered_map<TermId, std::string> var_of;
+  auto var_for = [&](TermId n) {
+    auto [it, inserted] = var_of.emplace(
+        n, "x" + std::to_string(var_of.size() + 1));
+    return it->second;
+  };
+
+  std::unordered_set<const Triple*> used;
+  auto emit_data = [&](const Triple* t) {
+    if (!used.insert(t).second) return false;
+    TriplePatternQ pat;
+    pat.s = PatternTerm::Var(var_for(t->s));
+    pat.p = PatternTerm::Const(g.dict().Decode(t->p));
+    pat.o = PatternTerm::Var(var_for(t->o));
+    query.triples.push_back(std::move(pat));
+    return true;
+  };
+  auto maybe_emit_type = [&](TermId node) {
+    auto it = types_of.find(node);
+    if (it == types_of.end()) return;
+    if (!rng.Bernoulli(options.type_pattern_probability)) return;
+    TermId cls = it->second[rng.Uniform(it->second.size())];
+    TriplePatternQ pat;
+    pat.s = PatternTerm::Var(var_for(node));
+    pat.p = PatternTerm::Const(Term::Iri(vocab::kRdfType));
+    pat.o = PatternTerm::Const(g.dict().Decode(cls));
+    // Deduplicate identical τ patterns.
+    for (const TriplePatternQ& existing : query.triples) {
+      if (existing.ToString() == pat.ToString()) return;
+    }
+    query.triples.push_back(std::move(pat));
+  };
+
+  // Seed: a random data triple (or a typed node if there is no data at all).
+  if (g.data().empty()) {
+    const Triple& t = g.types()[rng.Uniform(g.types().size())];
+    TriplePatternQ pat;
+    pat.s = PatternTerm::Var(var_for(t.s));
+    pat.p = PatternTerm::Const(Term::Iri(vocab::kRdfType));
+    pat.o = PatternTerm::Const(g.dict().Decode(t.o));
+    query.triples.push_back(std::move(pat));
+    query.distinguished = query.BodyVariables();
+    return query;
+  }
+
+  const Triple* current = &g.data()[rng.Uniform(g.data().size())];
+  emit_data(current);
+  maybe_emit_type(current->s);
+  maybe_emit_type(current->o);
+
+  while (query.triples.size() < options.num_patterns) {
+    // Extend from the subject or object of the current triple.
+    TermId pivot = rng.Bernoulli(options.forward_bias) ? current->o
+                                                       : current->s;
+    const Triple* next = nullptr;
+    auto pick = [&](const std::vector<const Triple*>* candidates) {
+      if (candidates == nullptr || candidates->empty()) return;
+      const Triple* cand = (*candidates)[rng.Uniform(candidates->size())];
+      if (!used.count(cand)) next = cand;
+    };
+    auto sit = by_subject.find(pivot);
+    pick(sit == by_subject.end() ? nullptr : &sit->second);
+    if (next == nullptr) {
+      auto oit = by_object.find(pivot);
+      pick(oit == by_object.end() ? nullptr : &oit->second);
+    }
+    if (next == nullptr) break;  // dead end
+    emit_data(next);
+    maybe_emit_type(next->s);
+    maybe_emit_type(next->o);
+    current = next;
+  }
+
+  query.distinguished = query.BodyVariables();
+  return query;
+}
+
+}  // namespace rdfsum::query

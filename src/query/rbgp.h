@@ -1,0 +1,43 @@
+#ifndef RDFSUM_QUERY_RBGP_H_
+#define RDFSUM_QUERY_RBGP_H_
+
+#include <cstdint>
+
+#include "query/bgp.h"
+#include "rdf/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rdfsum::query {
+
+/// Checks Definition 3: a relational BGP (RBGP) query has (i) URIs in all
+/// property positions, (ii) a URI in the object position of every τ triple,
+/// and (iii) variables in every other position.
+Status ValidateRbgp(const BgpQuery& q);
+
+/// Knobs for random RBGP workload generation.
+struct RbgpGeneratorOptions {
+  /// Number of triple patterns per query (the walk may stop early on
+  /// dead-ends, but always emits at least one pattern).
+  uint32_t num_patterns = 3;
+  /// Probability of extending from the object (rather than the subject) of
+  /// the previous pattern, when both are possible.
+  double forward_bias = 0.6;
+  /// Probability that a sampled rdf:type triple is included as a τ pattern.
+  double type_pattern_probability = 0.3;
+};
+
+/// Samples a connected RBGP query that is guaranteed non-empty on `g`:
+/// a random connected subgraph of g's data/type triples is turned into
+/// patterns by replacing every subject/object (except τ objects) with a
+/// variable, consistently per graph node — the sampled subgraph itself is
+/// then an embedding witness.
+///
+/// Pass the *saturated* graph to generate queries that are non-empty on G∞,
+/// as required when probing representativeness (Definition 1).
+BgpQuery GenerateRbgpQuery(const Graph& g, Random& rng,
+                           const RbgpGeneratorOptions& options = {});
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_RBGP_H_

@@ -1,0 +1,28 @@
+#ifndef RDFSUM_QUERY_SPARQL_PARSER_H_
+#define RDFSUM_QUERY_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "query/bgp.h"
+#include "util/statusor.h"
+
+namespace rdfsum::query {
+
+/// Parser for the SPARQL BGP dialect the paper considers (§2.1):
+///
+///   PREFIX ex: <http://example.org/>
+///   SELECT ?x ?y WHERE { ?x ex:author ?y . ?x a ex:Book . }
+///   ASK WHERE { ?x ex:title "Le Port des Brumes" }
+///
+/// Supported: PREFIX declarations, SELECT with a variable list or '*', ASK
+/// (boolean query), the 'a' keyword for rdf:type, IRIs, prefixed names,
+/// literals (with @lang / ^^datatype), blank-node-free patterns, '.'
+/// separators (trailing dot optional), '#' comments outside strings.
+///
+/// Anything else (OPTIONAL, FILTER, UNION, property paths...) is rejected
+/// with NotSupported, mirroring the BGP fragment of Definition 3.
+StatusOr<BgpQuery> ParseSparql(std::string_view text);
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_SPARQL_PARSER_H_

@@ -1,0 +1,37 @@
+#include "rdf/dictionary.h"
+
+#include "util/string_util.h"
+
+namespace rdfsum {
+
+TermId Dictionary::Encode(const Term& term) {
+  std::string key = term.ToNTriples();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.ToNTriples());
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+TermId Dictionary::MintNodeUri(std::string_view tag) {
+  while (true) {
+    std::string uri = std::string(kMintedPrefix) + std::string(tag) + ":" +
+                      std::to_string(mint_counter_++);
+    Term term = Term::Iri(uri);
+    if (Lookup(term) == kInvalidTermId) return Encode(term);
+  }
+}
+
+bool Dictionary::IsMinted(TermId id) const {
+  if (!Contains(id)) return false;
+  const Term& t = Decode(id);
+  return t.is_iri() && StartsWith(t.lexical, kMintedPrefix);
+}
+
+}  // namespace rdfsum

@@ -1,0 +1,65 @@
+#ifndef RDFSUM_RDF_DICTIONARY_H_
+#define RDFSUM_RDF_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace rdfsum {
+
+/// Bidirectional term <-> integer mapping (the paper's Postgres `dictionary`
+/// table, §6). Ids are dense and start at 1; id 0 is reserved.
+///
+/// The dictionary also mints fresh "summary node" URIs for the
+/// representation functions N(.,.) and C(.) (Definition 11 onwards); minted
+/// URIs use the urn:rdfsum: prefix so they can be recognized as anonymous
+/// when comparing summaries up to isomorphism.
+class Dictionary {
+ public:
+  Dictionary() { terms_.emplace_back(); /* id 0 placeholder */ }
+
+  /// Interns `term`, returning its id (existing or fresh).
+  TermId Encode(const Term& term);
+
+  TermId EncodeIri(std::string_view iri) { return Encode(Term::Iri(iri)); }
+  TermId EncodeLiteral(std::string_view lex) {
+    return Encode(Term::Literal(lex));
+  }
+  TermId EncodeBlank(std::string_view label) {
+    return Encode(Term::Blank(label));
+  }
+
+  /// Returns the id of `term` or kInvalidTermId if it was never interned.
+  TermId Lookup(const Term& term) const;
+
+  /// Decodes an id; requires 1 <= id < size().
+  const Term& Decode(TermId id) const { return terms_[id]; }
+
+  bool Contains(TermId id) const { return id >= 1 && id < terms_.size(); }
+
+  /// Number of entries including the reserved id 0.
+  size_t size() const { return terms_.size(); }
+
+  /// Mints a fresh URI of the form urn:rdfsum:<tag>:<counter>; each call
+  /// returns a distinct id. Used by the N and C representation functions.
+  TermId MintNodeUri(std::string_view tag);
+
+  /// True iff the term behind `id` is a minted summary-node URI.
+  bool IsMinted(TermId id) const;
+
+  /// Prefix shared by all minted URIs.
+  static constexpr std::string_view kMintedPrefix = "urn:rdfsum:";
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<std::string, TermId> index_;  // keyed by ToNTriples()
+  uint64_t mint_counter_ = 0;
+};
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_RDF_DICTIONARY_H_

@@ -1,0 +1,95 @@
+#ifndef RDFSUM_RDF_GRAPH_H_
+#define RDFSUM_RDF_GRAPH_H_
+
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/vocabulary.h"
+#include "util/status.h"
+
+namespace rdfsum {
+
+/// An RDF graph in the paper's triple-based representation G = <D, S, T>
+/// (§2.1):
+///   - D (data component): all triples that are neither τ nor RDFS,
+///   - S (schema component): triples whose property is ≺sc, ≺sp, ←↩d or ↪→r,
+///   - T (type component): rdf:type triples.
+///
+/// Triples are dictionary-encoded; the dictionary is shared (shared_ptr) so
+/// a summary can live in the same id space as the graph it summarizes, and
+/// so that saturation can add triples without re-interning strings.
+///
+/// Insertion de-duplicates: a Graph is a *set* of triples.
+class Graph {
+ public:
+  /// Creates a graph with a fresh dictionary.
+  Graph();
+
+  /// Creates a graph sharing an existing dictionary.
+  explicit Graph(std::shared_ptr<Dictionary> dict);
+
+  /// Adds an encoded triple, routing it to the right component.
+  /// Returns true iff the triple was not already present.
+  bool Add(const Triple& t);
+
+  /// Interns the terms and adds the triple.
+  bool AddTerms(const Term& s, const Term& p, const Term& o);
+
+  /// Convenience: adds <s> <p> <o> with all three terms IRIs.
+  bool AddIris(std::string_view s, std::string_view p, std::string_view o);
+
+  /// Adds every triple of `other` (which must share this dictionary).
+  void AddAll(const Graph& other);
+
+  bool Contains(const Triple& t) const { return all_.count(t) > 0; }
+
+  /// Data component D_G.
+  const std::vector<Triple>& data() const { return data_; }
+  /// Type component T_G.
+  const std::vector<Triple>& types() const { return types_; }
+  /// Schema component S_G.
+  const std::vector<Triple>& schema() const { return schema_; }
+
+  /// |G|e: total number of (distinct) triples.
+  size_t NumTriples() const { return all_.size(); }
+  bool Empty() const { return all_.empty(); }
+
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+  std::shared_ptr<Dictionary> dict_ptr() const { return dict_; }
+  const Vocabulary& vocab() const { return vocab_; }
+
+  /// Deep copy sharing the same dictionary.
+  Graph Clone() const;
+
+  /// Invokes `fn(const Triple&)` for every triple in D, then T, then S.
+  template <typename Fn>
+  void ForEachTriple(Fn&& fn) const {
+    for (const Triple& t : data_) fn(t);
+    for (const Triple& t : types_) fn(t);
+    for (const Triple& t : schema_) fn(t);
+  }
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  Vocabulary vocab_;
+  std::vector<Triple> data_;
+  std::vector<Triple> types_;
+  std::vector<Triple> schema_;
+  std::unordered_set<Triple, TripleHash> all_;
+};
+
+/// Verifies the "well-behaved" conditions of §2.1: (i) no class appears in a
+/// property position, (ii) classes have no properties besides rdf:type and
+/// RDFS ones (i.e. a class node never occurs as subject/object of a data
+/// triple). All shipped generators produce well-behaved graphs.
+Status CheckWellBehaved(const Graph& g);
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_RDF_GRAPH_H_

@@ -1,0 +1,103 @@
+#include "rdf/graph_stats.h"
+
+#include <sstream>
+
+namespace rdfsum {
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  GraphStats st;
+  st.num_data_edges = g.data().size();
+  st.num_type_edges = g.types().size();
+  st.num_schema_edges = g.schema().size();
+  st.num_edges = g.NumTriples();
+
+  std::unordered_set<TermId> nodes;
+  std::unordered_set<TermId> data_nodes;
+  std::unordered_set<TermId> class_nodes;
+  std::unordered_set<TermId> property_nodes;
+  std::unordered_set<TermId> data_props;
+  std::unordered_set<TermId> data_subjects;
+  std::unordered_set<TermId> data_objects;
+  std::unordered_set<TermId> typed;
+
+  for (const Triple& t : g.data()) {
+    nodes.insert(t.s);
+    nodes.insert(t.o);
+    data_nodes.insert(t.s);
+    data_nodes.insert(t.o);
+    data_props.insert(t.p);
+    data_subjects.insert(t.s);
+    data_objects.insert(t.o);
+  }
+  for (const Triple& t : g.types()) {
+    nodes.insert(t.s);
+    nodes.insert(t.o);
+    data_nodes.insert(t.s);
+    class_nodes.insert(t.o);
+    typed.insert(t.s);
+  }
+  const Vocabulary& v = g.vocab();
+  for (const Triple& t : g.schema()) {
+    nodes.insert(t.s);
+    nodes.insert(t.o);
+    if (t.p == v.subproperty) {
+      property_nodes.insert(t.s);
+      property_nodes.insert(t.o);
+    } else if (t.p == v.domain || t.p == v.range) {
+      property_nodes.insert(t.s);
+    }
+  }
+
+  st.num_nodes = nodes.size();
+  st.num_data_nodes = data_nodes.size();
+  st.num_class_nodes = class_nodes.size();
+  st.num_property_nodes = property_nodes.size();
+  st.num_distinct_data_properties = data_props.size();
+  st.num_distinct_classes_used = class_nodes.size();
+  st.num_distinct_data_subjects = data_subjects.size();
+  st.num_distinct_data_objects = data_objects.size();
+  st.num_typed_resources = typed.size();
+
+  uint64_t untyped = 0;
+  for (TermId n : data_nodes) {
+    if (!typed.count(n)) ++untyped;
+  }
+  st.num_untyped_resources = untyped;
+  return st;
+}
+
+std::unordered_set<TermId> DataNodes(const Graph& g) {
+  std::unordered_set<TermId> out;
+  for (const Triple& t : g.data()) {
+    out.insert(t.s);
+    out.insert(t.o);
+  }
+  for (const Triple& t : g.types()) out.insert(t.s);
+  return out;
+}
+
+std::unordered_set<TermId> ClassNodes(const Graph& g) {
+  std::unordered_set<TermId> out;
+  for (const Triple& t : g.types()) out.insert(t.o);
+  return out;
+}
+
+std::unordered_set<TermId> TypedResources(const Graph& g) {
+  std::unordered_set<TermId> out;
+  for (const Triple& t : g.types()) out.insert(t.s);
+  return out;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "edges=" << num_edges << " (data=" << num_data_edges
+     << ", type=" << num_type_edges << ", schema=" << num_schema_edges
+     << "), nodes=" << num_nodes << " (data=" << num_data_nodes
+     << ", class=" << num_class_nodes << ", property=" << num_property_nodes
+     << "), distinct data props=" << num_distinct_data_properties
+     << ", typed=" << num_typed_resources
+     << ", untyped=" << num_untyped_resources;
+  return os.str();
+}
+
+}  // namespace rdfsum

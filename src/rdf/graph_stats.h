@@ -1,0 +1,65 @@
+#ifndef RDFSUM_RDF_GRAPH_STATS_H_
+#define RDFSUM_RDF_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfsum {
+
+/// Size and cardinality measures from §2.1 of the paper, plus the node
+/// classification used throughout (data / class / property nodes).
+struct GraphStats {
+  // |G|e and per-component edge counts.
+  uint64_t num_edges = 0;
+  uint64_t num_data_edges = 0;
+  uint64_t num_type_edges = 0;
+  uint64_t num_schema_edges = 0;
+
+  // |G|n: number of nodes (distinct subjects and objects of triples).
+  uint64_t num_nodes = 0;
+
+  // Node classification (§2.1, graph-based representation):
+  //  - data nodes: subjects/objects in D, plus subjects in T;
+  //  - class nodes: objects of T triples;
+  //  - property nodes: subjects/objects of ≺sp triples and subjects of
+  //    ←↩d / ↪→r triples.
+  uint64_t num_data_nodes = 0;
+  uint64_t num_class_nodes = 0;
+  uint64_t num_property_nodes = 0;
+
+  // |D_G|0p: number of distinct data properties.
+  uint64_t num_distinct_data_properties = 0;
+  // |T_G|0o: number of distinct classes used in type triples.
+  uint64_t num_distinct_classes_used = 0;
+  // Distinct subjects / objects in the data component.
+  uint64_t num_distinct_data_subjects = 0;
+  uint64_t num_distinct_data_objects = 0;
+
+  // Typed resources TR_G (subjects of type triples) and untyped resources
+  // UN_G (data-triple endpoints with no type), §4.2.
+  uint64_t num_typed_resources = 0;
+  uint64_t num_untyped_resources = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes all measures in one pass over the graph.
+GraphStats ComputeGraphStats(const Graph& g);
+
+/// The set of data nodes of `g` (subjects/objects of D triples plus subjects
+/// of T triples).
+std::unordered_set<TermId> DataNodes(const Graph& g);
+
+/// The set of class nodes (objects of T triples).
+std::unordered_set<TermId> ClassNodes(const Graph& g);
+
+/// Typed resources TR_G: subjects of type triples.
+std::unordered_set<TermId> TypedResources(const Graph& g);
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_RDF_GRAPH_STATS_H_

@@ -1,0 +1,51 @@
+#include "rdf/term.h"
+
+namespace rdfsum {
+
+std::string EscapeLiteral(std::string_view lex) {
+  std::string out;
+  out.reserve(lex.size());
+  for (char c : lex) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + lexical + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical) + "\"";
+      if (!language.empty()) {
+        out += "@" + language;
+      } else if (!datatype.empty()) {
+        out += "^^<" + datatype + ">";
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace rdfsum

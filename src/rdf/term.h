@@ -1,0 +1,65 @@
+#ifndef RDFSUM_RDF_TERM_H_
+#define RDFSUM_RDF_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rdfsum {
+
+/// Kind of an RDF term, per the RDF 1.1 abstract syntax.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlank = 2,
+};
+
+/// One RDF term: an IRI, a literal (with optional datatype IRI or language
+/// tag), or a blank node. Terms are value types; graphs store dictionary-
+/// encoded ids (TermId) instead of Term objects.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI string (without angle brackets), literal lexical form, or blank
+  /// node label (without the "_:" prefix).
+  std::string lexical;
+  /// Datatype IRI for typed literals; empty otherwise.
+  std::string datatype;
+  /// Language tag for language-tagged literals; empty otherwise.
+  std::string language;
+
+  static Term Iri(std::string_view iri) {
+    return Term{TermKind::kIri, std::string(iri), {}, {}};
+  }
+  static Term Literal(std::string_view lex) {
+    return Term{TermKind::kLiteral, std::string(lex), {}, {}};
+  }
+  static Term TypedLiteral(std::string_view lex, std::string_view dt) {
+    return Term{TermKind::kLiteral, std::string(lex), std::string(dt), {}};
+  }
+  static Term LangLiteral(std::string_view lex, std::string_view lang) {
+    return Term{TermKind::kLiteral, std::string(lex), {}, std::string(lang)};
+  }
+  static Term Blank(std::string_view label) {
+    return Term{TermKind::kBlank, std::string(label), {}, {}};
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlank; }
+
+  bool operator==(const Term& other) const {
+    return kind == other.kind && lexical == other.lexical &&
+           datatype == other.datatype && language == other.language;
+  }
+
+  /// Canonical N-Triples rendering, also used as the dictionary key:
+  /// <iri>, "lit", "lit"@en, "lit"^^<dt>, _:label.
+  std::string ToNTriples() const;
+};
+
+/// Escapes the characters N-Triples requires escaping inside literals.
+std::string EscapeLiteral(std::string_view lex);
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_RDF_TERM_H_

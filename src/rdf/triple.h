@@ -1,0 +1,54 @@
+#ifndef RDFSUM_RDF_TRIPLE_H_
+#define RDFSUM_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rdfsum {
+
+/// Dense dictionary id of a term. Id 0 is reserved as "invalid".
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = 0;
+
+/// A dictionary-encoded RDF triple. The paper's algorithms (§6) operate
+/// exclusively on the integer encoding; strings are only touched at parse
+/// and decode time.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  /// Lexicographic (s, p, o) order; used by the SPO index.
+  bool operator<(const Triple& other) const {
+    if (s != other.s) return s < other.s;
+    if (p != other.p) return p < other.p;
+    return o < other.o;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.s;
+    h = h * 0x9E3779B97F4A7C15ULL + t.p;
+    h = h * 0x9E3779B97F4A7C15ULL + t.o;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace rdfsum
+
+template <>
+struct std::hash<rdfsum::Triple> {
+  size_t operator()(const rdfsum::Triple& t) const {
+    return rdfsum::TripleHash{}(t);
+  }
+};
+
+#endif  // RDFSUM_RDF_TRIPLE_H_

@@ -1,0 +1,13 @@
+#include "rdf/vocabulary.h"
+
+namespace rdfsum {
+
+Vocabulary::Vocabulary(Dictionary& dict) {
+  rdf_type = dict.EncodeIri(vocab::kRdfType);
+  subclass = dict.EncodeIri(vocab::kRdfsSubClassOf);
+  subproperty = dict.EncodeIri(vocab::kRdfsSubPropertyOf);
+  domain = dict.EncodeIri(vocab::kRdfsDomain);
+  range = dict.EncodeIri(vocab::kRdfsRange);
+}
+
+}  // namespace rdfsum

@@ -1,0 +1,38 @@
+#ifndef RDFSUM_REASONER_SATURATION_H_
+#define RDFSUM_REASONER_SATURATION_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+
+namespace rdfsum::reasoner {
+
+/// Counters describing a saturation run.
+struct SaturationStats {
+  uint64_t input_triples = 0;
+  uint64_t derived_data = 0;    // data triples added by ≺sp propagation
+  uint64_t derived_types = 0;   // τ triples added by ←↩d / ↪→r / ≺sc
+  uint64_t derived_schema = 0;  // schema triples added by schema closure
+  uint64_t output_triples = 0;
+};
+
+/// Computes the saturation G∞ of `g` (§2.1): the fixpoint of the immediate
+/// entailment rules for the four RDFS constraint properties.
+///
+/// Implementation: the SchemaIndex precomputes reflexive-transitive closures
+/// and inherited domains/ranges, after which one pass suffices —
+///   - every data triple s p o adds s p' o for all p' ⪰sp p,
+///   - and s τ c / o τ c for all c in the (inherited, ≺sc-closed)
+///     domains/ranges of p,
+///   - every type triple s τ c adds s τ c' for all c' ⪰sc c,
+///   - the schema component is replaced by its own closure.
+/// The result contains the original triples (saturation is monotone) and is
+/// unique, matching Definition of G∞.
+Graph Saturate(const Graph& g, SaturationStats* stats = nullptr);
+
+/// True iff `g` is saturated (Saturate(g) adds nothing).
+bool IsSaturated(const Graph& g);
+
+}  // namespace rdfsum::reasoner
+
+#endif  // RDFSUM_REASONER_SATURATION_H_

@@ -1,0 +1,118 @@
+#include "reasoner/schema_index.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rdfsum::reasoner {
+
+const std::vector<TermId> SchemaIndex::kEmpty{};
+
+SchemaIndex::SchemaIndex(const Graph& g) {
+  const Vocabulary& v = g.vocab();
+  for (const Triple& t : g.schema()) {
+    has_schema_ = true;
+    if (t.p == v.subclass) {
+      sc_[t.s].insert(t.o);
+    } else if (t.p == v.subproperty) {
+      sp_[t.s].insert(t.o);
+    } else if (t.p == v.domain) {
+      domain_[t.s].insert(t.o);
+    } else if (t.p == v.range) {
+      range_[t.s].insert(t.o);
+    }
+  }
+  CloseTransitively(&sc_);
+  CloseTransitively(&sp_);
+
+  // Inherit domains/ranges along ≺sp: p ≺sp p', p' ←↩d c  ⊢  p ←↩d c.
+  for (auto& [p, supers] : sp_) {
+    for (TermId sup : supers) {
+      auto dit = domain_.find(sup);
+      if (dit != domain_.end()) {
+        domain_[p].insert(dit->second.begin(), dit->second.end());
+      }
+      auto rit = range_.find(sup);
+      if (rit != range_.end()) {
+        range_[p].insert(rit->second.begin(), rit->second.end());
+      }
+    }
+  }
+  // Propagate domains/ranges up the class hierarchy:
+  // p ←↩d c, c ≺sc c'  ⊢  p ←↩d c'.
+  auto close_up = [&](std::unordered_map<TermId, std::unordered_set<TermId>>&
+                          rel) {
+    for (auto& [p, classes] : rel) {
+      std::vector<TermId> base(classes.begin(), classes.end());
+      for (TermId c : base) {
+        auto it = sc_.find(c);
+        if (it != sc_.end()) classes.insert(it->second.begin(), it->second.end());
+      }
+    }
+  };
+  close_up(domain_);
+  close_up(range_);
+}
+
+void SchemaIndex::CloseTransitively(
+    std::unordered_map<TermId, std::unordered_set<TermId>>* edges) {
+  // BFS from each source over the (small) schema graph.
+  for (auto& [src, direct] : *edges) {
+    std::deque<TermId> frontier(direct.begin(), direct.end());
+    std::unordered_set<TermId> seen = direct;
+    while (!frontier.empty()) {
+      TermId cur = frontier.front();
+      frontier.pop_front();
+      auto it = edges->find(cur);
+      if (it == edges->end()) continue;
+      for (TermId next : it->second) {
+        if (next != src && seen.insert(next).second) frontier.push_back(next);
+      }
+    }
+    direct = std::move(seen);
+  }
+}
+
+const std::vector<TermId>& SchemaIndex::View(
+    const std::unordered_map<TermId, std::unordered_set<TermId>>& rel,
+    std::unordered_map<TermId, std::vector<TermId>>& cache, TermId key) const {
+  auto rit = rel.find(key);
+  if (rit == rel.end()) return kEmpty;
+  auto cit = cache.find(key);
+  if (cit != cache.end()) return cit->second;
+  std::vector<TermId> v(rit->second.begin(), rit->second.end());
+  std::sort(v.begin(), v.end());
+  return cache.emplace(key, std::move(v)).first->second;
+}
+
+const std::vector<TermId>& SchemaIndex::SuperClasses(TermId c) const {
+  return View(sc_, sc_view_, c);
+}
+const std::vector<TermId>& SchemaIndex::SuperProperties(TermId p) const {
+  return View(sp_, sp_view_, p);
+}
+const std::vector<TermId>& SchemaIndex::Domains(TermId p) const {
+  return View(domain_, domain_view_, p);
+}
+const std::vector<TermId>& SchemaIndex::Ranges(TermId p) const {
+  return View(range_, range_view_, p);
+}
+
+std::vector<Triple> SchemaIndex::SaturatedSchemaTriples(
+    const Vocabulary& vocab) const {
+  std::vector<Triple> out;
+  for (const auto& [s, sups] : sc_) {
+    for (TermId o : sups) out.push_back(Triple{s, vocab.subclass, o});
+  }
+  for (const auto& [s, sups] : sp_) {
+    for (TermId o : sups) out.push_back(Triple{s, vocab.subproperty, o});
+  }
+  for (const auto& [p, cs] : domain_) {
+    for (TermId c : cs) out.push_back(Triple{p, vocab.domain, c});
+  }
+  for (const auto& [p, cs] : range_) {
+    for (TermId c : cs) out.push_back(Triple{p, vocab.range, c});
+  }
+  return out;
+}
+
+}  // namespace rdfsum::reasoner

@@ -1,0 +1,71 @@
+#ifndef RDFSUM_REASONER_SCHEMA_INDEX_H_
+#define RDFSUM_REASONER_SCHEMA_INDEX_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfsum::reasoner {
+
+/// In-memory index of the schema component S_G with reflexive-transitive
+/// closures, the precomputation that makes saturation a single pass.
+///
+/// Closure contents follow [8] (Goasdoué et al., EDBT 2013), which the paper
+/// relies on for RDF entailment with the four RDFS constraint properties:
+///   - sc: c ≺sc c' transitively;
+///   - sp: p ≺sp p' transitively;
+///   - domain(p): classes d with p' ←↩d d for any p' ⪰sp p, closed under ≺sc;
+///   - range(p): same for ↪→r.
+class SchemaIndex {
+ public:
+  explicit SchemaIndex(const Graph& g);
+
+  /// Strict superclasses of `c` (closure, without `c` itself).
+  const std::vector<TermId>& SuperClasses(TermId c) const;
+
+  /// Strict superproperties of `p` (closure, without `p` itself).
+  const std::vector<TermId>& SuperProperties(TermId p) const;
+
+  /// All classes implied as domain of `p` (inherited through ≺sp and closed
+  /// under ≺sc).
+  const std::vector<TermId>& Domains(TermId p) const;
+
+  /// All classes implied as range of `p`.
+  const std::vector<TermId>& Ranges(TermId p) const;
+
+  bool HasSchema() const { return has_schema_; }
+
+  /// The saturated schema component: the input schema triples plus all
+  /// derived ones (transitive ≺sc/≺sp edges; ←↩d/↪→r propagated through
+  /// ≺sc and inherited along ≺sp). Used to saturate S_G itself, so that the
+  /// §2.1 example's implicit triple `writtenBy ←↩d Publication` appears.
+  std::vector<Triple> SaturatedSchemaTriples(const Vocabulary& vocab) const;
+
+ private:
+  void CloseTransitively(
+      std::unordered_map<TermId, std::unordered_set<TermId>>* edges);
+
+  bool has_schema_ = false;
+  std::unordered_map<TermId, std::unordered_set<TermId>> sc_;
+  std::unordered_map<TermId, std::unordered_set<TermId>> sp_;
+  std::unordered_map<TermId, std::unordered_set<TermId>> domain_;
+  std::unordered_map<TermId, std::unordered_set<TermId>> range_;
+
+  // Vector views (stable addresses for the accessors).
+  mutable std::unordered_map<TermId, std::vector<TermId>> sc_view_;
+  mutable std::unordered_map<TermId, std::vector<TermId>> sp_view_;
+  mutable std::unordered_map<TermId, std::vector<TermId>> domain_view_;
+  mutable std::unordered_map<TermId, std::vector<TermId>> range_view_;
+
+  static const std::vector<TermId> kEmpty;
+
+  const std::vector<TermId>& View(
+      const std::unordered_map<TermId, std::unordered_set<TermId>>& rel,
+      std::unordered_map<TermId, std::vector<TermId>>& cache, TermId key) const;
+};
+
+}  // namespace rdfsum::reasoner
+
+#endif  // RDFSUM_REASONER_SCHEMA_INDEX_H_

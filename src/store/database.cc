@@ -1,0 +1,103 @@
+#include "store/database.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/binary_io.h"
+
+namespace rdfsum::store {
+namespace {
+
+constexpr char kMagic[8] = {'R', 'D', 'F', 'S', 'U', 'M', 'D', 'B'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Database Database::FromGraph(const Graph& graph) {
+  Database db;
+  db.dict_ = graph.dict_ptr();
+  graph.ForEachTriple([&](const Triple& t) { db.table_.Append(t); });
+  db.table_.Freeze();
+  return db;
+}
+
+Status Database::Save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  os.write(kMagic, sizeof(kMagic));
+  PutU32(os, kVersion);
+  // Dictionary: entries 1..size-1 (slot 0 is the reserved invalid id).
+  PutU64(os, dict_->size() - 1);
+  for (TermId id = 1; id < dict_->size(); ++id) {
+    const Term& t = dict_->Decode(id);
+    os.put(static_cast<char>(t.kind));
+    PutString(os, t.lexical);
+    PutString(os, t.datatype);
+    PutString(os, t.language);
+  }
+  PutU64(os, table_.size());
+  for (const Triple& t : table_.rows()) {
+    PutU32(os, t.s);
+    PutU32(os, t.p);
+    PutU32(os, t.o);
+  }
+  os.flush();
+  if (!os) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<Database> Database::Load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t version = 0;
+  if (!GetU32(is, &version) || version != kVersion) {
+    return Status::Corruption("unsupported version in " + path);
+  }
+  Database db;
+  uint64_t num_terms = 0;
+  if (!GetU64(is, &num_terms)) return Status::Corruption("truncated header");
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    int kind_byte = is.get();
+    if (kind_byte < 0 || kind_byte > 2) {
+      return Status::Corruption("bad term kind");
+    }
+    Term term;
+    term.kind = static_cast<TermKind>(kind_byte);
+    if (!GetString(is, &term.lexical) || !GetString(is, &term.datatype) ||
+        !GetString(is, &term.language)) {
+      return Status::Corruption("truncated term");
+    }
+    TermId id = db.dict_->Encode(term);
+    if (id != i + 1) {
+      return Status::Corruption("duplicate dictionary entry");
+    }
+  }
+  uint64_t num_triples = 0;
+  if (!GetU64(is, &num_triples)) return Status::Corruption("truncated count");
+  for (uint64_t i = 0; i < num_triples; ++i) {
+    Triple t;
+    if (!GetU32(is, &t.s) || !GetU32(is, &t.p) || !GetU32(is, &t.o)) {
+      return Status::Corruption("truncated triple");
+    }
+    if (!db.dict_->Contains(t.s) || !db.dict_->Contains(t.p) ||
+        !db.dict_->Contains(t.o)) {
+      return Status::Corruption("triple references unknown term");
+    }
+    db.table_.Append(t);
+  }
+  db.table_.Freeze();
+  return db;
+}
+
+Graph Database::ToGraph() const {
+  Graph g(dict_);
+  for (const Triple& t : table_.rows()) g.Add(t);
+  return g;
+}
+
+}  // namespace rdfsum::store

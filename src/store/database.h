@@ -1,0 +1,51 @@
+#ifndef RDFSUM_STORE_DATABASE_H_
+#define RDFSUM_STORE_DATABASE_H_
+
+#include <string>
+
+#include "rdf/graph.h"
+#include "store/triple_table.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdfsum::store {
+
+/// Embedded persistence for a dictionary-encoded RDF graph — the role the
+/// paper's PostgreSQL instance plays (dictionary table + encoded triples
+/// table + COPY-style bulk load).
+///
+/// The on-disk layout is a single binary file:
+///   magic "RDFSUMDB" | u32 version | u64 #terms | terms | u64 #triples |
+///   triples(u32 s,p,o)
+/// Terms are serialized as kind byte + length-prefixed strings.
+class Database {
+ public:
+  /// Builds an indexed database from a graph (copies the triples, shares the
+  /// dictionary).
+  static Database FromGraph(const Graph& graph);
+
+  /// Serializes to `path`.
+  Status Save(const std::string& path) const;
+
+  /// Loads a database previously written by Save().
+  static StatusOr<Database> Load(const std::string& path);
+
+  /// Materializes the triples back into a Graph (shared dictionary).
+  Graph ToGraph() const;
+
+  const TripleTable& table() const { return table_; }
+  const Dictionary& dict() const { return *dict_; }
+  std::shared_ptr<Dictionary> dict_ptr() const { return dict_; }
+
+  size_t num_triples() const { return table_.size(); }
+
+ private:
+  Database() : dict_(std::make_shared<Dictionary>()) {}
+
+  std::shared_ptr<Dictionary> dict_;
+  TripleTable table_;
+};
+
+}  // namespace rdfsum::store
+
+#endif  // RDFSUM_STORE_DATABASE_H_

@@ -1,0 +1,65 @@
+#ifndef RDFSUM_STORE_TRIPLE_TABLE_H_
+#define RDFSUM_STORE_TRIPLE_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfsum::store {
+
+/// A triple pattern for scans: nullopt positions are wildcards.
+struct TriplePattern {
+  std::optional<TermId> s;
+  std::optional<TermId> p;
+  std::optional<TermId> o;
+};
+
+/// Columnar table of encoded triples with three sorted permutation indexes
+/// (SPO, POS, OSP), playing the role of the paper's PostgreSQL `triples`
+/// table (§6): sequential scans plus indexed pattern lookups.
+///
+/// Usage: Append() rows, then Freeze() to build the indexes; scans require a
+/// frozen table. Append after Freeze() un-freezes the table.
+class TripleTable {
+ public:
+  void Append(const Triple& t);
+  void AppendAll(const std::vector<Triple>& triples);
+
+  /// Sorts the three permutations and removes duplicate rows.
+  void Freeze();
+  bool frozen() const { return frozen_; }
+
+  size_t size() const { return spo_.size(); }
+  bool empty() const { return spo_.empty(); }
+
+  /// Rows in SPO order (frozen) or insertion order (unfrozen).
+  const std::vector<Triple>& rows() const { return spo_; }
+
+  /// Returns all triples matching `pattern`. Requires frozen().
+  std::vector<Triple> Scan(const TriplePattern& pattern) const;
+
+  /// Returns whether at least one triple matches `pattern`. Requires
+  /// frozen().
+  bool Matches(const TriplePattern& pattern) const;
+
+  /// Number of triples matching `pattern`. Requires frozen().
+  size_t Count(const TriplePattern& pattern) const;
+
+  /// Exact membership test. Requires frozen().
+  bool Contains(const Triple& t) const;
+
+ private:
+  template <typename Fn>
+  void ScanInternal(const TriplePattern& pattern, Fn&& fn) const;
+
+  std::vector<Triple> spo_;  // primary storage, SPO-sorted when frozen
+  std::vector<Triple> pos_;  // sorted by (p, o, s)
+  std::vector<Triple> osp_;  // sorted by (o, s, p)
+  bool frozen_ = false;
+};
+
+}  // namespace rdfsum::store
+
+#endif  // RDFSUM_STORE_TRIPLE_TABLE_H_

@@ -1,0 +1,172 @@
+#include "summary/cliques.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "rdf/graph_stats.h"
+#include "summary/union_find.h"
+
+namespace rdfsum::summary {
+namespace {
+
+/// Builds one side (source or target) of the clique structure.
+class SideBuilder {
+ public:
+  SideBuilder(std::vector<TermId>& properties,
+              std::unordered_map<TermId, uint32_t>& property_index)
+      : properties_(properties), property_index_(property_index) {}
+
+  uint32_t PropIndex(TermId p) {
+    auto [it, inserted] =
+        property_index_.emplace(p, static_cast<uint32_t>(properties_.size()));
+    if (inserted) {
+      properties_.push_back(p);
+      uf_.Add();
+      in_scope_.push_back(false);
+    }
+    // The UF may be behind if the other side interned properties first.
+    while (uf_.size() < properties_.size()) {
+      uf_.Add();
+      in_scope_.push_back(false);
+    }
+    return it->second;
+  }
+
+  /// Records that `node` carries property `p` on this side.
+  void Observe(TermId node, TermId p) {
+    uint32_t pi = PropIndex(p);
+    in_scope_[pi] = true;
+    auto [it, inserted] = first_prop_of_node_.emplace(node, pi);
+    if (!inserted) uf_.Union(pi, it->second);
+  }
+
+  void Finalize(std::vector<uint32_t>* clique_of_property,
+                std::vector<std::vector<TermId>>* clique_members,
+                std::unordered_map<TermId, uint32_t>* clique_of_node,
+                uint32_t* num_cliques) {
+    while (uf_.size() < properties_.size()) {
+      uf_.Add();
+      in_scope_.push_back(false);
+    }
+    clique_of_property->assign(properties_.size(), 0);
+    std::unordered_map<uint32_t, uint32_t> root_to_clique;
+    for (uint32_t i = 0; i < properties_.size(); ++i) {
+      if (!in_scope_[i]) continue;
+      uint32_t root = uf_.Find(i);
+      auto [it, inserted] = root_to_clique.emplace(
+          root, static_cast<uint32_t>(root_to_clique.size() + 1));
+      (*clique_of_property)[i] = it->second;
+    }
+    *num_cliques = static_cast<uint32_t>(root_to_clique.size());
+    clique_members->assign(*num_cliques, {});
+    for (uint32_t i = 0; i < properties_.size(); ++i) {
+      uint32_t c = (*clique_of_property)[i];
+      if (c != 0) (*clique_members)[c - 1].push_back(properties_[i]);
+    }
+    for (auto& members : *clique_members) {
+      std::sort(members.begin(), members.end());
+    }
+    for (const auto& [node, pi] : first_prop_of_node_) {
+      (*clique_of_node)[node] = (*clique_of_property)[pi];
+    }
+  }
+
+ private:
+  std::vector<TermId>& properties_;
+  std::unordered_map<TermId, uint32_t>& property_index_;
+  UnionFind uf_;
+  std::vector<bool> in_scope_;
+  std::unordered_map<TermId, uint32_t> first_prop_of_node_;
+};
+
+}  // namespace
+
+PropertyCliques ComputePropertyCliques(
+    const Graph& g, CliqueScope scope,
+    const std::unordered_set<TermId>* typed_resources) {
+  std::unordered_set<TermId> typed_local;
+  if (scope != CliqueScope::kAll && typed_resources == nullptr) {
+    typed_local = TypedResources(g);
+    typed_resources = &typed_local;
+  }
+  auto is_untyped = [&](TermId n) {
+    return typed_resources == nullptr || typed_resources->count(n) == 0;
+  };
+
+  PropertyCliques out;
+  SideBuilder source(out.properties, out.property_index);
+  SideBuilder target(out.properties, out.property_index);
+
+  for (const Triple& t : g.data()) {
+    bool s_in_scope = true;
+    bool o_in_scope = true;
+    switch (scope) {
+      case CliqueScope::kAll:
+        break;
+      case CliqueScope::kUntypedEndpoints:
+        s_in_scope = is_untyped(t.s);
+        o_in_scope = is_untyped(t.o);
+        break;
+      case CliqueScope::kUntypedDataGraph: {
+        bool both = is_untyped(t.s) && is_untyped(t.o);
+        s_in_scope = both;
+        o_in_scope = both;
+        break;
+      }
+    }
+    if (s_in_scope) source.Observe(t.s, t.p);
+    if (o_in_scope) target.Observe(t.o, t.p);
+  }
+
+  source.Finalize(&out.source_clique_of_property, &out.source_clique_members,
+                  &out.source_clique_of_node, &out.num_source_cliques);
+  target.Finalize(&out.target_clique_of_property, &out.target_clique_members,
+                  &out.target_clique_of_node, &out.num_target_cliques);
+  return out;
+}
+
+int PropertyDistance(const Graph& g, TermId p1, TermId p2, bool source) {
+  if (p1 == p2) return 0;
+  // Bipartite BFS: property -> resources carrying it -> their properties.
+  // Each property hop corresponds to one witness resource; the paper's
+  // distance is (number of witness resources on the shortest chain) - 1.
+  std::unordered_map<TermId, std::vector<TermId>> props_of_node;
+  std::unordered_map<TermId, std::vector<TermId>> nodes_of_prop;
+  for (const Triple& t : g.data()) {
+    TermId node = source ? t.s : t.o;
+    props_of_node[node].push_back(t.p);
+    nodes_of_prop[t.p].push_back(node);
+  }
+  if (!nodes_of_prop.count(p1) || !nodes_of_prop.count(p2)) return -1;
+  std::unordered_map<TermId, int> dist;
+  std::deque<TermId> frontier;
+  dist[p1] = 0;
+  frontier.push_back(p1);
+  while (!frontier.empty()) {
+    TermId cur = frontier.front();
+    frontier.pop_front();
+    int d = dist[cur];
+    for (TermId node : nodes_of_prop[cur]) {
+      for (TermId next : props_of_node[node]) {
+        if (dist.emplace(next, d + 1).second) {
+          if (next == p2) return d;  // (d+1) hops -> distance (d+1)-1 = d
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+std::vector<TermId> SaturatedPropertySet(const std::vector<TermId>& props,
+                                         const reasoner::SchemaIndex& schema) {
+  std::unordered_set<TermId> set(props.begin(), props.end());
+  for (TermId p : props) {
+    for (TermId sup : schema.SuperProperties(p)) set.insert(sup);
+  }
+  std::vector<TermId> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,88 @@
+#include "summary/dataguide.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace rdfsum::summary {
+
+StatusOr<DataguideResult> BuildStrongDataguide(
+    const Graph& g, const DataguideOptions& options) {
+  // Adjacency: node -> (property -> sorted targets).
+  std::unordered_map<TermId, std::map<TermId, std::vector<TermId>>> adj;
+  std::unordered_set<TermId> has_incoming;
+  std::unordered_set<TermId> subjects;
+  for (const Triple& t : g.data()) {
+    adj[t.s][t.p].push_back(t.o);
+    has_incoming.insert(t.o);
+    subjects.insert(t.s);
+  }
+  for (auto& [node, edges] : adj) {
+    for (auto& [p, targets] : edges) {
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+    }
+  }
+
+  // Root target set: nodes without incoming data edges; if none (fully
+  // cyclic), every subject.
+  std::vector<TermId> roots;
+  for (TermId s : subjects) {
+    if (!has_incoming.count(s)) roots.push_back(s);
+  }
+  if (roots.empty()) roots.assign(subjects.begin(), subjects.end());
+  std::sort(roots.begin(), roots.end());
+
+  DataguideResult out;
+  out.graph = Graph(g.dict_ptr());
+  Dictionary& dict = out.graph.dict();
+
+  // Powerset construction: state = sorted set of graph nodes.
+  std::map<std::vector<TermId>, TermId> state_uri;
+  std::deque<const std::vector<TermId>*> queue;
+  auto intern_state = [&](std::vector<TermId> nodes) -> TermId {
+    auto it = state_uri.find(nodes);
+    if (it != state_uri.end()) return it->second;
+    TermId uri = dict.MintNodeUri("node:dg");
+    auto [sit, inserted] = state_uri.emplace(std::move(nodes), uri);
+    queue.push_back(&sit->first);
+    if (options.record_extents) out.extents.emplace(uri, sit->first);
+    return uri;
+  };
+
+  out.root = intern_state(std::move(roots));
+  while (!queue.empty()) {
+    if (state_uri.size() > options.max_states) {
+      return Status::NotSupported(
+          "dataguide exceeded max_states=" +
+          std::to_string(options.max_states) +
+          " (powerset blow-up; see §8 of the paper)");
+    }
+    const std::vector<TermId>* nodes = queue.front();
+    queue.pop_front();
+    TermId from = state_uri.at(*nodes);
+    // Union the outgoing edges of every node in the state, per property.
+    std::map<TermId, std::set<TermId>> transitions;
+    for (TermId n : *nodes) {
+      auto it = adj.find(n);
+      if (it == adj.end()) continue;
+      for (const auto& [p, targets] : it->second) {
+        transitions[p].insert(targets.begin(), targets.end());
+      }
+    }
+    for (const auto& [p, target_set] : transitions) {
+      std::vector<TermId> target(target_set.begin(), target_set.end());
+      TermId to = intern_state(std::move(target));
+      if (out.graph.Add(Triple{from, p, to})) ++out.num_edges;
+      // Interning may have grown `state_uri`; `nodes` stays valid because
+      // std::map never invalidates existing element addresses.
+    }
+  }
+  out.num_states = state_uri.size();
+  return out;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,54 @@
+#ifndef RDFSUM_SUMMARY_DATAGUIDE_H_
+#define RDFSUM_SUMMARY_DATAGUIDE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "util/statusor.h"
+
+namespace rdfsum::summary {
+
+/// Options for strong-Dataguide construction.
+struct DataguideOptions {
+  /// Construction is the powerset determinization of [10]/[17], which is
+  /// worst-case exponential; abort once this many states exist.
+  uint64_t max_states = 100'000;
+  /// Record, per state, the set of graph nodes it stands for (the "target
+  /// set" of Goldman & Widom).
+  bool record_extents = false;
+};
+
+/// A strong Dataguide over the data component of an RDF graph.
+struct DataguideResult {
+  /// The guide as an RDF graph: minted state URIs connected by the original
+  /// data properties. State 0 is the synthetic root.
+  Graph graph;
+  uint64_t num_states = 0;
+  uint64_t num_edges = 0;
+  /// Minted URI of the root state.
+  TermId root = kInvalidTermId;
+  /// State URI -> graph nodes in its target set (iff record_extents).
+  std::unordered_map<TermId, std::vector<TermId>> extents;
+};
+
+/// Builds the strong Dataguide of g's data component — the §8 baseline from
+/// semistructured data ([10] Goldman & Widom; construction shown in [17] to
+/// be NFA->DFA determinization, hence the max_states guard).
+///
+/// RDF graphs have no root, which the paper points out as a mismatch; we
+/// follow the usual adaptation of adding a synthetic root with an edge to
+/// every node that has no incoming data edge (or to every subject when the
+/// graph is cyclic enough to have none). Every label path from the root
+/// occurs exactly once in the guide, and the guide's paths are exactly the
+/// graph's paths — the invariant the tests check.
+///
+/// Returns NotSupported when max_states is exceeded (that blow-up is itself
+/// one of the observations motivating the paper's quotient summaries).
+StatusOr<DataguideResult> BuildStrongDataguide(
+    const Graph& g, const DataguideOptions& options = {});
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_DATAGUIDE_H_

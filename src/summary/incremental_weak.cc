@@ -1,0 +1,471 @@
+#include "summary/incremental_weak.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+/// Internal summary-node id (NEWINTEGER() in the paper); decoupled from
+/// TermIds until the final graph is assembled.
+using NodeId = uint32_t;
+constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+struct DataTriple {
+  NodeId src;
+  TermId p;
+  NodeId targ;
+};
+
+class Builder {
+ public:
+  Builder(const Graph& g, const IncrementalWeakOptions& options)
+      : g_(g), options_(options) {}
+
+  SummaryResult Build() {
+    Timer timer;
+    SummarizeDataTriples();
+    SummarizeTypeTriples();
+    SummaryResult out = Assemble();
+    out.stats.build_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+ private:
+  // ---- Algorithm 1: summarizing data triples ----
+  void SummarizeDataTriples() {
+    for (const Triple& t : g_.data()) {
+      GetSource(t.s, t.p);
+      GetTarget(t.o, t.p);
+      // GETTARGET may have merged the node GETSOURCE returned (and
+      // vice-versa), so re-resolve both before recording the edge
+      // (lines 5-7 of Algorithm 1).
+      NodeId src = GetSource(t.s, t.p);
+      NodeId targ = GetTarget(t.o, t.p);
+      auto it = dtp_.find(t.p);
+      if (it == dtp_.end()) {
+        CreateDataTriple(src, t.p, targ);
+      }
+      // Property 4 guarantees a single data edge per property; if the edge
+      // exists, src/targ already coincide with its endpoints by the merges
+      // above.
+    }
+  }
+
+  void CreateDataTriple(NodeId src, TermId p, NodeId targ) {
+    dtp_.emplace(p, DataTriple{src, p, targ});
+    dp_src_.emplace(p, src);
+    src_dps_[src].insert(p);
+    dp_targ_.emplace(p, targ);
+    targ_dps_[targ].insert(p);
+  }
+
+  // ---- Algorithm 2: representing a subject (GETSOURCE) ----
+  NodeId GetSource(TermId s, TermId p) {
+    NodeId src_u = Get(dp_src_, p);
+    NodeId src_s = Get(rd_, s);
+    if (src_u == kNoNode && src_s == kNoNode) {
+      NodeId fresh = CreateDataNode(s);
+      dp_src_[p] = fresh;
+      src_dps_[fresh].insert(p);
+      return fresh;
+    }
+    if (src_u != kNoNode && src_s == kNoNode) {
+      Represent(s, src_u);
+      return src_u;
+    }
+    if (src_u == kNoNode && src_s != kNoNode) {
+      dp_src_[p] = src_s;
+      src_dps_[src_s].insert(p);
+      return src_s;
+    }
+    if (src_s == src_u) return src_s;
+    return MergeDataNodes(src_s, src_u);
+  }
+
+  NodeId GetTarget(TermId o, TermId p) {
+    NodeId targ_u = Get(dp_targ_, p);
+    NodeId targ_o = Get(rd_, o);
+    if (targ_u == kNoNode && targ_o == kNoNode) {
+      NodeId fresh = CreateDataNode(o);
+      dp_targ_[p] = fresh;
+      targ_dps_[fresh].insert(p);
+      return fresh;
+    }
+    if (targ_u != kNoNode && targ_o == kNoNode) {
+      Represent(o, targ_u);
+      return targ_u;
+    }
+    if (targ_u == kNoNode && targ_o != kNoNode) {
+      dp_targ_[p] = targ_o;
+      targ_dps_[targ_o].insert(p);
+      return targ_o;
+    }
+    if (targ_o == targ_u) return targ_o;
+    return MergeDataNodes(targ_o, targ_u);
+  }
+
+  NodeId CreateDataNode(TermId r) {
+    NodeId d = next_node_++;
+    Represent(r, d);
+    return d;
+  }
+
+  void Represent(TermId r, NodeId d) {
+    rd_[r] = d;
+    dr_[d].push_back(r);
+  }
+
+  size_t EdgeCount(NodeId n) const {
+    size_t count = 0;
+    auto s = src_dps_.find(n);
+    if (s != src_dps_.end()) count += s->second.size();
+    auto t = targ_dps_.find(n);
+    if (t != targ_dps_.end()) count += t->second.size();
+    return count;
+  }
+
+  /// Merges two summary nodes; the survivor absorbs the other's represented
+  /// resources and property attachments ("replaces the node with less
+  /// edges"). Returns the surviving node.
+  NodeId MergeDataNodes(NodeId a, NodeId b) {
+    NodeId keep = a;
+    NodeId drop = b;
+    if (options_.merge_smaller_node && EdgeCount(a) < EdgeCount(b)) {
+      keep = b;
+      drop = a;
+    }
+    // Re-point represented resources.
+    auto dit = dr_.find(drop);
+    if (dit != dr_.end()) {
+      auto& keep_list = dr_[keep];
+      for (TermId r : dit->second) {
+        rd_[r] = keep;
+        keep_list.push_back(r);
+      }
+      dr_.erase(dit);
+    }
+    // Re-point property attachments and the summary edges.
+    auto sit = src_dps_.find(drop);
+    if (sit != src_dps_.end()) {
+      auto& keep_set = src_dps_[keep];
+      for (TermId p : sit->second) {
+        dp_src_[p] = keep;
+        auto t = dtp_.find(p);
+        if (t != dtp_.end() && t->second.src == drop) t->second.src = keep;
+        keep_set.insert(p);
+      }
+      src_dps_.erase(sit);
+    }
+    auto tit = targ_dps_.find(drop);
+    if (tit != targ_dps_.end()) {
+      auto& keep_set = targ_dps_[keep];
+      for (TermId p : tit->second) {
+        dp_targ_[p] = keep;
+        auto t = dtp_.find(p);
+        if (t != dtp_.end() && t->second.targ == drop) t->second.targ = keep;
+        keep_set.insert(p);
+      }
+      targ_dps_.erase(tit);
+    }
+    // Class sets (only non-empty once type triples are processed; merges
+    // do not happen then for W, but keep it correct anyway).
+    auto cit = dcls_.find(drop);
+    if (cit != dcls_.end()) {
+      dcls_[keep].insert(cit->second.begin(), cit->second.end());
+      dcls_.erase(cit);
+    }
+    return keep;
+  }
+
+  // ---- Algorithm 3: summarizing type triples ----
+  void SummarizeTypeTriples() {
+    std::vector<TermId> typed_only_res;
+    std::vector<TermId> typed_only_cls;
+    for (const Triple& t : g_.types()) {
+      auto it = rd_.find(t.s);
+      if (it != rd_.end()) {
+        dcls_[it->second].insert(t.o);
+      } else {
+        typed_only_res.push_back(t.s);
+        typed_only_cls.push_back(t.o);
+      }
+    }
+    if (!typed_only_res.empty()) {
+      // REPRESENTTYPEDONLY: one node for all typed-only resources.
+      NodeId d = next_node_++;
+      for (TermId r : typed_only_res) {
+        if (rd_.emplace(r, d).second) dr_[d].push_back(r);
+      }
+      auto& cls = dcls_[d];
+      for (TermId c : typed_only_cls) cls.insert(c);
+    }
+  }
+
+  // ---- Final assembly & decoding ----
+  SummaryResult Assemble() {
+    SummaryResult out;
+    out.kind = SummaryKind::kWeak;
+    out.graph = Graph(g_.dict_ptr());
+    Dictionary& dict = out.graph.dict();
+
+    std::unordered_map<NodeId, TermId> node_uri;
+    auto uri_of = [&](NodeId d) {
+      auto [it, inserted] = node_uri.emplace(d, kInvalidTermId);
+      if (inserted) it->second = dict.MintNodeUri("node:w");
+      return it->second;
+    };
+
+    // Deterministic minting order: walk data properties in graph order,
+    // then class-set holders.
+    for (const Triple& t : g_.data()) {
+      auto it = dtp_.find(t.p);
+      if (it != dtp_.end()) {
+        uri_of(it->second.src);
+        uri_of(it->second.targ);
+      }
+    }
+    for (const auto& [p, dt] : dtp_) {
+      out.graph.Add(Triple{uri_of(dt.src), p, uri_of(dt.targ)});
+    }
+    const TermId rdf_type = g_.vocab().rdf_type;
+    for (const auto& [d, classes] : dcls_) {
+      for (TermId c : classes) {
+        out.graph.Add(Triple{uri_of(d), rdf_type, c});
+      }
+    }
+    for (const Triple& t : g_.schema()) out.graph.Add(t);
+
+    out.node_map.reserve(rd_.size());
+    for (const auto& [r, d] : rd_) out.node_map.emplace(r, uri_of(d));
+    if (options_.record_members) {
+      for (const auto& [d, rs] : dr_) {
+        auto& v = out.members[uri_of(d)];
+        v.insert(v.end(), rs.begin(), rs.end());
+      }
+    }
+    out.stats = ComputeSummaryStats(out.graph, 0.0);
+    return out;
+  }
+
+  static NodeId Get(const std::unordered_map<TermId, NodeId>& m, TermId k) {
+    auto it = m.find(k);
+    return it == m.end() ? kNoNode : it->second;
+  }
+
+  const Graph& g_;
+  IncrementalWeakOptions options_;
+  NodeId next_node_ = 0;
+
+  std::unordered_map<TermId, NodeId> rd_;                   // resource -> node
+  std::unordered_map<NodeId, std::vector<TermId>> dr_;      // node -> resources
+  std::unordered_map<TermId, NodeId> dp_src_;               // property -> node
+  std::unordered_map<TermId, NodeId> dp_targ_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> src_dps_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> targ_dps_;
+  std::unordered_map<TermId, DataTriple> dtp_;              // property -> edge
+  std::unordered_map<NodeId, std::unordered_set<TermId>> dcls_;
+};
+
+/// Incremental TW builder: types first, then data triples. Untyped
+/// endpoints merge per property exactly as in the weak algorithm; typed
+/// endpoints are resolved through their class-set node and never merged.
+class TypedWeakBuilder {
+ public:
+  TypedWeakBuilder(const Graph& g, const IncrementalWeakOptions& options)
+      : g_(g), options_(options) {}
+
+  SummaryResult Build() {
+    Timer timer;
+    SummarizeTypeTriplesFirst();
+    SummarizeDataTriples();
+    SummaryResult out = Assemble();
+    out.stats.build_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+ private:
+  void SummarizeTypeTriplesFirst() {
+    // Collect class sets, then one node per distinct set (the clsd map).
+    std::unordered_map<TermId, std::vector<TermId>> class_sets;
+    for (const Triple& t : g_.types()) class_sets[t.s].push_back(t.o);
+    std::map<std::vector<TermId>, NodeId> clsd;
+    for (auto& [res, classes] : class_sets) {
+      std::sort(classes.begin(), classes.end());
+      classes.erase(std::unique(classes.begin(), classes.end()),
+                    classes.end());
+      auto [it, inserted] = clsd.emplace(classes, 0);
+      if (inserted) {
+        it->second = next_node_++;
+        dcls_[it->second].insert(classes.begin(), classes.end());
+      }
+      rd_[res] = it->second;
+      dr_[it->second].push_back(res);
+      typed_.insert(res);
+    }
+  }
+
+  void SummarizeDataTriples() {
+    for (const Triple& t : g_.data()) {
+      NodeId src = ResolveEndpoint(t.s, t.p, /*as_source=*/true);
+      NodeId targ = ResolveEndpoint(t.o, t.p, /*as_source=*/false);
+      // Merges inside ResolveEndpoint may have replaced earlier results;
+      // re-resolve as in Algorithm 1.
+      src = ResolveEndpoint(t.s, t.p, true);
+      targ = ResolveEndpoint(t.o, t.p, false);
+      edges_.insert({src, t.p, targ});
+    }
+  }
+
+  NodeId ResolveEndpoint(TermId r, TermId p, bool as_source) {
+    if (typed_.count(r)) return rd_.at(r);  // typed: class-set node, no merge
+    auto& dp = as_source ? dp_src_ : dp_targ_;
+    auto& dps = as_source ? src_dps_ : targ_dps_;
+    NodeId via_prop = Get(dp, p);
+    NodeId via_res = Get(rd_, r);
+    if (via_prop == kNoNode && via_res == kNoNode) {
+      NodeId fresh = next_node_++;
+      rd_[r] = fresh;
+      dr_[fresh].push_back(r);
+      dp[p] = fresh;
+      dps[fresh].insert(p);
+      return fresh;
+    }
+    if (via_prop != kNoNode && via_res == kNoNode) {
+      rd_[r] = via_prop;
+      dr_[via_prop].push_back(r);
+      return via_prop;
+    }
+    if (via_prop == kNoNode && via_res != kNoNode) {
+      dp[p] = via_res;
+      dps[via_res].insert(p);
+      return via_res;
+    }
+    if (via_prop == via_res) return via_res;
+    return Merge(via_res, via_prop);
+  }
+
+  size_t EdgeCount(NodeId n) const {
+    size_t count = 0;
+    auto s = src_dps_.find(n);
+    if (s != src_dps_.end()) count += s->second.size();
+    auto t = targ_dps_.find(n);
+    if (t != targ_dps_.end()) count += t->second.size();
+    return count;
+  }
+
+  NodeId Merge(NodeId a, NodeId b) {
+    NodeId keep = a, drop = b;
+    if (options_.merge_smaller_node && EdgeCount(a) < EdgeCount(b)) {
+      std::swap(keep, drop);
+    }
+    auto dit = dr_.find(drop);
+    if (dit != dr_.end()) {
+      auto& keep_list = dr_[keep];
+      for (TermId r : dit->second) {
+        rd_[r] = keep;
+        keep_list.push_back(r);
+      }
+      dr_.erase(dit);
+    }
+    auto move_side = [&](std::unordered_map<TermId, NodeId>& dp,
+                         std::unordered_map<NodeId,
+                                            std::unordered_set<TermId>>& dps) {
+      auto it = dps.find(drop);
+      if (it == dps.end()) return;
+      auto& keep_set = dps[keep];
+      for (TermId p : it->second) {
+        dp[p] = keep;
+        keep_set.insert(p);
+      }
+      dps.erase(it);
+    };
+    move_side(dp_src_, src_dps_);
+    move_side(dp_targ_, targ_dps_);
+    // Rewrite recorded edges touching the dropped node.
+    std::vector<std::tuple<NodeId, TermId, NodeId>> moved;
+    for (auto it = edges_.begin(); it != edges_.end();) {
+      auto [s, p, o] = *it;
+      if (s == drop || o == drop) {
+        moved.emplace_back(s == drop ? keep : s, p, o == drop ? keep : o);
+        it = edges_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    edges_.insert(moved.begin(), moved.end());
+    return keep;
+  }
+
+  SummaryResult Assemble() {
+    SummaryResult out;
+    out.kind = SummaryKind::kTypedWeak;
+    out.graph = Graph(g_.dict_ptr());
+    Dictionary& dict = out.graph.dict();
+    std::unordered_map<NodeId, TermId> node_uri;
+    auto uri_of = [&](NodeId d) {
+      auto [it, inserted] = node_uri.emplace(d, kInvalidTermId);
+      if (inserted) it->second = dict.MintNodeUri("node:tw");
+      return it->second;
+    };
+    for (const auto& [s, p, o] : edges_) {
+      out.graph.Add(Triple{uri_of(s), p, uri_of(o)});
+    }
+    const TermId rdf_type = g_.vocab().rdf_type;
+    for (const auto& [d, classes] : dcls_) {
+      for (TermId c : classes) out.graph.Add(Triple{uri_of(d), rdf_type, c});
+    }
+    for (const Triple& t : g_.schema()) out.graph.Add(t);
+    for (const auto& [r, d] : rd_) out.node_map.emplace(r, uri_of(d));
+    if (options_.record_members) {
+      for (const auto& [d, rs] : dr_) {
+        auto& v = out.members[uri_of(d)];
+        v.insert(v.end(), rs.begin(), rs.end());
+      }
+    }
+    out.stats = ComputeSummaryStats(out.graph, 0.0);
+    return out;
+  }
+
+  static NodeId Get(const std::unordered_map<TermId, NodeId>& m, TermId k) {
+    auto it = m.find(k);
+    return it == m.end() ? kNoNode : it->second;
+  }
+
+  const Graph& g_;
+  IncrementalWeakOptions options_;
+  NodeId next_node_ = 0;
+  std::unordered_set<TermId> typed_;
+  std::unordered_map<TermId, NodeId> rd_;
+  std::unordered_map<NodeId, std::vector<TermId>> dr_;
+  std::unordered_map<TermId, NodeId> dp_src_;
+  std::unordered_map<TermId, NodeId> dp_targ_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> src_dps_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> targ_dps_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> dcls_;
+  std::set<std::tuple<NodeId, TermId, NodeId>> edges_;
+};
+
+}  // namespace
+
+SummaryResult IncrementalWeakSummarize(const Graph& g,
+                                       const IncrementalWeakOptions& options) {
+  Builder builder(g, options);
+  return builder.Build();
+}
+
+SummaryResult IncrementalTypedWeakSummarize(
+    const Graph& g, const IncrementalWeakOptions& options) {
+  TypedWeakBuilder builder(g, options);
+  return builder.Build();
+}
+
+}  // namespace rdfsum::summary

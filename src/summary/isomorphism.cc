@@ -1,0 +1,272 @@
+#include "summary/isomorphism.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rdfsum::summary {
+namespace {
+
+using FixedId = uint32_t;
+constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+/// Interns canonical renderings of non-minted terms, shared by both graphs
+/// so fixed terms compare as integers.
+class FixedIntern {
+ public:
+  FixedId Intern(const Term& t) {
+    auto [it, inserted] =
+        map_.emplace(t.ToNTriples(), static_cast<FixedId>(map_.size()));
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, FixedId> map_;
+};
+
+struct Endpoint {
+  bool is_var;
+  uint32_t id;  // var index or FixedId
+
+  bool operator==(const Endpoint& o) const {
+    return is_var == o.is_var && id == o.id;
+  }
+  bool operator<(const Endpoint& o) const {
+    if (is_var != o.is_var) return is_var < o.is_var;
+    return id < o.id;
+  }
+};
+
+struct Edge {
+  Endpoint s;
+  FixedId p;
+  Endpoint o;
+
+  bool operator<(const Edge& e) const {
+    if (!(s == e.s)) return s < e.s;
+    if (p != e.p) return p < e.p;
+    return o < e.o;
+  }
+  bool operator==(const Edge& e) const {
+    return s == e.s && p == e.p && o == e.o;
+  }
+};
+
+struct Side {
+  std::vector<Edge> edges;
+  uint32_t num_vars = 0;
+  // Per-var adjacency: (out?, property, other endpoint).
+  struct Adj {
+    bool out;
+    FixedId p;
+    Endpoint other;
+  };
+  std::vector<std::vector<Adj>> adj;
+  std::vector<uint64_t> color;
+};
+
+uint64_t HashMix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+Side BuildSide(const Graph& g, FixedIntern& intern) {
+  Side side;
+  const Dictionary& dict = g.dict();
+  std::unordered_map<TermId, uint32_t> var_of;
+  auto endpoint = [&](TermId id) -> Endpoint {
+    if (dict.IsMinted(id)) {
+      auto [it, inserted] =
+          var_of.emplace(id, static_cast<uint32_t>(var_of.size()));
+      return Endpoint{true, it->second};
+    }
+    return Endpoint{false, intern.Intern(dict.Decode(id))};
+  };
+  g.ForEachTriple([&](const Triple& t) {
+    Edge e;
+    e.s = endpoint(t.s);
+    e.p = intern.Intern(dict.Decode(t.p));
+    e.o = endpoint(t.o);
+    side.edges.push_back(e);
+  });
+  side.num_vars = static_cast<uint32_t>(var_of.size());
+  side.adj.resize(side.num_vars);
+  for (const Edge& e : side.edges) {
+    if (e.s.is_var) side.adj[e.s.id].push_back({true, e.p, e.o});
+    if (e.o.is_var) side.adj[e.o.id].push_back({false, e.p, e.s});
+  }
+  return side;
+}
+
+/// One round of color refinement; returns the new colors.
+std::vector<uint64_t> Refine(const Side& side) {
+  std::vector<uint64_t> next(side.num_vars);
+  for (uint32_t v = 0; v < side.num_vars; ++v) {
+    // Signature: sorted multiset of (direction, property, neighbor color or
+    // fixed id).
+    std::vector<std::tuple<int, FixedId, uint64_t>> sig;
+    sig.reserve(side.adj[v].size());
+    for (const auto& a : side.adj[v]) {
+      uint64_t other = a.other.is_var ? side.color[a.other.id]
+                                      : (0x8000000000000000ULL | a.other.id);
+      sig.emplace_back(a.out ? 1 : 0, a.p, other);
+    }
+    std::sort(sig.begin(), sig.end());
+    uint64_t h = HashMix(0x12345678, side.color[v]);
+    for (const auto& [d, p, other] : sig) {
+      h = HashMix(h, static_cast<uint64_t>(d));
+      h = HashMix(h, p);
+      h = HashMix(h, other);
+    }
+    next[v] = h;
+  }
+  return next;
+}
+
+bool SameColorHistogram(const Side& a, const Side& b) {
+  std::map<uint64_t, int> ha, hb;
+  for (uint64_t c : a.color) ++ha[c];
+  for (uint64_t c : b.color) ++hb[c];
+  return ha == hb;
+}
+
+/// Backtracking matcher with incremental consistency checking.
+class Matcher {
+ public:
+  Matcher(const Side& a, const Side& b) : a_(a), b_(b) {
+    for (const Edge& e : b_.edges) b_edge_set_.insert(Key(e));
+    order_.resize(a_.num_vars);
+    for (uint32_t i = 0; i < a_.num_vars; ++i) order_[i] = i;
+    // Match rarest colors first, higher degree first.
+    std::map<uint64_t, int> freq;
+    for (uint64_t c : a_.color) ++freq[c];
+    std::sort(order_.begin(), order_.end(), [&](uint32_t x, uint32_t y) {
+      int fx = freq[a_.color[x]];
+      int fy = freq[a_.color[y]];
+      if (fx != fy) return fx < fy;
+      return a_.adj[x].size() > a_.adj[y].size();
+    });
+    map_a_to_b_.assign(a_.num_vars, kNone);
+    used_b_.assign(b_.num_vars, false);
+  }
+
+  bool Run() { return Backtrack(0); }
+
+ private:
+  static std::string Key(const Edge& e) {
+    std::string out;
+    out.reserve(24);
+    auto put = [&](uint64_t v) {
+      out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    put((static_cast<uint64_t>(e.s.is_var) << 32) | e.s.id);
+    put(e.p);
+    put((static_cast<uint64_t>(e.o.is_var) << 32) | e.o.id);
+    return out;
+  }
+
+  /// Checks all of `av`'s edges whose other endpoint is fixed or already
+  /// mapped against b's edge set, assuming av -> bv.
+  bool Consistent(uint32_t av, uint32_t bv) {
+    if (a_.adj[av].size() != b_.adj[bv].size()) return false;
+    for (const auto& adj : a_.adj[av]) {
+      Endpoint other_b;
+      if (adj.other.is_var) {
+        // Self-loop support: the other endpoint may be av itself.
+        uint32_t mapped =
+            adj.other.id == av ? bv : map_a_to_b_[adj.other.id];
+        if (mapped == kNone) continue;  // not yet mapped; checked later
+        other_b = Endpoint{true, mapped};
+      } else {
+        other_b = adj.other;
+      }
+      Edge e;
+      if (adj.out) {
+        e.s = Endpoint{true, bv};
+        e.p = adj.p;
+        e.o = other_b;
+      } else {
+        e.s = other_b;
+        e.p = adj.p;
+        e.o = Endpoint{true, bv};
+      }
+      if (!b_edge_set_.count(Key(e))) return false;
+    }
+    return true;
+  }
+
+  bool Backtrack(size_t pos) {
+    if (pos == order_.size()) return FinalCheck();
+    uint32_t av = order_[pos];
+    for (uint32_t bv = 0; bv < b_.num_vars; ++bv) {
+      if (used_b_[bv] || b_.color[bv] != a_.color[av]) continue;
+      if (!Consistent(av, bv)) continue;
+      map_a_to_b_[av] = bv;
+      used_b_[bv] = true;
+      if (Backtrack(pos + 1)) return true;
+      map_a_to_b_[av] = kNone;
+      used_b_[bv] = false;
+    }
+    return false;
+  }
+
+  bool FinalCheck() {
+    std::set<Edge> mapped;
+    for (Edge e : a_.edges) {
+      if (e.s.is_var) e.s.id = map_a_to_b_[e.s.id];
+      if (e.o.is_var) e.o.id = map_a_to_b_[e.o.id];
+      mapped.insert(e);
+    }
+    std::set<Edge> target(b_.edges.begin(), b_.edges.end());
+    return mapped == target;
+  }
+
+  const Side& a_;
+  const Side& b_;
+  std::unordered_set<std::string> b_edge_set_;
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> map_a_to_b_;
+  std::vector<bool> used_b_;
+};
+
+}  // namespace
+
+bool AreSummariesIsomorphic(const Graph& a, const Graph& b) {
+  if (a.NumTriples() != b.NumTriples()) return false;
+  FixedIntern intern;
+  Side sa = BuildSide(a, intern);
+  Side sb = BuildSide(b, intern);
+  if (sa.num_vars != sb.num_vars) return false;
+  if (sa.edges.size() != sb.edges.size()) return false;
+
+  // Fully fixed edges must match exactly.
+  std::set<Edge> fixed_a, fixed_b;
+  for (const Edge& e : sa.edges) {
+    if (!e.s.is_var && !e.o.is_var) fixed_a.insert(e);
+  }
+  for (const Edge& e : sb.edges) {
+    if (!e.s.is_var && !e.o.is_var) fixed_b.insert(e);
+  }
+  if (fixed_a != fixed_b) return false;
+
+  // Color refinement: |V| rounds are enough to stabilize on these sizes;
+  // cap the rounds to keep it near-linear.
+  sa.color.assign(sa.num_vars, 1);
+  sb.color.assign(sb.num_vars, 1);
+  uint32_t rounds = std::min<uint32_t>(sa.num_vars + 1, 16);
+  for (uint32_t i = 0; i < rounds; ++i) {
+    sa.color = Refine(sa);
+    sb.color = Refine(sb);
+    if (!SameColorHistogram(sa, sb)) return false;
+  }
+
+  Matcher matcher(sa, sb);
+  return matcher.Run();
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,24 @@
+#ifndef RDFSUM_SUMMARY_ISOMORPHISM_H_
+#define RDFSUM_SUMMARY_ISOMORPHISM_H_
+
+#include "rdf/graph.h"
+
+namespace rdfsum::summary {
+
+/// Decides whether two summaries are the same graph up to renaming of their
+/// minted (urn:rdfsum:) nodes.
+///
+/// All non-minted terms (class URIs, properties, schema nodes, any surviving
+/// input URIs/literals) are compared by value — the bijection must fix them —
+/// while minted summary nodes may be re-matched freely. This is the right
+/// equality for the paper's propositions: two runs of a summarizer differ
+/// only in the URIs the representation function N(·,·) happens to mint.
+///
+/// The graphs may use different dictionaries. Complexity is exponential in
+/// the worst case (graph isomorphism) but color refinement makes it linear
+/// on every summary shape the algorithms produce.
+bool AreSummariesIsomorphic(const Graph& a, const Graph& b);
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_ISOMORPHISM_H_

@@ -1,0 +1,219 @@
+#include "summary/maintenance.h"
+
+#include <algorithm>
+
+namespace rdfsum::summary {
+
+WeakSummaryMaintainer::WeakSummaryMaintainer(
+    std::shared_ptr<Dictionary> dict, const IncrementalWeakOptions& options)
+    : dict_(std::move(dict)), vocab_(*dict_), options_(options) {}
+
+WeakSummaryMaintainer::WeakSummaryMaintainer(
+    const Graph& initial, const IncrementalWeakOptions& options)
+    : WeakSummaryMaintainer(initial.dict_ptr(), options) {
+  initial.ForEachTriple([this](const Triple& t) { AddTriple(t); });
+}
+
+void WeakSummaryMaintainer::AddTriple(const Triple& t) {
+  ++triples_seen_;
+  if (vocab_.IsSchemaProperty(t.p)) {
+    if (schema_seen_.insert(t).second) schema_.push_back(t);
+    return;
+  }
+  if (vocab_.IsType(t.p)) {
+    auto it = rd_.find(t.s);
+    if (it != rd_.end()) {
+      dcls_[it->second].insert(t.o);
+    } else {
+      pending_typed_only_[t.s].insert(t.o);
+    }
+    return;
+  }
+  // Data triple: Algorithm 1, one step. If either endpoint was waiting in
+  // the typed-only pool, it becomes a real node and takes its classes along.
+  GetSource(t.s, t.p);
+  GetTarget(t.o, t.p);
+  NodeId src = GetSource(t.s, t.p);
+  NodeId targ = GetTarget(t.o, t.p);
+  if (!dtp_.count(t.p)) {
+    dtp_.emplace(t.p, DataTriple{src, t.p, targ});
+    dp_src_.emplace(t.p, src);
+    src_dps_[src].insert(t.p);
+    dp_targ_.emplace(t.p, targ);
+    targ_dps_[targ].insert(t.p);
+  }
+}
+
+WeakSummaryMaintainer::NodeId WeakSummaryMaintainer::GetSource(TermId s,
+                                                               TermId p) {
+  NodeId src_u = Get(dp_src_, p);
+  NodeId src_s = Get(rd_, s);
+  if (src_u == kNoNode && src_s == kNoNode) {
+    NodeId fresh = CreateDataNode(s);
+    dp_src_[p] = fresh;
+    src_dps_[fresh].insert(p);
+    return fresh;
+  }
+  if (src_u != kNoNode && src_s == kNoNode) {
+    Represent(s, src_u);
+    return src_u;
+  }
+  if (src_u == kNoNode && src_s != kNoNode) {
+    dp_src_[p] = src_s;
+    src_dps_[src_s].insert(p);
+    return src_s;
+  }
+  if (src_s == src_u) return src_s;
+  return MergeDataNodes(src_s, src_u);
+}
+
+WeakSummaryMaintainer::NodeId WeakSummaryMaintainer::GetTarget(TermId o,
+                                                               TermId p) {
+  NodeId targ_u = Get(dp_targ_, p);
+  NodeId targ_o = Get(rd_, o);
+  if (targ_u == kNoNode && targ_o == kNoNode) {
+    NodeId fresh = CreateDataNode(o);
+    dp_targ_[p] = fresh;
+    targ_dps_[fresh].insert(p);
+    return fresh;
+  }
+  if (targ_u != kNoNode && targ_o == kNoNode) {
+    Represent(o, targ_u);
+    return targ_u;
+  }
+  if (targ_u == kNoNode && targ_o != kNoNode) {
+    dp_targ_[p] = targ_o;
+    targ_dps_[targ_o].insert(p);
+    return targ_o;
+  }
+  if (targ_o == targ_u) return targ_o;
+  return MergeDataNodes(targ_o, targ_u);
+}
+
+WeakSummaryMaintainer::NodeId WeakSummaryMaintainer::CreateDataNode(TermId r) {
+  NodeId d = next_node_++;
+  Represent(r, d);
+  return d;
+}
+
+void WeakSummaryMaintainer::Represent(TermId r, NodeId d) {
+  rd_[r] = d;
+  dr_[d].push_back(r);
+  // Migrate classes accumulated while r was typed-only.
+  auto pit = pending_typed_only_.find(r);
+  if (pit != pending_typed_only_.end()) {
+    dcls_[d].insert(pit->second.begin(), pit->second.end());
+    pending_typed_only_.erase(pit);
+  }
+}
+
+size_t WeakSummaryMaintainer::EdgeCount(NodeId n) const {
+  size_t count = 0;
+  auto s = src_dps_.find(n);
+  if (s != src_dps_.end()) count += s->second.size();
+  auto t = targ_dps_.find(n);
+  if (t != targ_dps_.end()) count += t->second.size();
+  return count;
+}
+
+WeakSummaryMaintainer::NodeId WeakSummaryMaintainer::MergeDataNodes(NodeId a,
+                                                                    NodeId b) {
+  NodeId keep = a, drop = b;
+  if (options_.merge_smaller_node && EdgeCount(a) < EdgeCount(b)) {
+    std::swap(keep, drop);
+  }
+  auto dit = dr_.find(drop);
+  if (dit != dr_.end()) {
+    auto& keep_list = dr_[keep];
+    for (TermId r : dit->second) {
+      rd_[r] = keep;
+      keep_list.push_back(r);
+    }
+    dr_.erase(dit);
+  }
+  auto sit = src_dps_.find(drop);
+  if (sit != src_dps_.end()) {
+    auto& keep_set = src_dps_[keep];
+    for (TermId p : sit->second) {
+      dp_src_[p] = keep;
+      auto t = dtp_.find(p);
+      if (t != dtp_.end() && t->second.src == drop) t->second.src = keep;
+      keep_set.insert(p);
+    }
+    src_dps_.erase(sit);
+  }
+  auto tit = targ_dps_.find(drop);
+  if (tit != targ_dps_.end()) {
+    auto& keep_set = targ_dps_[keep];
+    for (TermId p : tit->second) {
+      dp_targ_[p] = keep;
+      auto t = dtp_.find(p);
+      if (t != dtp_.end() && t->second.targ == drop) t->second.targ = keep;
+      keep_set.insert(p);
+    }
+    targ_dps_.erase(tit);
+  }
+  auto cit = dcls_.find(drop);
+  if (cit != dcls_.end()) {
+    dcls_[keep].insert(cit->second.begin(), cit->second.end());
+    dcls_.erase(cit);
+  }
+  return keep;
+}
+
+uint64_t WeakSummaryMaintainer::num_summary_nodes() const {
+  return dr_.size() + (pending_typed_only_.empty() ? 0 : 1);
+}
+
+SummaryResult WeakSummaryMaintainer::Snapshot() const {
+  SummaryResult out;
+  out.kind = SummaryKind::kWeak;
+  out.graph = Graph(dict_);
+  Dictionary& dict = out.graph.dict();
+
+  std::unordered_map<NodeId, TermId> node_uri;
+  auto uri_of = [&](NodeId d) {
+    auto [it, inserted] = node_uri.emplace(d, kInvalidTermId);
+    if (inserted) it->second = dict.MintNodeUri("node:w");
+    return it->second;
+  };
+  for (const auto& [p, dt] : dtp_) {
+    out.graph.Add(Triple{uri_of(dt.src), p, uri_of(dt.targ)});
+  }
+  const TermId rdf_type = vocab_.rdf_type;
+  for (const auto& [d, classes] : dcls_) {
+    for (TermId c : classes) out.graph.Add(Triple{uri_of(d), rdf_type, c});
+  }
+  // The typed-only pool materializes as a single Nτ node (Algorithm 3).
+  if (!pending_typed_only_.empty()) {
+    TermId ntau = dict.MintNodeUri("node:w");
+    for (const auto& [r, classes] : pending_typed_only_) {
+      out.node_map.emplace(r, ntau);
+      for (TermId c : classes) {
+        out.graph.Add(Triple{ntau, rdf_type, c});
+      }
+    }
+    if (options_.record_members) {
+      auto& v = out.members[ntau];
+      for (const auto& [r, classes] : pending_typed_only_) v.push_back(r);
+    }
+  }
+  for (const Triple& t : schema_) out.graph.Add(t);
+  for (const auto& [r, d] : rd_) out.node_map.emplace(r, uri_of(d));
+  if (options_.record_members) {
+    for (const auto& [d, rs] : dr_) {
+      auto& v = out.members[uri_of(d)];
+      v.insert(v.end(), rs.begin(), rs.end());
+    }
+  }
+  out.stats = ComputeSummaryStats(out.graph, 0.0);
+  return out;
+}
+
+WeakSummaryMaintainer::NodeId WeakSummaryMaintainer::Get(
+    const std::unordered_map<TermId, NodeId>& m, TermId k) {
+  auto it = m.find(k);
+  return it == m.end() ? kNoNode : it->second;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,92 @@
+#ifndef RDFSUM_SUMMARY_MAINTENANCE_H_
+#define RDFSUM_SUMMARY_MAINTENANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "summary/incremental_weak.h"
+#include "summary/summary.h"
+
+namespace rdfsum::summary {
+
+/// Maintains the weak summary of a *growing* RDF graph under triple
+/// insertions, without ever re-reading the base data — the incremental
+/// direction the paper's conclusion opens (and the authors' follow-up work
+/// pursued). Because the weak summary is a union-find quotient, insertions
+/// only ever merge summary nodes, so a stream of AddTriple calls maintains
+/// exactly the state of the §6.2 algorithms.
+///
+/// Semantics guarantee: after any prefix of insertions, Snapshot() is
+/// isomorphic to Summarize(G_prefix, SummaryKind::kWeak) — insertion order
+/// never matters. Deletions are not supported (they can split classes, which
+/// a union-find cannot undo; the paper's system is also insert-only).
+class WeakSummaryMaintainer {
+ public:
+  explicit WeakSummaryMaintainer(std::shared_ptr<Dictionary> dict,
+                                 const IncrementalWeakOptions& options = {});
+
+  /// Seeds the maintainer with an existing graph (equivalent to adding all
+  /// of its triples).
+  explicit WeakSummaryMaintainer(const Graph& initial,
+                                 const IncrementalWeakOptions& options = {});
+
+  /// Routes one encoded triple to the data/type/schema handling. Duplicate
+  /// insertions are harmless (idempotent).
+  void AddTriple(const Triple& t);
+
+  /// Materializes the current summary (graph + node map). Cost is linear in
+  /// the summary size, not in the number of triples seen.
+  SummaryResult Snapshot() const;
+
+  uint64_t num_triples_seen() const { return triples_seen_; }
+
+  /// Current number of summary data nodes (including the pending typed-only
+  /// pool, which materializes as one Nτ node).
+  uint64_t num_summary_nodes() const;
+
+ private:
+  using NodeId = uint32_t;
+  static constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+  NodeId GetSource(TermId s, TermId p);
+  NodeId GetTarget(TermId o, TermId p);
+  NodeId CreateDataNode(TermId r);
+  void Represent(TermId r, NodeId d);
+  NodeId MergeDataNodes(NodeId a, NodeId b);
+  size_t EdgeCount(NodeId n) const;
+  static NodeId Get(const std::unordered_map<TermId, NodeId>& m, TermId k);
+
+  std::shared_ptr<Dictionary> dict_;
+  Vocabulary vocab_;
+  IncrementalWeakOptions options_;
+  uint64_t triples_seen_ = 0;
+  NodeId next_node_ = 0;
+
+  struct DataTriple {
+    NodeId src;
+    TermId p;
+    NodeId targ;
+  };
+
+  std::unordered_map<TermId, NodeId> rd_;
+  std::unordered_map<NodeId, std::vector<TermId>> dr_;
+  std::unordered_map<TermId, NodeId> dp_src_;
+  std::unordered_map<TermId, NodeId> dp_targ_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> src_dps_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> targ_dps_;
+  std::unordered_map<TermId, DataTriple> dtp_;
+  std::unordered_map<NodeId, std::unordered_set<TermId>> dcls_;
+  /// Resources seen only in τ triples so far, with their classes; they
+  /// migrate to a real node the moment a data triple mentions them.
+  std::unordered_map<TermId, std::unordered_set<TermId>> pending_typed_only_;
+  std::vector<Triple> schema_;
+  std::unordered_set<Triple, TripleHash> schema_seen_;
+};
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_MAINTENANCE_H_

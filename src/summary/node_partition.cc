@@ -1,0 +1,292 @@
+#include "summary/node_partition.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/graph_stats.h"
+#include "summary/cliques.h"
+#include "summary/union_find.h"
+
+namespace rdfsum::summary {
+namespace {
+
+/// Visits every data node of `g` in the canonical order used for class-id
+/// assignment: data triples (subject then object), then type subjects.
+template <typename Fn>
+void ForEachDataNodeInOrder(const Graph& g, Fn&& fn) {
+  for (const Triple& t : g.data()) {
+    fn(t.s);
+    fn(t.o);
+  }
+  for (const Triple& t : g.types()) fn(t.s);
+}
+
+/// Dense indexing of data nodes in canonical order.
+struct NodeIndex {
+  std::unordered_map<TermId, uint32_t> index_of;
+  std::vector<TermId> nodes;
+
+  explicit NodeIndex(const Graph& g) {
+    ForEachDataNodeInOrder(g, [&](TermId n) {
+      if (index_of.emplace(n, static_cast<uint32_t>(nodes.size())).second) {
+        nodes.push_back(n);
+      }
+    });
+  }
+};
+
+/// Renumbers an arbitrary raw-class assignment into dense, canonical ids.
+NodePartition Finalize(const Graph& g,
+                       const std::unordered_map<TermId, uint32_t>& raw) {
+  NodePartition out;
+  std::unordered_map<uint32_t, uint32_t> remap;
+  ForEachDataNodeInOrder(g, [&](TermId n) {
+    if (out.class_of.count(n)) return;
+    uint32_t raw_class = raw.at(n);
+    auto [it, inserted] =
+        remap.emplace(raw_class, static_cast<uint32_t>(remap.size()));
+    out.class_of.emplace(n, it->second);
+  });
+  out.num_classes = static_cast<uint32_t>(remap.size());
+  return out;
+}
+
+/// Sorted class set of every typed resource.
+std::unordered_map<TermId, std::vector<TermId>> ClassSets(const Graph& g) {
+  std::unordered_map<TermId, std::vector<TermId>> out;
+  for (const Triple& t : g.types()) out[t.s].push_back(t.o);
+  for (auto& [node, classes] : out) {
+    std::sort(classes.begin(), classes.end());
+    classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  }
+  return out;
+}
+
+constexpr uint32_t kUnassigned = 0xFFFFFFFFu;
+
+}  // namespace
+
+NodePartition ComputeWeakPartition(const Graph& g) {
+  NodeIndex idx(g);
+  UnionFind uf(static_cast<uint32_t>(idx.nodes.size()));
+  std::unordered_map<TermId, uint32_t> source_anchor;  // property -> node idx
+  std::unordered_map<TermId, uint32_t> target_anchor;
+  for (const Triple& t : g.data()) {
+    uint32_t si = idx.index_of.at(t.s);
+    uint32_t oi = idx.index_of.at(t.o);
+    auto [sit, s_new] = source_anchor.emplace(t.p, si);
+    if (!s_new) uf.Union(si, sit->second);
+    auto [tit, t_new] = target_anchor.emplace(t.p, oi);
+    if (!t_new) uf.Union(oi, tit->second);
+  }
+  // Typed-only resources (no data property at all) all map to Nτ: a single
+  // shared raw class.
+  std::unordered_set<TermId> in_data;
+  for (const Triple& t : g.data()) {
+    in_data.insert(t.s);
+    in_data.insert(t.o);
+  }
+  uint32_t ntau_raw = uf.size();  // any id distinct from all UF roots
+  std::unordered_map<TermId, uint32_t> raw;
+  ForEachDataNodeInOrder(g, [&](TermId n) {
+    if (raw.count(n)) return;
+    if (in_data.count(n)) {
+      raw.emplace(n, uf.Find(idx.index_of.at(n)));
+    } else {
+      raw.emplace(n, ntau_raw);
+    }
+  });
+  return Finalize(g, raw);
+}
+
+NodePartition ComputeStrongPartition(const Graph& g) {
+  PropertyCliques cliques = ComputePropertyCliques(g, CliqueScope::kAll);
+  // Raw class = dense id of the (source clique, target clique) pair; the
+  // (0,0) pair covers typed-only resources, realizing Nτ.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> pair_class;
+  std::unordered_map<TermId, uint32_t> raw;
+  ForEachDataNodeInOrder(g, [&](TermId n) {
+    if (raw.count(n)) return;
+    std::pair<uint32_t, uint32_t> key{cliques.SourceCliqueOf(n),
+                                      cliques.TargetCliqueOf(n)};
+    auto [it, inserted] =
+        pair_class.emplace(key, static_cast<uint32_t>(pair_class.size()));
+    raw.emplace(n, it->second);
+  });
+  return Finalize(g, raw);
+}
+
+NodePartition ComputeTypePartition(const Graph& g) {
+  auto class_sets = ClassSets(g);
+  std::map<std::vector<TermId>, uint32_t> set_class;
+  std::unordered_map<TermId, uint32_t> raw;
+  uint32_t next = 0;
+  ForEachDataNodeInOrder(g, [&](TermId n) {
+    if (raw.count(n)) return;
+    auto it = class_sets.find(n);
+    if (it == class_sets.end()) {
+      raw.emplace(n, next++);  // untyped: fresh class per node (C(∅))
+    } else {
+      auto [sit, inserted] = set_class.emplace(it->second, kUnassigned);
+      if (inserted) sit->second = next++;
+      raw.emplace(n, sit->second);
+    }
+  });
+  return Finalize(g, raw);
+}
+
+namespace {
+
+/// Shared scaffolding for TW/TS: typed nodes are grouped by class set; the
+/// untyped ones by the `assign_untyped` callback, which returns a raw class
+/// id in a namespace disjoint from the typed ids.
+template <typename AssignUntyped>
+NodePartition TypedPartition(const Graph& g, AssignUntyped&& assign_untyped) {
+  auto class_sets = ClassSets(g);
+  std::map<std::vector<TermId>, uint32_t> set_class;
+  std::unordered_map<TermId, uint32_t> raw;
+  uint32_t next_typed = 0;
+  constexpr uint32_t kUntypedBase = 0x80000000u;
+  ForEachDataNodeInOrder(g, [&](TermId n) {
+    if (raw.count(n)) return;
+    auto it = class_sets.find(n);
+    if (it != class_sets.end()) {
+      auto [sit, inserted] = set_class.emplace(it->second, kUnassigned);
+      if (inserted) sit->second = next_typed++;
+      raw.emplace(n, sit->second);
+    } else {
+      raw.emplace(n, kUntypedBase + assign_untyped(n));
+    }
+  });
+  return Finalize(g, raw);
+}
+
+}  // namespace
+
+NodePartition ComputeTypedWeakPartition(const Graph& g,
+                                        TypedSummaryMode mode) {
+  std::unordered_set<TermId> typed = TypedResources(g);
+  auto is_untyped = [&](TermId n) { return typed.count(n) == 0; };
+
+  NodeIndex idx(g);
+  UnionFind uf(static_cast<uint32_t>(idx.nodes.size()));
+  std::unordered_map<TermId, uint32_t> source_anchor;
+  std::unordered_map<TermId, uint32_t> target_anchor;
+  std::unordered_set<TermId> covered;  // untyped nodes that took part
+  for (const Triple& t : g.data()) {
+    bool s_ok, o_ok;
+    if (mode == TypedSummaryMode::kPerPropertyProjection) {
+      s_ok = is_untyped(t.s);
+      o_ok = is_untyped(t.o);
+    } else {
+      bool both = is_untyped(t.s) && is_untyped(t.o);
+      s_ok = both;
+      o_ok = both;
+    }
+    if (s_ok) {
+      uint32_t si = idx.index_of.at(t.s);
+      covered.insert(t.s);
+      auto [it, fresh] = source_anchor.emplace(t.p, si);
+      if (!fresh) uf.Union(si, it->second);
+    }
+    if (o_ok) {
+      uint32_t oi = idx.index_of.at(t.o);
+      covered.insert(t.o);
+      auto [it, fresh] = target_anchor.emplace(t.p, oi);
+      if (!fresh) uf.Union(oi, it->second);
+    }
+  }
+  uint32_t ntau_raw = uf.size();
+  return TypedPartition(g, [&](TermId n) -> uint32_t {
+    if (covered.count(n)) return uf.Find(idx.index_of.at(n));
+    // Untyped node outside the projection (only possible in
+    // kUntypedDataGraph mode): collapses into Nτ.
+    return ntau_raw;
+  });
+}
+
+NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
+                                           bool use_types) {
+  NodeIndex idx(g);
+  const uint32_t n = static_cast<uint32_t>(idx.nodes.size());
+
+  // Seed colors: class-set hash (or a shared constant).
+  std::vector<uint64_t> color(n, 0x9E3779B97F4A7C15ULL);
+  if (use_types) {
+    auto class_sets = ClassSets(g);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto it = class_sets.find(idx.nodes[i]);
+      if (it == class_sets.end()) continue;
+      uint64_t h = 0x12345;
+      for (TermId c : it->second) {
+        h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      }
+      color[i] = h;
+    }
+  }
+
+  // Pre-index adjacency as (direction, property, neighbor index).
+  struct Adj {
+    bool out;
+    TermId p;
+    uint32_t other;
+  };
+  std::vector<std::vector<Adj>> adj(n);
+  for (const Triple& t : g.data()) {
+    uint32_t si = idx.index_of.at(t.s);
+    uint32_t oi = idx.index_of.at(t.o);
+    adj[si].push_back({true, t.p, oi});
+    adj[oi].push_back({false, t.p, si});
+  }
+
+  for (uint32_t round = 0; round < depth; ++round) {
+    std::vector<uint64_t> next(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::vector<std::tuple<int, TermId, uint64_t>> sig;
+      sig.reserve(adj[i].size());
+      for (const Adj& a : adj[i]) {
+        sig.emplace_back(a.out ? 1 : 0, a.p, color[a.other]);
+      }
+      std::sort(sig.begin(), sig.end());
+      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+      uint64_t h = color[i] * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL;
+      for (const auto& [dir, p, c] : sig) {
+        h ^= (static_cast<uint64_t>(dir) * 0x2545F4914F6CDD1DULL + p) +
+             0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+        h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      }
+      next[i] = h;
+    }
+    color = std::move(next);
+  }
+
+  std::unordered_map<TermId, uint32_t> raw;
+  std::unordered_map<uint64_t, uint32_t> color_class;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto [it, inserted] = color_class.emplace(
+        color[i], static_cast<uint32_t>(color_class.size()));
+    raw.emplace(idx.nodes[i], it->second);
+  }
+  return Finalize(g, raw);
+}
+
+NodePartition ComputeTypedStrongPartition(const Graph& g,
+                                          TypedSummaryMode mode) {
+  std::unordered_set<TermId> typed = TypedResources(g);
+  CliqueScope scope = mode == TypedSummaryMode::kPerPropertyProjection
+                          ? CliqueScope::kUntypedEndpoints
+                          : CliqueScope::kUntypedDataGraph;
+  PropertyCliques cliques = ComputePropertyCliques(g, scope, &typed);
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> pair_class;
+  return TypedPartition(g, [&](TermId n) -> uint32_t {
+    std::pair<uint32_t, uint32_t> key{cliques.SourceCliqueOf(n),
+                                      cliques.TargetCliqueOf(n)};
+    auto [it, inserted] =
+        pair_class.emplace(key, static_cast<uint32_t>(pair_class.size()));
+    return it->second;
+  });
+}
+
+}  // namespace rdfsum::summary

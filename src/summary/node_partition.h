@@ -1,0 +1,54 @@
+#ifndef RDFSUM_SUMMARY_NODE_PARTITION_H_
+#define RDFSUM_SUMMARY_NODE_PARTITION_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "rdf/graph.h"
+#include "summary/summary.h"
+
+namespace rdfsum::summary {
+
+/// A partition of the data nodes of a graph into equivalence classes.
+/// Class ids are dense, assigned in first-encounter order over the data
+/// component (subjects, then objects, triple by triple) followed by the type
+/// component (subjects), which makes partitions deterministic for a given
+/// graph construction order.
+struct NodePartition {
+  std::unordered_map<TermId, uint32_t> class_of;
+  uint32_t num_classes = 0;
+};
+
+/// ≡W (Definition 7) with the Nτ convention: all typed-only resources form
+/// one class.
+NodePartition ComputeWeakPartition(const Graph& g);
+
+/// ≡S (Definition 7): same (source clique, target clique); typed-only
+/// resources have (∅,∅) and form one class (Nτ).
+NodePartition ComputeStrongPartition(const Graph& g);
+
+/// ≡T (Definition 8): typed resources grouped by their exact class set;
+/// every untyped data node is a singleton (C(∅) is fresh per call).
+NodePartition ComputeTypePartition(const Graph& g);
+
+/// TW's node partition: typed resources by class set; untyped resources by
+/// untyped-weak equivalence per `mode` (see TypedSummaryMode).
+NodePartition ComputeTypedWeakPartition(const Graph& g, TypedSummaryMode mode);
+
+/// TS's node partition: typed resources by class set; untyped resources by
+/// untyped-strong equivalence per `mode`.
+NodePartition ComputeTypedStrongPartition(const Graph& g,
+                                          TypedSummaryMode mode);
+
+/// Baseline from the paper's related work (§8): k-bounded forward+backward
+/// bisimulation over the data triples, seeded with class sets when
+/// `use_types` is set. Two nodes are equivalent iff their labeled
+/// neighborhoods agree up to `depth` hops. Unlike the paper's summaries its
+/// size grows with structural diversity — the blow-up
+/// bench_baseline_bisimulation measures.
+NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
+                                           bool use_types);
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_NODE_PARTITION_H_

@@ -1,0 +1,129 @@
+#include "summary/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "summary/node_partition.h"
+#include "summary/summarizer.h"
+#include "summary/union_find.h"
+#include "util/timer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+struct ShardResult {
+  // property -> first subject/object observed in this shard
+  std::unordered_map<TermId, TermId> src_anchor;
+  std::unordered_map<TermId, TermId> tgt_anchor;
+  // (node, node) pairs that must be unified
+  std::vector<std::pair<TermId, TermId>> unions;
+};
+
+void ProcessShard(const std::vector<Triple>& data, size_t begin, size_t end,
+                  ShardResult* out) {
+  for (size_t i = begin; i < end; ++i) {
+    const Triple& t = data[i];
+    auto [sit, s_new] = out->src_anchor.emplace(t.p, t.s);
+    if (!s_new && sit->second != t.s) out->unions.emplace_back(t.s, sit->second);
+    auto [tit, t_new] = out->tgt_anchor.emplace(t.p, t.o);
+    if (!t_new && tit->second != t.o) out->unions.emplace_back(t.o, tit->second);
+  }
+}
+
+}  // namespace
+
+SummaryResult ParallelWeakSummarize(const Graph& g,
+                                    const ParallelWeakOptions& options) {
+  Timer timer;
+  uint32_t threads = options.num_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const std::vector<Triple>& data = g.data();
+  threads = std::max<uint32_t>(
+      1, std::min<uint64_t>(threads, data.empty() ? 1 : data.size()));
+
+  // ---- Phase A: parallel shard scans.
+  std::vector<ShardResult> shards(threads);
+  {
+    std::vector<std::thread> workers;
+    size_t chunk = (data.size() + threads - 1) / threads;
+    for (uint32_t i = 0; i < threads; ++i) {
+      size_t begin = std::min<size_t>(i * chunk, data.size());
+      size_t end = std::min<size_t>(begin + chunk, data.size());
+      workers.emplace_back(ProcessShard, std::cref(data), begin, end,
+                           &shards[i]);
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // ---- Phase B: sequential union-find over all edges.
+  std::unordered_map<TermId, uint32_t> index_of;
+  std::vector<TermId> nodes;
+  UnionFind uf;
+  auto idx = [&](TermId n) {
+    auto [it, inserted] =
+        index_of.emplace(n, static_cast<uint32_t>(nodes.size()));
+    if (inserted) {
+      nodes.push_back(n);
+      uf.Add();
+    }
+    return it->second;
+  };
+  // Register all data endpoints in canonical (graph) order so class ids come
+  // out identical to the batch partition.
+  for (const Triple& t : data) {
+    idx(t.s);
+    idx(t.o);
+  }
+  for (const ShardResult& shard : shards) {
+    for (const auto& [a, b] : shard.unions) uf.Union(idx(a), idx(b));
+  }
+  // Cross-shard: all shard anchors of one property belong together.
+  std::unordered_map<TermId, uint32_t> global_src, global_tgt;
+  for (const ShardResult& shard : shards) {
+    for (const auto& [p, anchor] : shard.src_anchor) {
+      auto [it, inserted] = global_src.emplace(p, idx(anchor));
+      if (!inserted) uf.Union(it->second, idx(anchor));
+    }
+    for (const auto& [p, anchor] : shard.tgt_anchor) {
+      auto [it, inserted] = global_tgt.emplace(p, idx(anchor));
+      if (!inserted) uf.Union(it->second, idx(anchor));
+    }
+  }
+
+  // ---- Phase C: canonical partition + quotient (same as the batch path).
+  NodePartition part;
+  std::unordered_map<uint32_t, uint32_t> remap;
+  std::unordered_set<TermId> in_data(index_of.size());
+  auto assign = [&](TermId n, uint32_t raw) {
+    auto [it, inserted] =
+        remap.emplace(raw, static_cast<uint32_t>(remap.size()));
+    part.class_of.emplace(n, it->second);
+  };
+  for (const Triple& t : data) {
+    for (TermId n : {t.s, t.o}) {
+      if (in_data.insert(n).second) assign(n, uf.Find(index_of.at(n)));
+    }
+  }
+  // Typed-only resources -> a single Nτ class.
+  constexpr uint32_t kNTauRaw = 0xFFFFFFFFu;
+  for (const Triple& t : g.types()) {
+    if (!in_data.count(t.s) && !part.class_of.count(t.s)) {
+      assign(t.s, kNTauRaw);
+    }
+  }
+  part.num_classes = static_cast<uint32_t>(remap.size());
+
+  SummaryOptions sum_options;
+  sum_options.record_members = options.record_members;
+  SummaryResult out =
+      QuotientByPartition(g, part, SummaryKind::kWeak, sum_options);
+  out.stats.build_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,39 @@
+#ifndef RDFSUM_SUMMARY_PARALLEL_H_
+#define RDFSUM_SUMMARY_PARALLEL_H_
+
+#include <cstdint>
+
+#include "rdf/graph.h"
+#include "summary/summary.h"
+
+namespace rdfsum::summary {
+
+/// Options for the multi-threaded weak summarizer.
+struct ParallelWeakOptions {
+  /// 0 = std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+  bool record_members = false;
+};
+
+/// Shared-memory parallel weak summarization — the paper's §9 future-work
+/// direction ("improving scalability by leveraging a massively parallel
+/// platform"), realized with threads instead of Spark:
+///
+///   phase A (parallel)  : each thread scans a shard of the data triples and
+///                         emits shard-local per-property anchors plus
+///                         (node, anchor) union edges;
+///   phase B (sequential): one union-find pass over all shard edges, plus
+///                         cross-shard anchor unification per property;
+///   phase C (sequential): canonical class numbering and quotient
+///                         construction, identical to the batch path.
+///
+/// The result equals Summarize(g, SummaryKind::kWeak) exactly (same
+/// partition, not merely isomorphic), because weak equivalence is the
+/// union-find closure of "shares a property occurrence", which is
+/// shard-decomposable.
+SummaryResult ParallelWeakSummarize(const Graph& g,
+                                    const ParallelWeakOptions& options = {});
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_PARALLEL_H_

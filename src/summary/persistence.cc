@@ -1,0 +1,153 @@
+#include "summary/persistence.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/binary_io.h"
+
+namespace rdfsum::summary {
+namespace {
+
+constexpr char kMagic[9] = {'R', 'D', 'F', 'S', 'U', 'M', 'S', 'U', 'M'};
+constexpr uint32_t kVersion = 1;
+
+void PutTerm(std::ostream& os, const Term& t) {
+  os.put(static_cast<char>(t.kind));
+  PutString(os, t.lexical);
+  PutString(os, t.datatype);
+  PutString(os, t.language);
+}
+
+bool GetTerm(std::istream& is, Term* t) {
+  int kind = is.get();
+  if (kind < 0 || kind > 2) return false;
+  t->kind = static_cast<TermKind>(kind);
+  return GetString(is, &t->lexical) && GetString(is, &t->datatype) &&
+         GetString(is, &t->language);
+}
+
+}  // namespace
+
+Status SaveSummary(const SummaryResult& summary, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  os.write(kMagic, sizeof(kMagic));
+  PutU32(os, kVersion);
+  PutU32(os, static_cast<uint32_t>(summary.kind));
+
+  // Dictionary slice: every id referenced by the graph, the node map or the
+  // members. We simply dump the whole dictionary of the summary graph; it
+  // is shared with the base graph's, which keeps this simple and still
+  // bounded by the base dictionary size.
+  const Dictionary& dict = summary.graph.dict();
+  PutU64(os, dict.size() - 1);
+  for (TermId id = 1; id < dict.size(); ++id) PutTerm(os, dict.Decode(id));
+
+  PutU64(os, summary.graph.NumTriples());
+  summary.graph.ForEachTriple([&](const Triple& t) {
+    PutU32(os, t.s);
+    PutU32(os, t.p);
+    PutU32(os, t.o);
+  });
+
+  PutU64(os, summary.node_map.size());
+  for (const auto& [g_node, h_node] : summary.node_map) {
+    PutU32(os, g_node);
+    PutU32(os, h_node);
+  }
+
+  PutU64(os, summary.members.size());
+  for (const auto& [h_node, members] : summary.members) {
+    PutU32(os, h_node);
+    PutU64(os, members.size());
+    for (TermId m : members) PutU32(os, m);
+  }
+
+  os.flush();
+  if (!os) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<SummaryResult> LoadSummary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open " + path);
+  char magic[sizeof(kMagic)];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  uint32_t version = 0, kind_raw = 0;
+  if (!GetU32(is, &version) || version != kVersion) {
+    return Status::Corruption("unsupported version");
+  }
+  if (!GetU32(is, &kind_raw) ||
+      kind_raw > static_cast<uint32_t>(SummaryKind::kBisimulation)) {
+    return Status::Corruption("bad summary kind");
+  }
+
+  SummaryResult out;
+  out.kind = static_cast<SummaryKind>(kind_raw);
+  out.graph = Graph();  // fresh dictionary
+  Dictionary& dict = out.graph.dict();
+
+  uint64_t num_terms = 0;
+  if (!GetU64(is, &num_terms)) return Status::Corruption("truncated header");
+  // Map file ids to ids in the fresh dictionary. The fresh dictionary
+  // already interned the RDF/RDFS vocabulary, so ids can differ.
+  std::vector<TermId> remap(num_terms + 1, kInvalidTermId);
+  for (uint64_t i = 1; i <= num_terms; ++i) {
+    Term term;
+    if (!GetTerm(is, &term)) return Status::Corruption("truncated term");
+    remap[i] = dict.Encode(term);
+  }
+  auto mapped = [&](uint32_t id) -> TermId {
+    return id <= num_terms ? remap[id] : kInvalidTermId;
+  };
+
+  uint64_t num_triples = 0;
+  if (!GetU64(is, &num_triples)) return Status::Corruption("truncated count");
+  for (uint64_t i = 0; i < num_triples; ++i) {
+    uint32_t s, p, o;
+    if (!GetU32(is, &s) || !GetU32(is, &p) || !GetU32(is, &o)) {
+      return Status::Corruption("truncated triple");
+    }
+    TermId ms = mapped(s), mp = mapped(p), mo = mapped(o);
+    if (ms == kInvalidTermId || mp == kInvalidTermId || mo == kInvalidTermId) {
+      return Status::Corruption("triple references unknown term");
+    }
+    out.graph.Add(Triple{ms, mp, mo});
+  }
+
+  uint64_t num_mappings = 0;
+  if (!GetU64(is, &num_mappings)) return Status::Corruption("truncated map");
+  for (uint64_t i = 0; i < num_mappings; ++i) {
+    uint32_t g_node, h_node;
+    if (!GetU32(is, &g_node) || !GetU32(is, &h_node)) {
+      return Status::Corruption("truncated node map");
+    }
+    out.node_map.emplace(mapped(g_node), mapped(h_node));
+  }
+
+  uint64_t num_member_lists = 0;
+  if (!GetU64(is, &num_member_lists)) {
+    return Status::Corruption("truncated members");
+  }
+  for (uint64_t i = 0; i < num_member_lists; ++i) {
+    uint32_t h_node;
+    uint64_t count;
+    if (!GetU32(is, &h_node) || !GetU64(is, &count)) {
+      return Status::Corruption("truncated member list");
+    }
+    auto& v = out.members[mapped(h_node)];
+    v.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      uint32_t m;
+      if (!GetU32(is, &m)) return Status::Corruption("truncated member");
+      v.push_back(mapped(m));
+    }
+  }
+  out.stats = ComputeSummaryStats(out.graph, 0.0);
+  return out;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,25 @@
+#ifndef RDFSUM_SUMMARY_PERSISTENCE_H_
+#define RDFSUM_SUMMARY_PERSISTENCE_H_
+
+#include <string>
+
+#include "summary/summary.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdfsum::summary {
+
+/// Persists a computed summary — graph, node map and (when recorded)
+/// members — so downstream tools can reuse it without re-summarizing the
+/// base data (summaries are computed offline in the paper's workflow, §7).
+///
+/// The file embeds the dictionary entries it needs, so a loaded summary is
+/// self-contained: LoadSummary returns a result whose graph owns a fresh
+/// dictionary.
+Status SaveSummary(const SummaryResult& summary, const std::string& path);
+
+StatusOr<SummaryResult> LoadSummary(const std::string& path);
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_PERSISTENCE_H_

@@ -1,0 +1,117 @@
+#include "summary/property_checks.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "query/evaluator.h"
+#include "query/rbgp.h"
+#include "reasoner/saturation.h"
+#include "summary/isomorphism.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+
+bool CheckFixpoint(const Graph& g, SummaryKind kind,
+                   const SummaryOptions& options) {
+  SummaryResult h = Summarize(g, kind, options);
+  SummaryResult hh = Summarize(h.graph, kind, options);
+  return AreSummariesIsomorphic(h.graph, hh.graph);
+}
+
+bool CheckCompleteness(const Graph& g, SummaryKind kind,
+                       const SummaryOptions& options) {
+  Graph g_inf = reasoner::Saturate(g);
+  SummaryResult lhs = Summarize(g_inf, kind, options);
+
+  SummaryResult h = Summarize(g, kind, options);
+  Graph h_inf = reasoner::Saturate(h.graph);
+  SummaryResult rhs = Summarize(h_inf, kind, options);
+
+  return AreSummariesIsomorphic(lhs.graph, rhs.graph);
+}
+
+Status CheckHomomorphism(const Graph& g, const SummaryResult& summary) {
+  const Graph& h = summary.graph;
+  auto map = [&](TermId n) -> TermId {
+    auto it = summary.node_map.find(n);
+    return it == summary.node_map.end() ? kInvalidTermId : it->second;
+  };
+  for (const Triple& t : g.data()) {
+    TermId hs = map(t.s);
+    TermId ho = map(t.o);
+    if (hs == kInvalidTermId || ho == kInvalidTermId) {
+      return Status::Internal("data node missing from node_map");
+    }
+    if (!h.Contains(Triple{hs, t.p, ho})) {
+      return Status::Internal("data triple not preserved by quotient");
+    }
+  }
+  const TermId rdf_type = g.vocab().rdf_type;
+  for (const Triple& t : g.types()) {
+    TermId hs = map(t.s);
+    if (hs == kInvalidTermId) {
+      return Status::Internal("typed node missing from node_map");
+    }
+    if (!h.Contains(Triple{hs, rdf_type, t.o})) {
+      return Status::Internal("type triple not preserved by quotient");
+    }
+  }
+  for (const Triple& t : g.schema()) {
+    if (!h.Contains(t)) {
+      return Status::Internal("schema triple not preserved (SCH rule)");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckUniqueDataProperties(const Graph& g, const Graph& weak_summary) {
+  std::unordered_set<TermId> props_in_g;
+  for (const Triple& t : g.data()) props_in_g.insert(t.p);
+  std::unordered_map<TermId, uint32_t> edge_count;
+  for (const Triple& t : weak_summary.data()) ++edge_count[t.p];
+  for (TermId p : props_in_g) {
+    auto it = edge_count.find(p);
+    if (it == edge_count.end()) {
+      return Status::Internal("data property absent from the weak summary");
+    }
+    if (it->second != 1) {
+      return Status::Internal("data property appears " +
+                              std::to_string(it->second) +
+                              " times in the weak summary");
+    }
+  }
+  if (edge_count.size() != props_in_g.size()) {
+    return Status::Internal("weak summary invented data properties");
+  }
+  return Status::OK();
+}
+
+std::string RepresentativenessReport::ToString() const {
+  return std::to_string(represented) + "/" + std::to_string(queries) +
+         " RBGP queries represented";
+}
+
+RepresentativenessReport CheckRepresentativeness(
+    const Graph& g, SummaryKind kind, uint32_t num_queries,
+    uint32_t max_patterns_per_query, uint64_t seed,
+    const SummaryOptions& options) {
+  Graph g_inf = reasoner::Saturate(g);
+  SummaryResult h = Summarize(g, kind, options);
+  Graph h_inf = reasoner::Saturate(h.graph);
+  query::BgpEvaluator evaluator(h_inf);
+
+  Random rng(seed);
+  RepresentativenessReport report;
+  for (uint32_t i = 0; i < num_queries; ++i) {
+    query::RbgpGeneratorOptions gen;
+    gen.num_patterns = 1 + static_cast<uint32_t>(
+                               rng.Uniform(max_patterns_per_query));
+    query::BgpQuery q = query::GenerateRbgpQuery(g_inf, rng, gen);
+    if (q.triples.empty()) continue;
+    ++report.queries;
+    if (evaluator.ExistsMatch(q)) ++report.represented;
+  }
+  return report;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,52 @@
+#ifndef RDFSUM_SUMMARY_PROPERTY_CHECKS_H_
+#define RDFSUM_SUMMARY_PROPERTY_CHECKS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rdf/graph.h"
+#include "summary/summary.h"
+#include "util/status.h"
+
+namespace rdfsum::summary {
+
+/// Proposition 2 / 6 / 9 (fixpoint): summarizing a summary changes nothing,
+/// i.e. H(H_G) is isomorphic to H_G.
+bool CheckFixpoint(const Graph& g, SummaryKind kind,
+                   const SummaryOptions& options = {});
+
+/// Propositions 5 / 8 (completeness): Summary(G∞) equals
+/// Summary((Summary(G))∞) up to minted-node renaming. Holds for kWeak and
+/// kStrong; Propositions 7/10 exhibit counterexamples for TW/TS, which this
+/// function lets tests demonstrate.
+bool CheckCompleteness(const Graph& g, SummaryKind kind,
+                       const SummaryOptions& options = {});
+
+/// The quotient-map property underpinning Proposition 1: node_map is a
+/// homomorphism from G to the summary (every data/type triple of G maps to a
+/// triple of H; schema triples are preserved verbatim).
+Status CheckHomomorphism(const Graph& g, const SummaryResult& summary);
+
+/// Proposition 4: every data property of G appears on exactly one data edge
+/// of the weak summary.
+Status CheckUniqueDataProperties(const Graph& g, const Graph& weak_summary);
+
+/// Representativeness probe (Definition 1 instantiated on random RBGP
+/// queries): all generated queries are non-empty on G∞ by construction and
+/// are evaluated against (H_G)∞.
+struct RepresentativenessReport {
+  uint64_t queries = 0;
+  uint64_t represented = 0;
+
+  bool AllRepresented() const { return represented == queries; }
+  std::string ToString() const;
+};
+
+RepresentativenessReport CheckRepresentativeness(
+    const Graph& g, SummaryKind kind, uint32_t num_queries,
+    uint32_t max_patterns_per_query, uint64_t seed,
+    const SummaryOptions& options = {});
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_PROPERTY_CHECKS_H_

@@ -1,0 +1,114 @@
+#include "summary/summarizer.h"
+
+#include <string>
+#include <vector>
+
+#include "reasoner/saturation.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+NodePartition ComputePartition(const Graph& g, SummaryKind kind,
+                               const SummaryOptions& options) {
+  switch (kind) {
+    case SummaryKind::kWeak:
+      return ComputeWeakPartition(g);
+    case SummaryKind::kStrong:
+      return ComputeStrongPartition(g);
+    case SummaryKind::kTypedWeak:
+      return ComputeTypedWeakPartition(g, options.typed_mode);
+    case SummaryKind::kTypedStrong:
+      return ComputeTypedStrongPartition(g, options.typed_mode);
+    case SummaryKind::kTypeBased:
+      return ComputeTypePartition(g);
+    case SummaryKind::kBisimulation:
+      return ComputeBisimulationPartition(g, options.bisimulation_depth,
+                                          options.bisimulation_uses_types);
+  }
+  return ComputeWeakPartition(g);
+}
+
+}  // namespace
+
+SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
+                                  SummaryKind kind,
+                                  const SummaryOptions& options) {
+  Timer timer;
+  SummaryResult out;
+  out.kind = kind;
+  out.graph = Graph(g.dict_ptr());
+
+  // One minted node per equivalence class, in class-id order.
+  std::string tag = AsciiToLower(SummaryKindName(kind));
+  std::vector<TermId> class_node(part.num_classes, kInvalidTermId);
+  Dictionary& dict = out.graph.dict();
+  for (uint32_t c = 0; c < part.num_classes; ++c) {
+    class_node[c] = dict.MintNodeUri("node:" + tag);
+  }
+
+  auto map_node = [&](TermId n) { return class_node[part.class_of.at(n)]; };
+
+  for (const Triple& t : g.data()) {
+    out.graph.Add(Triple{map_node(t.s), t.p, map_node(t.o)});
+  }
+  const TermId rdf_type = g.vocab().rdf_type;
+  for (const Triple& t : g.types()) {
+    out.graph.Add(Triple{map_node(t.s), rdf_type, t.o});
+  }
+  for (const Triple& t : g.schema()) out.graph.Add(t);
+
+  out.node_map.reserve(part.class_of.size());
+  for (const auto& [n, c] : part.class_of) {
+    out.node_map.emplace(n, class_node[c]);
+  }
+  if (options.record_members) {
+    for (const auto& [n, c] : part.class_of) {
+      out.members[class_node[c]].push_back(n);
+    }
+  }
+  out.stats = ComputeSummaryStats(out.graph, timer.ElapsedSeconds());
+  return out;
+}
+
+SummaryResult Summarize(const Graph& g, SummaryKind kind,
+                        const SummaryOptions& options) {
+  Timer timer;
+  NodePartition part = ComputePartition(g, kind, options);
+  SummaryResult out = QuotientByPartition(g, part, kind, options);
+  out.stats.build_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
+                                            const SummaryOptions& options) {
+  Timer timer;
+  if (kind != SummaryKind::kWeak && kind != SummaryKind::kStrong) {
+    // No completeness guarantee (Propositions 7/10): saturate first.
+    Graph saturated = reasoner::Saturate(g);
+    SummaryResult out = Summarize(saturated, kind, options);
+    out.stats.build_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+  SummaryResult first = Summarize(g, kind, options);
+  Graph saturated_summary = reasoner::Saturate(first.graph);
+  SummaryResult second = Summarize(saturated_summary, kind, options);
+  // Compose the node maps so the result still maps G's data nodes.
+  std::unordered_map<TermId, TermId> composed;
+  composed.reserve(first.node_map.size());
+  for (const auto& [n, mid] : first.node_map) {
+    auto it = second.node_map.find(mid);
+    if (it != second.node_map.end()) composed.emplace(n, it->second);
+  }
+  second.node_map = std::move(composed);
+  if (options.record_members) {
+    std::unordered_map<TermId, std::vector<TermId>> members;
+    for (const auto& [n, h] : second.node_map) members[h].push_back(n);
+    second.members = std::move(members);
+  }
+  second.stats.build_seconds = timer.ElapsedSeconds();
+  return second;
+}
+
+}  // namespace rdfsum::summary

@@ -1,0 +1,38 @@
+#ifndef RDFSUM_SUMMARY_SUMMARIZER_H_
+#define RDFSUM_SUMMARY_SUMMARIZER_H_
+
+#include "rdf/graph.h"
+#include "summary/node_partition.h"
+#include "summary/summary.h"
+
+namespace rdfsum::summary {
+
+/// Builds the summary of `g` of the requested kind (Definition 9 quotient
+/// with the kind's equivalence relation):
+///   SCH      — schema triples are copied unchanged;
+///   TYP+DAT  — type and data triples are quotiented through the node
+///              partition, class nodes staying fixed.
+///
+/// The summary shares `g`'s dictionary; summary nodes are freshly minted
+/// urn:rdfsum: URIs (the dictionary is mutated through the shared pointer,
+/// which is why it is held by shared_ptr rather than by value).
+SummaryResult Summarize(const Graph& g, SummaryKind kind,
+                        const SummaryOptions& options = {});
+
+/// Builds the quotient of `g` through an explicit partition (exposed so
+/// callers can experiment with custom equivalence relations; Summarize is
+/// implemented on top of this).
+SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
+                                  SummaryKind kind,
+                                  const SummaryOptions& options = {});
+
+/// Computes Summary(G∞) via the completeness shortcut of Propositions 5/8:
+/// summarize G, saturate the (small) summary, summarize again. Only sound
+/// for kWeak and kStrong (Propositions 7/10 show TW/TS lack this property);
+/// other kinds fall back to saturating G first.
+SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
+                                            const SummaryOptions& options = {});
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_SUMMARIZER_H_

@@ -1,0 +1,50 @@
+#include "summary/summary.h"
+
+#include <sstream>
+
+#include "rdf/graph_stats.h"
+
+namespace rdfsum::summary {
+
+const char* SummaryKindName(SummaryKind kind) {
+  switch (kind) {
+    case SummaryKind::kWeak:
+      return "W";
+    case SummaryKind::kStrong:
+      return "S";
+    case SummaryKind::kTypedWeak:
+      return "TW";
+    case SummaryKind::kTypedStrong:
+      return "TS";
+    case SummaryKind::kTypeBased:
+      return "T";
+    case SummaryKind::kBisimulation:
+      return "BISIM";
+  }
+  return "?";
+}
+
+SummaryStats ComputeSummaryStats(const Graph& summary, double build_seconds) {
+  GraphStats gs = ComputeGraphStats(summary);
+  SummaryStats st;
+  st.num_data_nodes = gs.num_data_nodes;
+  st.num_class_nodes = gs.num_class_nodes;
+  st.num_all_nodes = gs.num_nodes;
+  st.num_data_edges = gs.num_data_edges;
+  st.num_type_edges = gs.num_type_edges;
+  st.num_schema_edges = gs.num_schema_edges;
+  st.num_all_edges = gs.num_edges;
+  st.build_seconds = build_seconds;
+  return st;
+}
+
+std::string SummaryStats::ToString() const {
+  std::ostringstream os;
+  os << "data nodes=" << num_data_nodes << ", class nodes=" << num_class_nodes
+     << ", all nodes=" << num_all_nodes << ", data edges=" << num_data_edges
+     << ", type edges=" << num_type_edges << ", all edges=" << num_all_edges
+     << ", build=" << build_seconds << "s";
+  return os.str();
+}
+
+}  // namespace rdfsum::summary

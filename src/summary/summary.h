@@ -1,0 +1,93 @@
+#ifndef RDFSUM_SUMMARY_SUMMARY_H_
+#define RDFSUM_SUMMARY_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+
+namespace rdfsum::summary {
+
+/// The five summary kinds of the paper — Definitions 11 (W), 15 (S),
+/// 14 (TW), 17 (TS) and the helper type-based summary of Definition 12 (T) —
+/// plus the related-work baseline the paper compares against in §8:
+/// a k-bounded bisimulation structural index ([14, 19] in the paper).
+enum class SummaryKind {
+  kWeak,
+  kStrong,
+  kTypedWeak,
+  kTypedStrong,
+  kTypeBased,
+  kBisimulation,
+};
+
+/// Short name used in minted URIs and reports: "W", "S", "TW", "TS", "T",
+/// "BISIM".
+const char* SummaryKindName(SummaryKind kind);
+
+/// All four quotient kinds in presentation order (excludes kTypeBased).
+inline constexpr SummaryKind kAllQuotientKinds[] = {
+    SummaryKind::kWeak, SummaryKind::kStrong, SummaryKind::kTypedWeak,
+    SummaryKind::kTypedStrong};
+
+/// How the typed summaries treat untyped resources; see DESIGN.md §2.2.
+enum class TypedSummaryMode {
+  /// §6 semantics (default): an untyped endpoint of a data triple is merged
+  /// per property, regardless of whether the other endpoint is typed.
+  /// Reproduces Figure 7 and the authors' data structures exactly.
+  kPerPropertyProjection,
+  /// Strict Definition 13/16: only data triples with both endpoints untyped
+  /// (the untyped data graph UD_G) induce equivalence; untyped resources
+  /// outside UD_G collapse into Nτ.
+  kUntypedDataGraph,
+};
+
+struct SummaryOptions {
+  TypedSummaryMode typed_mode = TypedSummaryMode::kPerPropertyProjection;
+  /// Fill SummaryResult::members (the paper's `dr` multimap).
+  bool record_members = false;
+  /// Refinement rounds for SummaryKind::kBisimulation: nodes are equivalent
+  /// iff their k-hop labeled neighborhoods are (k = depth). Larger depths
+  /// approach full bisimulation, whose size the paper's §8 warns "can be as
+  /// large as the input graph".
+  uint32_t bisimulation_depth = 2;
+  /// Seed the bisimulation colors with the nodes' class sets.
+  bool bisimulation_uses_types = true;
+};
+
+/// Sizes of a summary, in the measures reported by Figures 11 and 12.
+struct SummaryStats {
+  uint64_t num_data_nodes = 0;  // data nodes of the summary graph
+  uint64_t num_class_nodes = 0;
+  uint64_t num_all_nodes = 0;  // |H|n, including schema/property nodes
+  uint64_t num_data_edges = 0;
+  uint64_t num_type_edges = 0;
+  uint64_t num_schema_edges = 0;
+  uint64_t num_all_edges = 0;  // |H|e
+  double build_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+/// A summary H_G together with the representation mapping.
+struct SummaryResult {
+  SummaryKind kind = SummaryKind::kWeak;
+  /// The summary graph; shares the input graph's dictionary, with summary
+  /// nodes minted as urn:rdfsum: URIs.
+  Graph graph;
+  /// The paper's `rd` map: every data node of G -> its summary node.
+  std::unordered_map<TermId, TermId> node_map;
+  /// The paper's `dr` map (filled iff options.record_members).
+  std::unordered_map<TermId, std::vector<TermId>> members;
+  SummaryStats stats;
+};
+
+/// Fills a SummaryStats from a summary graph (node/edge accounting only;
+/// the caller supplies the build time).
+SummaryStats ComputeSummaryStats(const Graph& summary, double build_seconds);
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_SUMMARY_H_

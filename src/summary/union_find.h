@@ -1,0 +1,69 @@
+#ifndef RDFSUM_SUMMARY_UNION_FIND_H_
+#define RDFSUM_SUMMARY_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rdfsum::summary {
+
+/// Disjoint-set forest with union by size and path compression.
+/// Elements are dense indices 0..size()-1.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n = 0) { Grow(n); }
+
+  /// Adds `count` singleton sets; returns the index of the first one.
+  uint32_t Add(uint32_t count = 1) {
+    uint32_t first = static_cast<uint32_t>(parent_.size());
+    Grow(count);
+    return first;
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(parent_.size()); }
+  uint32_t NumSets() const { return num_sets_; }
+
+  uint32_t Find(uint32_t x) {
+    uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merges the sets of a and b; returns true iff they were distinct.
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return true;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  uint32_t SetSize(uint32_t x) { return size_[Find(x)]; }
+
+ private:
+  void Grow(uint32_t count) {
+    uint32_t start = static_cast<uint32_t>(parent_.size());
+    parent_.resize(start + count);
+    size_.resize(start + count, 1);
+    for (uint32_t i = start; i < parent_.size(); ++i) parent_[i] = i;
+    num_sets_ += count;
+  }
+
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  uint32_t num_sets_ = 0;
+};
+
+}  // namespace rdfsum::summary
+
+#endif  // RDFSUM_SUMMARY_UNION_FIND_H_

@@ -1,0 +1,60 @@
+#ifndef RDFSUM_UTIL_BINARY_IO_H_
+#define RDFSUM_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace rdfsum {
+
+/// Little helpers for the fixed-width binary formats used by the store and
+/// the summary persistence (native endianness; the files are caches, not
+/// interchange formats).
+
+inline void PutU32(std::ostream& os, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  os.write(buf, 4);
+}
+
+inline void PutU64(std::ostream& os, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  os.write(buf, 8);
+}
+
+inline void PutString(std::ostream& os, const std::string& s) {
+  PutU64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline bool GetU32(std::istream& is, uint32_t* v) {
+  char buf[4];
+  is.read(buf, 4);
+  if (!is) return false;
+  std::memcpy(v, buf, 4);
+  return true;
+}
+
+inline bool GetU64(std::istream& is, uint64_t* v) {
+  char buf[8];
+  is.read(buf, 8);
+  if (!is) return false;
+  std::memcpy(v, buf, 8);
+  return true;
+}
+
+inline bool GetString(std::istream& is, std::string* s) {
+  uint64_t len = 0;
+  if (!GetU64(is, &len)) return false;
+  if (len > (1ULL << 32)) return false;  // sanity bound
+  s->resize(len);
+  is.read(s->data(), static_cast<std::streamsize>(len));
+  return static_cast<bool>(is);
+}
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_UTIL_BINARY_IO_H_

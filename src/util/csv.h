@@ -1,0 +1,38 @@
+#ifndef RDFSUM_UTIL_CSV_H_
+#define RDFSUM_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rdfsum {
+
+/// Accumulates rows and renders them either as an aligned ASCII table (for
+/// terminal inspection of benchmark results, matching the tables in
+/// EXPERIMENTS.md) or as CSV (for plotting).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders an aligned, pipe-separated table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string ToCsv() const;
+
+  /// Writes the ASCII rendering preceded by `title`.
+  void Print(std::ostream& os, const std::string& title) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_UTIL_CSV_H_

@@ -1,0 +1,42 @@
+#ifndef RDFSUM_UTIL_LOGGING_H_
+#define RDFSUM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rdfsum {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted to stderr (default kWarning, so the
+/// library is silent in tests unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rdfsum
+
+#define RDFSUM_LOG(level)                                            \
+  ::rdfsum::internal::LogMessage(::rdfsum::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#endif  // RDFSUM_UTIL_LOGGING_H_

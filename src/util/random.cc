@@ -1,0 +1,111 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rdfsum {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+  // Avoid the all-zero state, which xoshiro cannot escape.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Random::UniformRange(uint64_t lo, uint64_t hi) {
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Random::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Random::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return Uniform(n);
+  // Approximate inverse CDF for the zipf distribution using the continuous
+  // approximation H(x) ~ (x^(1-s) - 1) / (1 - s), accurate enough for
+  // skewed workload generation.
+  const double u = NextDouble();
+  if (s == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    const double x = std::exp(u * hn) - 1.0;
+    uint64_t k = static_cast<uint64_t>(x);
+    return std::min<uint64_t>(k, n - 1);
+  }
+  const double one_minus_s = 1.0 - s;
+  const double hn =
+      (std::pow(static_cast<double>(n) + 1.0, one_minus_s) - 1.0) /
+      one_minus_s;
+  const double x = std::pow(u * hn * one_minus_s + 1.0, 1.0 / one_minus_s);
+  uint64_t k = x <= 1.0 ? 0 : static_cast<uint64_t>(x - 1.0);
+  return std::min<uint64_t>(k, n - 1);
+}
+
+std::vector<uint64_t> Random::SampleDistinct(uint64_t n, uint64_t k) {
+  k = std::min(n, k);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 2 >= n) {
+    // Partial Fisher-Yates over a materialized range.
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + Uniform(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  std::unordered_set<uint64_t> seen;
+  while (out.size() < k) {
+    uint64_t v = Uniform(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace rdfsum

@@ -1,0 +1,47 @@
+#ifndef RDFSUM_UTIL_RANDOM_H_
+#define RDFSUM_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rdfsum {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// All dataset generators take an explicit seed so experiments are exactly
+/// reproducible across runs and platforms; std::mt19937 distributions are
+/// not portable across standard library implementations, so we roll our own
+/// uniform / zipf sampling.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Next raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (s=0 -> uniform).
+  /// Uses an approximate inverse-CDF method; deterministic for a seed.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Samples k distinct indices from [0, n); k is clamped to n.
+  std::vector<uint64_t> SampleDistinct(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_UTIL_RANDOM_H_

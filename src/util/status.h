@@ -1,0 +1,89 @@
+#ifndef RDFSUM_UTIL_STATUS_H_
+#define RDFSUM_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rdfsum {
+
+/// Outcome of an operation that can fail, in the style of rocksdb::Status.
+///
+/// The library does not throw exceptions: fallible operations return a
+/// Status (or StatusOr<T>, see statusor.h) that callers must inspect.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kInvalidArgument = 1,
+    kNotFound = 2,
+    kCorruption = 3,
+    kIOError = 4,
+    kNotSupported = 5,
+    kInternal = 6,
+    kAlreadyExists = 7,
+  };
+
+  /// Creates an OK status. Equivalent to Status::OK().
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(Code::kInternal, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(Code::kAlreadyExists, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad IRI".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define RDFSUM_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::rdfsum::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_UTIL_STATUS_H_

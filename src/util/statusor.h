@@ -1,0 +1,68 @@
+#ifndef RDFSUM_UTIL_STATUSOR_H_
+#define RDFSUM_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rdfsum {
+
+/// Holds either a value of type T or a non-OK Status explaining why the value
+/// is absent. Mirrors absl::StatusOr / rocksdb's pattern of returning a
+/// Status plus an out-parameter, folded into one object.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Asserts that the status is not OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of `rexpr` (a StatusOr<T> expression) to `lhs`, or
+/// returns the error status from the enclosing function.
+#define RDFSUM_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  RDFSUM_ASSIGN_OR_RETURN_IMPL_(                   \
+      RDFSUM_STATUS_CONCAT_(_status_or, __LINE__), lhs, rexpr)
+
+#define RDFSUM_STATUS_CONCAT_INNER_(a, b) a##b
+#define RDFSUM_STATUS_CONCAT_(a, b) RDFSUM_STATUS_CONCAT_INNER_(a, b)
+#define RDFSUM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_UTIL_STATUSOR_H_

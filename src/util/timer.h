@@ -1,0 +1,39 @@
+#ifndef RDFSUM_UTIL_TIMER_H_
+#define RDFSUM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rdfsum {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMillis() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_UTIL_TIMER_H_

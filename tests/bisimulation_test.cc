@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "gen/bsbm.h"
+#include "gen/hetero.h"
+#include "gen/paper_example.h"
+#include "query/evaluator.h"
+#include "query/rbgp.h"
+#include "reasoner/saturation.h"
+#include "summary/node_partition.h"
+#include "summary/property_checks.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+TEST(BisimulationTest, DepthZeroUntypedCollapsesEverything) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  NodePartition part =
+      ComputeBisimulationPartition(ex.graph, /*depth=*/0, /*use_types=*/false);
+  EXPECT_EQ(part.num_classes, 1u);
+}
+
+TEST(BisimulationTest, DepthZeroWithTypesGroupsByClassSet) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  NodePartition part =
+      ComputeBisimulationPartition(ex.graph, 0, /*use_types=*/true);
+  // Class sets: {Book}, {Journal} (r2, r6), {Spec}, untyped -> 4 classes.
+  EXPECT_EQ(part.num_classes, 4u);
+  EXPECT_EQ(part.class_of.at(ex.r2), part.class_of.at(ex.r6));
+  EXPECT_NE(part.class_of.at(ex.r1), part.class_of.at(ex.r2));
+}
+
+TEST(BisimulationTest, RefinementIsMonotone) {
+  gen::HeteroOptions opt;
+  opt.seed = 31;
+  opt.num_nodes = 150;
+  Graph g = gen::GenerateHetero(opt);
+  uint32_t prev = 0;
+  for (uint32_t depth = 0; depth <= 4; ++depth) {
+    NodePartition part = ComputeBisimulationPartition(g, depth, true);
+    EXPECT_GE(part.num_classes, prev) << "depth " << depth;
+    prev = part.num_classes;
+  }
+}
+
+TEST(BisimulationTest, DepthOneSeparatesByPropertySignature) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p"), q = d.EncodeIri("q");
+  TermId x1 = d.EncodeIri("x1"), x2 = d.EncodeIri("x2"),
+         x3 = d.EncodeIri("x3");
+  g.Add({x1, p, d.EncodeIri("y1")});
+  g.Add({x2, p, d.EncodeIri("y2")});
+  g.Add({x3, q, d.EncodeIri("y3")});
+  NodePartition part = ComputeBisimulationPartition(g, 1, false);
+  // x1 ~ x2 (both have only outgoing p to an all-equal color), x3 differs.
+  EXPECT_EQ(part.class_of.at(x1), part.class_of.at(x2));
+  EXPECT_NE(part.class_of.at(x1), part.class_of.at(x3));
+}
+
+TEST(BisimulationTest, SummarizeFacadeWorks) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  SummaryOptions options;
+  options.bisimulation_depth = 2;
+  SummaryResult r = Summarize(ex.graph, SummaryKind::kBisimulation, options);
+  EXPECT_GT(r.stats.num_data_nodes, 0u);
+  EXPECT_TRUE(CheckHomomorphism(ex.graph, r).ok());
+  EXPECT_EQ(r.graph.schema().size(), ex.graph.schema().size());
+}
+
+TEST(BisimulationTest, QuotientIsStillRepresentative) {
+  // Any quotient summary is RBGP-representative — including the baseline.
+  gen::HeteroOptions opt;
+  opt.seed = 17;
+  opt.num_nodes = 90;
+  opt.type_probability = 0.4;
+  Graph g = gen::GenerateHetero(opt);
+  Graph g_inf = reasoner::Saturate(g);
+  SummaryResult h = Summarize(g, SummaryKind::kBisimulation);
+  Graph h_inf = reasoner::Saturate(h.graph);
+  query::BgpEvaluator eval(h_inf);
+  Random rng(5);
+  for (int i = 0; i < 25; ++i) {
+    query::BgpQuery q = query::GenerateRbgpQuery(g_inf, rng);
+    if (q.triples.empty()) continue;
+    EXPECT_TRUE(eval.ExistsMatch(q)) << q.ToString();
+  }
+}
+
+TEST(BisimulationTest, BlowsUpRelativeToWeakOnBsbm) {
+  // The §8 claim that motivates the paper's design: bisimulation grows with
+  // structural diversity, the W summary does not.
+  gen::BsbmOptions opt;
+  opt.num_products = 400;
+  Graph g = gen::GenerateBsbm(opt);
+  SummaryResult w = Summarize(g, SummaryKind::kWeak);
+  SummaryOptions deep;
+  deep.bisimulation_depth = 3;
+  SummaryResult bisim = Summarize(g, SummaryKind::kBisimulation, deep);
+  EXPECT_GT(bisim.stats.num_data_nodes, 10 * w.stats.num_data_nodes);
+}
+
+TEST(BisimulationTest, DeterministicAcrossRuns) {
+  gen::HeteroOptions opt;
+  opt.seed = 12;
+  Graph g = gen::GenerateHetero(opt);
+  NodePartition a = ComputeBisimulationPartition(g, 2, true);
+  NodePartition b = ComputeBisimulationPartition(g, 2, true);
+  EXPECT_EQ(a.num_classes, b.num_classes);
+  for (const auto& [n, c] : a.class_of) EXPECT_EQ(b.class_of.at(n), c);
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

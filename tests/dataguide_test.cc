@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gen/bsbm.h"
+#include "gen/hetero.h"
+#include "gen/paper_example.h"
+#include "summary/dataguide.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+/// Enumerates all label paths of length <= k starting anywhere in `from`
+/// (for the graph) or at the guide root, as sorted sequences.
+std::set<std::vector<TermId>> LabelPaths(const Graph& g,
+                                         const std::vector<TermId>& starts,
+                                         int k) {
+  std::unordered_map<TermId, std::vector<std::pair<TermId, TermId>>> adj;
+  for (const Triple& t : g.data()) adj[t.s].push_back({t.p, t.o});
+  std::set<std::vector<TermId>> out;
+  struct Frame {
+    TermId node;
+    std::vector<TermId> path;
+  };
+  std::vector<Frame> stack;
+  for (TermId s : starts) stack.push_back({s, {}});
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (!f.path.empty()) out.insert(f.path);
+    if (static_cast<int>(f.path.size()) >= k) continue;
+    auto it = adj.find(f.node);
+    if (it == adj.end()) continue;
+    for (const auto& [p, o] : it->second) {
+      Frame next = f;
+      next.path.push_back(p);
+      next.node = o;
+      stack.push_back(std::move(next));
+    }
+  }
+  return out;
+}
+
+TEST(DataguideTest, ChainGraph) {
+  // a -p-> b -q-> c : guide is root -p-> {b} -q-> {c}... with root covering a.
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p"), q = d.EncodeIri("q");
+  g.Add({d.EncodeIri("a"), p, d.EncodeIri("b")});
+  g.Add({d.EncodeIri("b"), q, d.EncodeIri("c")});
+  auto guide = BuildStrongDataguide(g);
+  ASSERT_TRUE(guide.ok()) << guide.status().ToString();
+  EXPECT_EQ(guide->num_states, 3u);  // {a}, {b}, {c}
+  EXPECT_EQ(guide->num_edges, 2u);
+}
+
+TEST(DataguideTest, SharedStructureCollapses) {
+  // Two parallel sources with the same property collapse into one guide
+  // path.
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p");
+  g.Add({d.EncodeIri("a1"), p, d.EncodeIri("b1")});
+  g.Add({d.EncodeIri("a2"), p, d.EncodeIri("b2")});
+  auto guide = BuildStrongDataguide(g);
+  ASSERT_TRUE(guide.ok());
+  EXPECT_EQ(guide->num_states, 2u);  // root {a1,a2} and {b1,b2}
+  EXPECT_EQ(guide->num_edges, 1u);
+}
+
+TEST(DataguideTest, EachPathAppearsOnce) {
+  // Determinism: every guide state has at most one outgoing edge per label.
+  gen::Figure2Example ex = gen::BuildFigure2();
+  auto guide = BuildStrongDataguide(ex.graph);
+  ASSERT_TRUE(guide.ok());
+  std::set<std::pair<TermId, TermId>> seen;
+  for (const Triple& t : guide->graph.data()) {
+    EXPECT_TRUE(seen.insert({t.s, t.p}).second)
+        << "two edges with one label from one state";
+  }
+}
+
+class DataguidePathTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DataguidePathTest, PathLanguageIsPreserved) {
+  // The defining Dataguide property: label paths from the guide root are
+  // exactly the label paths of the graph (from its root set).
+  gen::HeteroOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 25;
+  opt.num_properties = 4;
+  opt.mean_out_degree = 1.6;
+  opt.type_probability = 0.0;
+  opt.literal_fraction = 0.3;
+  Graph g = gen::GenerateHetero(opt);
+  DataguideOptions dgopt;
+  dgopt.record_extents = true;
+  auto guide = BuildStrongDataguide(g, dgopt);
+  ASSERT_TRUE(guide.ok()) << guide.status().ToString();
+
+  // Graph-side starts: the guide root's extent.
+  std::vector<TermId> starts = guide->extents.at(guide->root);
+  auto graph_paths = LabelPaths(g, starts, 3);
+  auto guide_paths = LabelPaths(guide->graph, {guide->root}, 3);
+  EXPECT_EQ(graph_paths, guide_paths);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataguidePathTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(DataguideTest, CyclicGraphUsesAllSubjectsAsRoots) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p");
+  TermId a = d.EncodeIri("a"), b = d.EncodeIri("b");
+  g.Add({a, p, b});
+  g.Add({b, p, a});
+  auto guide = BuildStrongDataguide(g);
+  ASSERT_TRUE(guide.ok());
+  EXPECT_GE(guide->num_states, 1u);
+  // Follow p from the root: must stay within the guide forever (cycle).
+  EXPECT_GE(guide->num_edges, 1u);
+}
+
+TEST(DataguideTest, MaxStatesGuardTriggers) {
+  gen::HeteroOptions opt;
+  opt.seed = 3;
+  opt.num_nodes = 200;
+  opt.num_properties = 8;
+  opt.mean_out_degree = 3.0;
+  Graph g = gen::GenerateHetero(opt);
+  DataguideOptions dgopt;
+  dgopt.max_states = 5;
+  auto guide = BuildStrongDataguide(g, dgopt);
+  EXPECT_TRUE(guide.status().IsNotSupported());
+}
+
+TEST(DataguideTest, EmptyGraph) {
+  Graph g;
+  auto guide = BuildStrongDataguide(g);
+  ASSERT_TRUE(guide.ok());
+  EXPECT_EQ(guide->num_states, 1u);  // just the (empty) root
+  EXPECT_EQ(guide->num_edges, 0u);
+}
+
+TEST(DataguideTest, TypicallyLargerThanWeakSummaryOnBsbm) {
+  gen::BsbmOptions opt;
+  opt.num_products = 150;
+  Graph g = gen::GenerateBsbm(opt);
+  auto guide = BuildStrongDataguide(g);
+  ASSERT_TRUE(guide.ok());
+  SummaryResult w = Summarize(g, SummaryKind::kWeak);
+  EXPECT_GT(guide->num_states, w.stats.num_data_nodes);
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "gen/bsbm.h"
+#include "gen/hetero.h"
+#include "gen/lubm.h"
+#include "io/ntriples_writer.h"
+#include "rdf/graph_stats.h"
+#include "reasoner/saturation.h"
+
+namespace rdfsum::gen {
+namespace {
+
+TEST(BsbmGeneratorTest, DeterministicForSeed) {
+  BsbmOptions opt;
+  opt.num_products = 80;
+  Graph a = GenerateBsbm(opt);
+  Graph b = GenerateBsbm(opt);
+  EXPECT_EQ(a.NumTriples(), b.NumTriples());
+  EXPECT_EQ(io::NTriplesWriter::ToString(a), io::NTriplesWriter::ToString(b));
+}
+
+TEST(BsbmGeneratorTest, SeedChangesData) {
+  BsbmOptions a_opt, b_opt;
+  a_opt.num_products = b_opt.num_products = 50;
+  b_opt.seed = a_opt.seed + 1;
+  Graph a = GenerateBsbm(a_opt);
+  Graph b = GenerateBsbm(b_opt);
+  EXPECT_NE(io::NTriplesWriter::ToString(a), io::NTriplesWriter::ToString(b));
+}
+
+TEST(BsbmGeneratorTest, TripleCountNearEstimate) {
+  BsbmOptions opt;
+  opt.num_products = 200;
+  Graph g = GenerateBsbm(opt);
+  uint64_t approx = ApproxBsbmTriples(opt);
+  EXPECT_GT(g.NumTriples(), approx / 2);
+  EXPECT_LT(g.NumTriples(), approx * 2);
+}
+
+TEST(BsbmGeneratorTest, ScalesWithProducts) {
+  BsbmOptions small, large;
+  small.num_products = 50;
+  large.num_products = 500;
+  EXPECT_GT(GenerateBsbm(large).NumTriples(),
+            5 * GenerateBsbm(small).NumTriples());
+}
+
+TEST(BsbmGeneratorTest, IsWellBehaved) {
+  BsbmOptions opt;
+  opt.num_products = 100;
+  Graph g = GenerateBsbm(opt);
+  EXPECT_TRUE(CheckWellBehaved(g).ok());
+}
+
+TEST(BsbmGeneratorTest, HasSchemaAndHeterogeneousTypes) {
+  BsbmOptions opt;
+  opt.num_products = 150;
+  Graph g = GenerateBsbm(opt);
+  GraphStats st = ComputeGraphStats(g);
+  EXPECT_GT(st.num_schema_edges, 10u);
+  // Product-type tree: dozens of classes in use.
+  EXPECT_GT(st.num_class_nodes, 10u);
+  // Untyped offers exist.
+  EXPECT_GT(st.num_untyped_resources, 0u);
+}
+
+TEST(BsbmGeneratorTest, UntypedFractionZeroTypesAllOffers) {
+  BsbmOptions opt;
+  opt.num_products = 60;
+  opt.untyped_offer_fraction = 0.0;
+  Graph g = GenerateBsbm(opt);
+  // Every offer subject must be typed: saturation adds no types for offers.
+  // Spot check: all data subjects with an offerProduct edge are typed.
+  TermId offer_product =
+      g.dict().Lookup(Term::Iri("http://bsbm.example.org/offerProduct"));
+  ASSERT_NE(offer_product, kInvalidTermId);
+  auto typed = TypedResources(g);
+  for (const Triple& t : g.data()) {
+    if (t.p == offer_product) {
+      EXPECT_TRUE(typed.count(t.s));
+    }
+  }
+}
+
+TEST(BsbmGeneratorTest, NoSchemaOption) {
+  BsbmOptions opt;
+  opt.num_products = 40;
+  opt.include_schema = false;
+  Graph g = GenerateBsbm(opt);
+  EXPECT_EQ(g.schema().size(), 0u);
+}
+
+TEST(BsbmGeneratorTest, ProductsForTriplesInverse) {
+  uint64_t products = BsbmProductsForTriples(100000);
+  BsbmOptions opt;
+  opt.num_products = products;
+  Graph g = GenerateBsbm(opt);
+  EXPECT_GT(g.NumTriples(), 50000u);
+  EXPECT_LT(g.NumTriples(), 200000u);
+}
+
+// ---------------------------------------------------------------- LUBM
+
+TEST(LubmGeneratorTest, Deterministic) {
+  LubmOptions opt;
+  opt.num_universities = 1;
+  EXPECT_EQ(io::NTriplesWriter::ToString(GenerateLubm(opt)),
+            io::NTriplesWriter::ToString(GenerateLubm(opt)));
+}
+
+TEST(LubmGeneratorTest, WellBehavedAndScales) {
+  LubmOptions one, three;
+  one.num_universities = 1;
+  three.num_universities = 3;
+  Graph g1 = GenerateLubm(one);
+  Graph g3 = GenerateLubm(three);
+  EXPECT_TRUE(CheckWellBehaved(g1).ok());
+  EXPECT_GT(g3.NumTriples(), 2 * g1.NumTriples());
+  EXPECT_GT(g1.NumTriples(), ApproxLubmTriplesPerUniversity() / 2);
+}
+
+TEST(LubmGeneratorTest, DeepHierarchySaturates) {
+  LubmOptions opt;
+  opt.num_universities = 1;
+  Graph g = GenerateLubm(opt);
+  Graph sat = reasoner::Saturate(g);
+  // FullProfessor chains to Person: 4 extra types per professor at least.
+  EXPECT_GT(sat.types().size(), g.types().size() * 2);
+}
+
+TEST(LubmGeneratorTest, UntypedPublicationsTypedBySaturation) {
+  LubmOptions opt;
+  opt.num_universities = 1;
+  opt.untyped_publication_fraction = 1.0;
+  Graph g = GenerateLubm(opt);
+  Graph sat = reasoner::Saturate(g);
+  TermId publication =
+      g.dict().Lookup(Term::Iri("http://lubm.example.org/Publication"));
+  TermId pub_author =
+      g.dict().Lookup(Term::Iri("http://lubm.example.org/publicationAuthor"));
+  ASSERT_NE(publication, kInvalidTermId);
+  auto typed_after = TypedResources(sat);
+  for (const Triple& t : g.data()) {
+    if (t.p == pub_author) {
+      EXPECT_TRUE(sat.Contains({t.s, g.vocab().rdf_type, publication}));
+    }
+  }
+  (void)typed_after;
+}
+
+// ---------------------------------------------------------------- hetero
+
+TEST(HeteroGeneratorTest, Deterministic) {
+  HeteroOptions opt;
+  opt.seed = 123;
+  EXPECT_EQ(io::NTriplesWriter::ToString(GenerateHetero(opt)),
+            io::NTriplesWriter::ToString(GenerateHetero(opt)));
+}
+
+TEST(HeteroGeneratorTest, WellBehaved) {
+  for (uint64_t seed : {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}) {
+    HeteroOptions opt;
+    opt.seed = seed;
+    Graph g = GenerateHetero(opt);
+    EXPECT_TRUE(CheckWellBehaved(g).ok()) << "seed " << seed;
+  }
+}
+
+TEST(HeteroGeneratorTest, RespectsTypeProbabilityExtremes) {
+  HeteroOptions none, all;
+  none.type_probability = 0.0;
+  all.type_probability = 1.0;
+  none.seed = all.seed = 9;
+  EXPECT_EQ(GenerateHetero(none).types().size(), 0u);
+  Graph g_all = GenerateHetero(all);
+  GraphStats st = ComputeGraphStats(g_all);
+  // Every node that appears only in data triples as pure literal targets may
+  // stay untyped, but resource nodes are all typed.
+  EXPECT_GT(st.num_typed_resources, 0u);
+  EXPECT_EQ(g_all.types().empty(), false);
+}
+
+TEST(HeteroGeneratorTest, LiteralFractionProducesLiterals) {
+  HeteroOptions opt;
+  opt.literal_fraction = 1.0;
+  opt.seed = 4;
+  Graph g = GenerateHetero(opt);
+  bool any_literal = false;
+  for (const Triple& t : g.data()) {
+    if (g.dict().Decode(t.o).is_literal()) any_literal = true;
+  }
+  EXPECT_TRUE(any_literal);
+}
+
+TEST(HeteroGeneratorTest, SchemaKnobs) {
+  HeteroOptions opt;
+  opt.num_subclass_edges = 0;
+  opt.num_subproperty_edges = 0;
+  opt.num_domain_constraints = 0;
+  opt.num_range_constraints = 0;
+  Graph g = GenerateHetero(opt);
+  EXPECT_EQ(g.schema().size(), 0u);
+}
+
+TEST(HeteroGeneratorTest, EmptyNodesYieldsEmptyGraph) {
+  HeteroOptions opt;
+  opt.num_nodes = 0;
+  Graph g = GenerateHetero(opt);
+  EXPECT_EQ(g.data().size(), 0u);
+}
+
+}  // namespace
+}  // namespace rdfsum::gen

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "gen/hetero.h"
+#include "rdf/graph.h"
+#include "summary/isomorphism.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+/// Builds a little summary-like graph: minted nodes m0..m(n-1) plus fixed
+/// vocabulary.
+struct Builder {
+  Graph g;
+  std::vector<TermId> minted;
+
+  explicit Builder(int n) {
+    for (int i = 0; i < n; ++i) minted.push_back(g.dict().MintNodeUri("t"));
+  }
+  TermId fixed(const char* name) { return g.dict().EncodeIri(name); }
+};
+
+TEST(IsomorphismTest, IdenticalGraphs) {
+  Builder a(2), b(2);
+  TermId p_a = a.fixed("p"), p_b = b.fixed("p");
+  a.g.Add({a.minted[0], p_a, a.minted[1]});
+  b.g.Add({b.minted[0], p_b, b.minted[1]});
+  EXPECT_TRUE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, MintedRenamingIsIgnored) {
+  Builder a(2), b(2);
+  TermId p_a = a.fixed("p"), p_b = b.fixed("p");
+  a.g.Add({a.minted[0], p_a, a.minted[1]});
+  // Reverse roles of the minted ids in b.
+  b.g.Add({b.minted[1], p_b, b.minted[0]});
+  EXPECT_TRUE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, FixedNodesMustMatchExactly) {
+  Builder a(1), b(1);
+  a.g.Add({a.minted[0], a.fixed("p"), a.fixed("x")});
+  b.g.Add({b.minted[0], b.fixed("p"), b.fixed("y")});
+  EXPECT_FALSE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, EdgeDirectionMatters) {
+  Builder a(2), b(2);
+  TermId q_a = a.fixed("q"), q_b = b.fixed("q");
+  TermId r_a = a.fixed("r"), r_b = b.fixed("r");
+  // a: m0 -q-> m1, m0 -r-> m1 ; b: m0 -q-> m1, m1 -r-> m0.
+  a.g.Add({a.minted[0], q_a, a.minted[1]});
+  a.g.Add({a.minted[0], r_a, a.minted[1]});
+  b.g.Add({b.minted[0], q_b, b.minted[1]});
+  b.g.Add({b.minted[1], r_b, b.minted[0]});
+  EXPECT_FALSE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, DifferentSizesRejectQuickly) {
+  Builder a(1), b(2);
+  a.g.Add({a.minted[0], a.fixed("p"), a.fixed("x")});
+  b.g.Add({b.minted[0], b.fixed("p"), b.fixed("x")});
+  b.g.Add({b.minted[1], b.fixed("p"), b.fixed("x")});
+  EXPECT_FALSE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, CycleVsPath) {
+  Builder a(3), b(3);
+  TermId p_a = a.fixed("p"), p_b = b.fixed("p");
+  // a: 3-cycle; b: path of 3 plus closing edge elsewhere — not isomorphic.
+  a.g.Add({a.minted[0], p_a, a.minted[1]});
+  a.g.Add({a.minted[1], p_a, a.minted[2]});
+  a.g.Add({a.minted[2], p_a, a.minted[0]});
+  b.g.Add({b.minted[0], p_b, b.minted[1]});
+  b.g.Add({b.minted[1], p_b, b.minted[2]});
+  b.g.Add({b.minted[0], p_b, b.minted[2]});
+  EXPECT_FALSE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, CycleRotation) {
+  Builder a(4), b(4);
+  TermId p_a = a.fixed("p"), p_b = b.fixed("p");
+  for (int i = 0; i < 4; ++i) {
+    a.g.Add({a.minted[i], p_a, a.minted[(i + 1) % 4]});
+    b.g.Add({b.minted[(i + 1) % 4], p_b, b.minted[(i + 2) % 4]});
+  }
+  EXPECT_TRUE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, SelfLoops) {
+  Builder a(1), b(1);
+  a.g.Add({a.minted[0], a.fixed("p"), a.minted[0]});
+  b.g.Add({b.minted[0], b.fixed("p"), b.minted[0]});
+  EXPECT_TRUE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, LiteralsCompareByValue) {
+  Builder a(1), b(1);
+  a.g.Add({a.minted[0], a.fixed("p"),
+           a.g.dict().Encode(Term::Literal("same"))});
+  b.g.Add({b.minted[0], b.fixed("p"),
+           b.g.dict().Encode(Term::Literal("same"))});
+  EXPECT_TRUE(AreSummariesIsomorphic(a.g, b.g));
+  Builder c(1);
+  c.g.Add({c.minted[0], c.fixed("p"),
+           c.g.dict().Encode(Term::Literal("different"))});
+  EXPECT_FALSE(AreSummariesIsomorphic(a.g, c.g));
+}
+
+TEST(IsomorphismTest, SymmetricStarsWithDifferentFixedAnchors) {
+  // Two stars around minted hubs; anchors differ by one fixed leaf.
+  Builder a(1), b(1);
+  TermId p_a = a.fixed("p"), p_b = b.fixed("p");
+  a.g.Add({a.minted[0], p_a, a.fixed("leaf1")});
+  a.g.Add({a.minted[0], p_a, a.fixed("leaf2")});
+  b.g.Add({b.minted[0], p_b, b.fixed("leaf1")});
+  b.g.Add({b.minted[0], p_b, b.fixed("leaf3")});
+  EXPECT_FALSE(AreSummariesIsomorphic(a.g, b.g));
+}
+
+TEST(IsomorphismTest, EmptyGraphs) {
+  Graph a, b;
+  EXPECT_TRUE(AreSummariesIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, TwoSummariesOfSameGraphAreIsomorphic) {
+  gen::HeteroOptions opt;
+  opt.seed = 77;
+  opt.num_nodes = 150;
+  Graph g = gen::GenerateHetero(opt);
+  // Two runs mint different URIs but must be recognized as the same summary.
+  SummaryResult r1 = Summarize(g, SummaryKind::kStrong);
+  SummaryResult r2 = Summarize(g, SummaryKind::kStrong);
+  EXPECT_TRUE(AreSummariesIsomorphic(r1.graph, r2.graph));
+}
+
+TEST(IsomorphismTest, DifferentKindsDiffer) {
+  gen::HeteroOptions opt;
+  opt.seed = 78;
+  opt.num_nodes = 150;
+  opt.type_probability = 0.5;
+  Graph g = gen::GenerateHetero(opt);
+  SummaryResult w = Summarize(g, SummaryKind::kWeak);
+  SummaryResult tw = Summarize(g, SummaryKind::kTypedWeak);
+  // With typed nodes present these differ (almost surely at this size).
+  EXPECT_FALSE(AreSummariesIsomorphic(w.graph, tw.graph));
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/hetero.h"
+#include "io/dot_writer.h"
+#include "io/ntriples_parser.h"
+#include "io/ntriples_writer.h"
+#include "rdf/graph.h"
+
+namespace rdfsum {
+namespace {
+
+using io::NTriplesParser;
+using io::NTriplesWriter;
+using io::ParseOptions;
+using io::ParseStats;
+
+Graph ParseOk(const std::string& text) {
+  Graph g;
+  ParseStats stats;
+  Status st = NTriplesParser::ParseString(text, &g, &stats);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return g;
+}
+
+TEST(NTriplesParserTest, BasicTriple) {
+  Graph g = ParseOk("<http://s> <http://p> <http://o> .\n");
+  EXPECT_EQ(g.NumTriples(), 1u);
+  EXPECT_EQ(g.data().size(), 1u);
+}
+
+TEST(NTriplesParserTest, LiteralObject) {
+  Graph g = ParseOk("<http://s> <http://p> \"hello world\" .");
+  const Term& o = g.dict().Decode(g.data()[0].o);
+  EXPECT_TRUE(o.is_literal());
+  EXPECT_EQ(o.lexical, "hello world");
+}
+
+TEST(NTriplesParserTest, LangLiteral) {
+  Graph g = ParseOk("<http://s> <http://p> \"bonjour\"@fr .");
+  const Term& o = g.dict().Decode(g.data()[0].o);
+  EXPECT_EQ(o.language, "fr");
+}
+
+TEST(NTriplesParserTest, TypedLiteral) {
+  Graph g = ParseOk(
+      "<http://s> <http://p> "
+      "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .");
+  const Term& o = g.dict().Decode(g.data()[0].o);
+  EXPECT_EQ(o.datatype, "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(NTriplesParserTest, BlankNodes) {
+  Graph g = ParseOk("_:b1 <http://p> _:b2 .");
+  EXPECT_TRUE(g.dict().Decode(g.data()[0].s).is_blank());
+  EXPECT_TRUE(g.dict().Decode(g.data()[0].o).is_blank());
+}
+
+TEST(NTriplesParserTest, BlankNodeBeforeTerminatorWithoutSpace) {
+  Graph g = ParseOk("<http://s> <http://p> _:b1.");
+  EXPECT_TRUE(g.dict().Decode(g.data()[0].o).is_blank());
+  EXPECT_EQ(g.dict().Decode(g.data()[0].o).lexical, "b1");
+}
+
+TEST(NTriplesParserTest, EscapesInLiterals) {
+  Graph g = ParseOk(R"(<http://s> <http://p> "a\tb\nc\"d\\e" .)");
+  EXPECT_EQ(g.dict().Decode(g.data()[0].o).lexical, "a\tb\nc\"d\\e");
+}
+
+TEST(NTriplesParserTest, UnicodeEscapes) {
+  Graph g = ParseOk(R"(<http://s> <http://p> "café \U0001F600" .)");
+  EXPECT_EQ(g.dict().Decode(g.data()[0].o).lexical,
+            "caf\xC3\xA9 \xF0\x9F\x98\x80");
+}
+
+TEST(NTriplesParserTest, CommentsAndBlankLines) {
+  Graph g = ParseOk(
+      "# a comment\n"
+      "\n"
+      "   \t\n"
+      "<http://s> <http://p> <http://o> .\n"
+      "# trailing comment\n");
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(NTriplesParserTest, CrLfLineEndings) {
+  Graph g = ParseOk("<http://s> <http://p> <http://o> .\r\n");
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(NTriplesParserTest, RdfTypeRoutesToTypeComponent) {
+  Graph g = ParseOk(
+      "<http://s> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> "
+      "<http://C> .");
+  EXPECT_EQ(g.types().size(), 1u);
+  EXPECT_EQ(g.data().size(), 0u);
+}
+
+TEST(NTriplesParserTest, SchemaRoutesToSchemaComponent) {
+  Graph g = ParseOk(
+      "<http://C1> <http://www.w3.org/2000/01/rdf-schema#subClassOf> "
+      "<http://C2> .");
+  EXPECT_EQ(g.schema().size(), 1u);
+}
+
+TEST(NTriplesParserTest, StatsCountDuplicates) {
+  Graph g;
+  ParseStats stats;
+  std::string text =
+      "<http://s> <http://p> <http://o> .\n"
+      "<http://s> <http://p> <http://o> .\n";
+  ASSERT_TRUE(NTriplesParser::ParseString(text, &g, &stats).ok());
+  EXPECT_EQ(stats.triples, 2u);
+  EXPECT_EQ(stats.duplicates, 1u);
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+// ------------------------------------------------------------- error cases
+
+void ExpectParseError(const std::string& text) {
+  Graph g;
+  Status st = NTriplesParser::ParseString(text, &g, nullptr);
+  EXPECT_FALSE(st.ok()) << "accepted: " << text;
+}
+
+TEST(NTriplesParserTest, RejectsMissingDot) {
+  ExpectParseError("<http://s> <http://p> <http://o>");
+}
+
+TEST(NTriplesParserTest, RejectsLiteralSubject) {
+  ExpectParseError("\"lit\" <http://p> <http://o> .");
+}
+
+TEST(NTriplesParserTest, RejectsLiteralProperty) {
+  ExpectParseError("<http://s> \"p\" <http://o> .");
+}
+
+TEST(NTriplesParserTest, RejectsBlankProperty) {
+  ExpectParseError("<http://s> _:p <http://o> .");
+}
+
+TEST(NTriplesParserTest, RejectsUnterminatedIri) {
+  ExpectParseError("<http://s <http://p> <http://o> .");
+}
+
+TEST(NTriplesParserTest, RejectsUnterminatedLiteral) {
+  ExpectParseError("<http://s> <http://p> \"open .");
+}
+
+TEST(NTriplesParserTest, RejectsBadEscape) {
+  ExpectParseError(R"(<http://s> <http://p> "bad\q" .)");
+}
+
+TEST(NTriplesParserTest, RejectsBadUnicodeEscape) {
+  ExpectParseError(R"(<http://s> <http://p> "bad\uZZZZ" .)");
+}
+
+TEST(NTriplesParserTest, RejectsTrailingGarbage) {
+  ExpectParseError("<http://s> <http://p> <http://o> . extra");
+}
+
+TEST(NTriplesParserTest, RejectsEmptyIri) {
+  ExpectParseError("<> <http://p> <http://o> .");
+}
+
+TEST(NTriplesParserTest, ErrorMentionsLineNumber) {
+  Graph g;
+  Status st = NTriplesParser::ParseString(
+      "<http://s> <http://p> <http://o> .\nbroken line\n", &g);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesParserTest, LenientModeSkipsBadLines) {
+  Graph g;
+  ParseStats stats;
+  ParseOptions options;
+  options.strict = false;
+  std::string text =
+      "<http://s> <http://p> <http://o> .\n"
+      "garbage\n"
+      "<http://s> <http://p> <http://o2> .\n";
+  ASSERT_TRUE(NTriplesParser::ParseString(text, &g, &stats, options).ok());
+  EXPECT_EQ(g.NumTriples(), 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+}
+
+TEST(NTriplesParserTest, ParseTermStandalone) {
+  auto t = NTriplesParser::ParseTerm("\"x\"@en");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->language, "en");
+  EXPECT_FALSE(NTriplesParser::ParseTerm("<http://a> junk").ok());
+}
+
+TEST(NTriplesParserTest, MissingFileIsIOError) {
+  Graph g;
+  Status st = NTriplesParser::ParseFile("/nonexistent/file.nt", &g);
+  EXPECT_TRUE(st.IsIOError());
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(NTriplesRoundTripTest, WriterOutputReparsesIdentically) {
+  gen::HeteroOptions opt;
+  opt.num_nodes = 60;
+  opt.seed = 99;
+  Graph g = gen::GenerateHetero(opt);
+
+  std::string text = NTriplesWriter::ToString(g);
+  Graph g2;
+  ASSERT_TRUE(NTriplesParser::ParseString(text, &g2).ok());
+  EXPECT_EQ(g2.NumTriples(), g.NumTriples());
+  // Same triples term-by-term.
+  g.ForEachTriple([&](const Triple& t) {
+    Triple mapped{g2.dict().Lookup(g.dict().Decode(t.s)),
+                  g2.dict().Lookup(g.dict().Decode(t.p)),
+                  g2.dict().Lookup(g.dict().Decode(t.o))};
+    EXPECT_TRUE(g2.Contains(mapped));
+  });
+}
+
+TEST(NTriplesRoundTripTest, EscapedLiteralsSurvive) {
+  Graph g;
+  g.AddTerms(Term::Iri("http://s"), Term::Iri("http://p"),
+             Term::Literal("line1\nline2\t\"quoted\" back\\slash"));
+  std::string text = NTriplesWriter::ToString(g);
+  Graph g2;
+  ASSERT_TRUE(NTriplesParser::ParseString(text, &g2).ok());
+  EXPECT_EQ(g2.dict().Decode(g2.data()[0].o).lexical,
+            "line1\nline2\t\"quoted\" back\\slash");
+}
+
+TEST(NTriplesRoundTripTest, FileRoundTrip) {
+  Graph g;
+  g.AddIris("http://s", "http://p", "http://o");
+  std::string path = testing::TempDir() + "/roundtrip.nt";
+  ASSERT_TRUE(NTriplesWriter::WriteFile(g, path).ok());
+  Graph g2;
+  ASSERT_TRUE(NTriplesParser::ParseFile(path, &g2).ok());
+  EXPECT_EQ(g2.NumTriples(), 1u);
+}
+
+// ------------------------------------------------------------- dot writer
+
+TEST(DotWriterTest, EmitsClassBoxesAndEdges) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId s = d.EncodeIri("http://x/s"), p = d.EncodeIri("http://x/knows"),
+         o = d.EncodeIri("http://x/o"), c = d.EncodeIri("http://x/Person");
+  g.Add({s, p, o});
+  g.Add({s, g.vocab().rdf_type, c});
+  std::string dot = io::DotWriter::ToString(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"knows\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotWriterTest, LocalNames) {
+  EXPECT_EQ(io::IriLocalName("http://a/b#c"), "c");
+  EXPECT_EQ(io::IriLocalName("http://a/b/c"), "c");
+  EXPECT_EQ(io::IriLocalName("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace rdfsum

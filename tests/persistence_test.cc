@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "gen/bsbm.h"
+#include "gen/paper_example.h"
+#include "query/evaluator.h"
+#include "query/rbgp.h"
+#include "reasoner/saturation.h"
+#include "summary/isomorphism.h"
+#include "summary/persistence.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+TEST(PersistenceTest, RoundTripWeakSummary) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  SummaryOptions options;
+  options.record_members = true;
+  SummaryResult original = Summarize(ex.graph, SummaryKind::kWeak, options);
+
+  std::string path = testing::TempDir() + "/weak.rdfsum";
+  ASSERT_TRUE(SaveSummary(original, path).ok());
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->kind, SummaryKind::kWeak);
+  EXPECT_EQ(loaded->graph.NumTriples(), original.graph.NumTriples());
+  EXPECT_TRUE(AreSummariesIsomorphic(loaded->graph, original.graph));
+  EXPECT_EQ(loaded->node_map.size(), original.node_map.size());
+  EXPECT_EQ(loaded->members.size(), original.members.size());
+  EXPECT_EQ(loaded->stats.num_data_nodes, original.stats.num_data_nodes);
+}
+
+TEST(PersistenceTest, NodeMapSurvivesAcrossDictionaries) {
+  // The loaded summary has a fresh dictionary, but decoded terms must agree.
+  gen::Figure2Example ex = gen::BuildFigure2();
+  SummaryResult original = Summarize(ex.graph, SummaryKind::kStrong);
+  std::string path = testing::TempDir() + "/strong.rdfsum";
+  ASSERT_TRUE(SaveSummary(original, path).ok());
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok());
+
+  // Look up r1 by its decoded term in the loaded dictionary.
+  TermId r1_loaded =
+      loaded->graph.dict().Lookup(ex.graph.dict().Decode(ex.r1));
+  ASSERT_NE(r1_loaded, kInvalidTermId);
+  auto it = loaded->node_map.find(r1_loaded);
+  ASSERT_NE(it, loaded->node_map.end());
+  // Its summary node renders the same as in the original.
+  EXPECT_EQ(loaded->graph.dict().Decode(it->second),
+            original.graph.dict().Decode(original.node_map.at(ex.r1)));
+}
+
+TEST(PersistenceTest, LoadedSummaryAnswersQueries) {
+  // Workflow: summarize offline, persist, reload elsewhere, use for
+  // pruning — representativeness must survive the round trip.
+  gen::BsbmOptions opt;
+  opt.num_products = 80;
+  Graph g = gen::GenerateBsbm(opt);
+  Graph g_inf = reasoner::Saturate(g);
+  SummaryResult original = Summarize(g, SummaryKind::kWeak);
+
+  std::string path = testing::TempDir() + "/bsbm.rdfsum";
+  ASSERT_TRUE(SaveSummary(original, path).ok());
+  auto loaded = LoadSummary(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Graph h_inf = reasoner::Saturate(loaded->graph);
+  query::BgpEvaluator eval(h_inf);
+  Random rng(3);
+  for (int i = 0; i < 15; ++i) {
+    query::BgpQuery q = query::GenerateRbgpQuery(g_inf, rng);
+    if (q.triples.empty()) continue;
+    EXPECT_TRUE(eval.ExistsMatch(q)) << q.ToString();
+  }
+}
+
+TEST(PersistenceTest, AllKindsRoundTrip) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  for (SummaryKind kind : kAllQuotientKinds) {
+    SummaryResult original = Summarize(ex.graph, kind);
+    std::string path = testing::TempDir() + "/kind.rdfsum";
+    ASSERT_TRUE(SaveSummary(original, path).ok());
+    auto loaded = LoadSummary(path);
+    ASSERT_TRUE(loaded.ok()) << SummaryKindName(kind);
+    EXPECT_EQ(loaded->kind, kind);
+    EXPECT_TRUE(AreSummariesIsomorphic(loaded->graph, original.graph))
+        << SummaryKindName(kind);
+  }
+}
+
+TEST(PersistenceTest, RejectsGarbageAndTruncation) {
+  std::string path = testing::TempDir() + "/garbage.rdfsum";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a summary";
+  }
+  EXPECT_TRUE(LoadSummary(path).status().IsCorruption());
+
+  gen::Figure2Example ex = gen::BuildFigure2();
+  SummaryResult original = Summarize(ex.graph, SummaryKind::kWeak);
+  std::string good = testing::TempDir() + "/good.rdfsum";
+  ASSERT_TRUE(SaveSummary(original, good).ok());
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::string truncated_path = testing::TempDir() + "/trunc.rdfsum";
+  {
+    std::ofstream out(truncated_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  EXPECT_FALSE(LoadSummary(truncated_path).ok());
+}
+
+TEST(PersistenceTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadSummary("/nonexistent.rdfsum").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

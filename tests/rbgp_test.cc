@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "gen/hetero.h"
+#include "gen/paper_example.h"
+#include "query/evaluator.h"
+#include "query/rbgp.h"
+#include "query/sparql_parser.h"
+#include "reasoner/saturation.h"
+
+namespace rdfsum::query {
+namespace {
+
+BgpQuery MustParse(const std::string& text) {
+  auto q = ParseSparql(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(RbgpValidationTest, AcceptsPaperExample) {
+  // The sample RBGP from §2.2.
+  BgpQuery q = MustParse(
+      "PREFIX e: <http://ex/>\n"
+      "SELECT ?x1 ?x3 WHERE { ?x1 a e:Book . ?x1 e:author ?x2 . "
+      "?x2 e:reviewed ?x3 }");
+  EXPECT_TRUE(ValidateRbgp(q).ok());
+}
+
+TEST(RbgpValidationTest, RejectsVariableProperty) {
+  BgpQuery q = MustParse("SELECT ?x WHERE { ?x ?p ?y }");
+  EXPECT_FALSE(ValidateRbgp(q).ok());
+}
+
+TEST(RbgpValidationTest, RejectsConstantSubject) {
+  BgpQuery q = MustParse("SELECT ?y WHERE { <http://s> <http://p> ?y }");
+  EXPECT_FALSE(ValidateRbgp(q).ok());
+}
+
+TEST(RbgpValidationTest, RejectsConstantNonTypeObject) {
+  BgpQuery q = MustParse("SELECT ?x WHERE { ?x <http://p> \"v\" }");
+  EXPECT_FALSE(ValidateRbgp(q).ok());
+}
+
+TEST(RbgpValidationTest, RejectsVariableTypeObject) {
+  BgpQuery q = MustParse("SELECT ?x WHERE { ?x a ?c }");
+  EXPECT_FALSE(ValidateRbgp(q).ok());
+}
+
+TEST(RbgpValidationTest, AcceptsTypeWithUriObject) {
+  BgpQuery q = MustParse("SELECT ?x WHERE { ?x a <http://C> }");
+  EXPECT_TRUE(ValidateRbgp(q).ok());
+}
+
+// ---------------------------------------------------------------- generator
+
+class RbgpGeneratorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbgpGeneratorTest, GeneratedQueriesAreValidRbgp) {
+  gen::HeteroOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 80;
+  Graph g = gen::GenerateHetero(opt);
+  Random rng(GetParam() * 7 + 1);
+  for (int i = 0; i < 30; ++i) {
+    RbgpGeneratorOptions gen_opt;
+    gen_opt.num_patterns = 1 + static_cast<uint32_t>(rng.Uniform(5));
+    BgpQuery q = GenerateRbgpQuery(g, rng, gen_opt);
+    ASSERT_FALSE(q.triples.empty());
+    EXPECT_TRUE(ValidateRbgp(q).ok()) << q.ToString();
+    EXPECT_LE(q.triples.size(), gen_opt.num_patterns + 8u);
+  }
+}
+
+TEST_P(RbgpGeneratorTest, GeneratedQueriesAreNonEmptyOnSource) {
+  // The witness-subgraph construction guarantees non-emptiness.
+  gen::HeteroOptions opt;
+  opt.seed = GetParam() + 500;
+  opt.num_nodes = 70;
+  opt.type_probability = 0.5;
+  Graph g = gen::GenerateHetero(opt);
+  Graph sat = reasoner::Saturate(g);
+  BgpEvaluator eval(sat);
+  Random rng(GetParam() * 13 + 3);
+  for (int i = 0; i < 25; ++i) {
+    BgpQuery q = GenerateRbgpQuery(sat, rng);
+    ASSERT_FALSE(q.triples.empty());
+    EXPECT_TRUE(eval.ExistsMatch(q)) << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbgpGeneratorTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RbgpGeneratorTest2, EmptyGraphYieldsEmptyQuery) {
+  Graph g;
+  Random rng(1);
+  BgpQuery q = GenerateRbgpQuery(g, rng);
+  EXPECT_TRUE(q.triples.empty());
+}
+
+TEST(RbgpGeneratorTest2, TypesOnlyGraphYieldsTypePattern) {
+  Graph g;
+  Dictionary& d = g.dict();
+  g.Add({d.EncodeIri("x"), g.vocab().rdf_type, d.EncodeIri("C")});
+  Random rng(2);
+  BgpQuery q = GenerateRbgpQuery(g, rng);
+  ASSERT_EQ(q.triples.size(), 1u);
+  EXPECT_TRUE(ValidateRbgp(q).ok());
+  BgpEvaluator eval(g);
+  EXPECT_TRUE(eval.ExistsMatch(q));
+}
+
+TEST(RbgpGeneratorTest2, VariablesAreConsistentPerNode) {
+  // The same graph node must always become the same variable within one
+  // query (joins are real, not accidental).
+  gen::Figure2Example ex = gen::BuildFigure2();
+  Random rng(5);
+  for (int i = 0; i < 20; ++i) {
+    RbgpGeneratorOptions opt;
+    opt.num_patterns = 4;
+    BgpQuery q = GenerateRbgpQuery(ex.graph, rng, opt);
+    BgpEvaluator eval(ex.graph);
+    EXPECT_TRUE(eval.ExistsMatch(q)) << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace rdfsum::query

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "gen/lubm.h"
+#include "gen/paper_example.h"
+#include "rdf/graph.h"
+#include "reasoner/saturation.h"
+#include "reasoner/schema_index.h"
+
+namespace rdfsum {
+namespace {
+
+using reasoner::SaturationStats;
+using reasoner::SchemaIndex;
+
+// Small helper to express triples readably.
+struct Fixture {
+  Graph g;
+  Dictionary& d = g.dict();
+  const Vocabulary& v = g.vocab();
+
+  TermId iri(const char* x) { return d.EncodeIri(x); }
+};
+
+TEST(SchemaIndexTest, SubclassTransitivity) {
+  Fixture f;
+  TermId a = f.iri("A"), b = f.iri("B"), c = f.iri("C");
+  f.g.Add({a, f.v.subclass, b});
+  f.g.Add({b, f.v.subclass, c});
+  SchemaIndex idx(f.g);
+  auto supers = idx.SuperClasses(a);
+  EXPECT_EQ(supers.size(), 2u);
+  EXPECT_TRUE(idx.SuperClasses(c).empty());
+}
+
+TEST(SchemaIndexTest, SubpropertyTransitivity) {
+  Fixture f;
+  TermId p = f.iri("p"), q = f.iri("q"), r = f.iri("r");
+  f.g.Add({p, f.v.subproperty, q});
+  f.g.Add({q, f.v.subproperty, r});
+  SchemaIndex idx(f.g);
+  EXPECT_EQ(idx.SuperProperties(p).size(), 2u);
+}
+
+TEST(SchemaIndexTest, CyclesDoNotHang) {
+  Fixture f;
+  TermId a = f.iri("A"), b = f.iri("B");
+  f.g.Add({a, f.v.subclass, b});
+  f.g.Add({b, f.v.subclass, a});
+  SchemaIndex idx(f.g);
+  // Each gets the other as a superclass; no self entry, no infinite loop.
+  EXPECT_EQ(idx.SuperClasses(a).size(), 1u);
+  EXPECT_EQ(idx.SuperClasses(b).size(), 1u);
+}
+
+TEST(SchemaIndexTest, DomainInheritedThroughSubproperty) {
+  Fixture f;
+  TermId p = f.iri("p"), q = f.iri("q"), c = f.iri("C");
+  f.g.Add({p, f.v.subproperty, q});
+  f.g.Add({q, f.v.domain, c});
+  SchemaIndex idx(f.g);
+  auto domains = idx.Domains(p);
+  ASSERT_EQ(domains.size(), 1u);
+  EXPECT_EQ(domains[0], c);
+}
+
+TEST(SchemaIndexTest, DomainClosedUnderSubclass) {
+  Fixture f;
+  TermId p = f.iri("p"), c1 = f.iri("C1"), c2 = f.iri("C2");
+  f.g.Add({p, f.v.domain, c1});
+  f.g.Add({c1, f.v.subclass, c2});
+  SchemaIndex idx(f.g);
+  EXPECT_EQ(idx.Domains(p).size(), 2u);
+}
+
+TEST(SchemaIndexTest, RangeMirrorsDomain) {
+  Fixture f;
+  TermId p = f.iri("p"), q = f.iri("q"), c1 = f.iri("C1"), c2 = f.iri("C2");
+  f.g.Add({p, f.v.subproperty, q});
+  f.g.Add({q, f.v.range, c1});
+  f.g.Add({c1, f.v.subclass, c2});
+  SchemaIndex idx(f.g);
+  EXPECT_EQ(idx.Ranges(p).size(), 2u);
+  EXPECT_TRUE(idx.Domains(p).empty());
+}
+
+TEST(SchemaIndexTest, NoSchema) {
+  Fixture f;
+  f.g.Add({f.iri("s"), f.iri("p"), f.iri("o")});
+  SchemaIndex idx(f.g);
+  EXPECT_FALSE(idx.HasSchema());
+  EXPECT_TRUE(idx.SuperClasses(f.iri("s")).empty());
+}
+
+// ---------------------------------------------------------------- rules
+
+TEST(SaturationTest, SubpropertyPropagatesDataTriple) {
+  Fixture f;
+  TermId s = f.iri("s"), o = f.iri("o"), p = f.iri("p"), q = f.iri("q");
+  f.g.Add({s, p, o});
+  f.g.Add({p, f.v.subproperty, q});
+  Graph sat = reasoner::Saturate(f.g);
+  EXPECT_TRUE(sat.Contains({s, q, o}));
+}
+
+TEST(SaturationTest, DomainRuleTypesSubject) {
+  Fixture f;
+  TermId s = f.iri("s"), o = f.iri("o"), p = f.iri("p"), c = f.iri("C");
+  f.g.Add({s, p, o});
+  f.g.Add({p, f.v.domain, c});
+  Graph sat = reasoner::Saturate(f.g);
+  EXPECT_TRUE(sat.Contains({s, f.v.rdf_type, c}));
+  EXPECT_FALSE(sat.Contains({o, f.v.rdf_type, c}));
+}
+
+TEST(SaturationTest, RangeRuleTypesObject) {
+  Fixture f;
+  TermId s = f.iri("s"), o = f.iri("o"), p = f.iri("p"), c = f.iri("C");
+  f.g.Add({s, p, o});
+  f.g.Add({p, f.v.range, c});
+  Graph sat = reasoner::Saturate(f.g);
+  EXPECT_TRUE(sat.Contains({o, f.v.rdf_type, c}));
+}
+
+TEST(SaturationTest, SubclassPropagatesTypes) {
+  Fixture f;
+  TermId s = f.iri("s"), c1 = f.iri("C1"), c2 = f.iri("C2");
+  f.g.Add({s, f.v.rdf_type, c1});
+  f.g.Add({c1, f.v.subclass, c2});
+  Graph sat = reasoner::Saturate(f.g);
+  EXPECT_TRUE(sat.Contains({s, f.v.rdf_type, c2}));
+}
+
+TEST(SaturationTest, ChainedRulesCompose) {
+  // s p o, p ≺sp q, q ←↩d C1, C1 ≺sc C2 ⊢ s τ C2 (and s q o, s τ C1).
+  Fixture f;
+  TermId s = f.iri("s"), o = f.iri("o"), p = f.iri("p"), q = f.iri("q");
+  TermId c1 = f.iri("C1"), c2 = f.iri("C2");
+  f.g.Add({s, p, o});
+  f.g.Add({p, f.v.subproperty, q});
+  f.g.Add({q, f.v.domain, c1});
+  f.g.Add({c1, f.v.subclass, c2});
+  Graph sat = reasoner::Saturate(f.g);
+  EXPECT_TRUE(sat.Contains({s, q, o}));
+  EXPECT_TRUE(sat.Contains({s, f.v.rdf_type, c1}));
+  EXPECT_TRUE(sat.Contains({s, f.v.rdf_type, c2}));
+}
+
+TEST(SaturationTest, SchemaComponentIsClosed) {
+  Fixture f;
+  TermId p = f.iri("p"), q = f.iri("q"), c1 = f.iri("C1"), c2 = f.iri("C2");
+  f.g.Add({p, f.v.subproperty, q});
+  f.g.Add({q, f.v.domain, c1});
+  f.g.Add({c1, f.v.subclass, c2});
+  Graph sat = reasoner::Saturate(f.g);
+  // Derived schema triples: p ←↩d C1 (sp inheritance), p/q ←↩d C2 (sc).
+  EXPECT_TRUE(sat.Contains({p, f.v.domain, c1}));
+  EXPECT_TRUE(sat.Contains({p, f.v.domain, c2}));
+  EXPECT_TRUE(sat.Contains({q, f.v.domain, c2}));
+}
+
+TEST(SaturationTest, BookExampleImplicitTriples) {
+  // §2.1: the four implicit triples listed in the paper.
+  gen::BookExample ex = gen::BuildBookExample();
+  const Graph& g = ex.graph;
+  Graph sat = reasoner::Saturate(g);
+  const Vocabulary& v = g.vocab();
+
+  EXPECT_TRUE(sat.Contains({ex.doi1, v.rdf_type, ex.publication}));
+  EXPECT_TRUE(sat.Contains({ex.doi1, ex.has_author, ex.b1}));
+  EXPECT_TRUE(sat.Contains({ex.written_by, v.domain, ex.publication}));
+  EXPECT_TRUE(sat.Contains({ex.b1, v.rdf_type, ex.person}));
+  // Original triples are preserved.
+  g.ForEachTriple([&](const Triple& t) { EXPECT_TRUE(sat.Contains(t)); });
+  // Exactly these four new triples.
+  EXPECT_EQ(sat.NumTriples(), g.NumTriples() + 4);
+}
+
+TEST(SaturationTest, StatsAreAccurate) {
+  gen::BookExample ex = gen::BuildBookExample();
+  SaturationStats stats;
+  Graph sat = reasoner::Saturate(ex.graph, &stats);
+  EXPECT_EQ(stats.input_triples, ex.graph.NumTriples());
+  EXPECT_EQ(stats.output_triples, sat.NumTriples());
+  EXPECT_EQ(stats.derived_data, 1u);    // doi1 hasAuthor _:b1
+  EXPECT_EQ(stats.derived_types, 2u);   // doi1 τ Publication, _:b1 τ Person
+  EXPECT_EQ(stats.derived_schema, 1u);  // writtenBy ←↩d Publication
+}
+
+TEST(SaturationTest, IdempotentFixpoint) {
+  gen::BookExample ex = gen::BuildBookExample();
+  Graph sat = reasoner::Saturate(ex.graph);
+  Graph sat2 = reasoner::Saturate(sat);
+  EXPECT_EQ(sat2.NumTriples(), sat.NumTriples());
+  EXPECT_TRUE(reasoner::IsSaturated(sat));
+  EXPECT_FALSE(reasoner::IsSaturated(ex.graph));
+}
+
+TEST(SaturationTest, NoSchemaIsAlreadySaturated) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  EXPECT_TRUE(reasoner::IsSaturated(ex.graph));
+}
+
+TEST(SaturationTest, LubmSaturationGrowsTypes) {
+  gen::LubmOptions opt;
+  opt.num_universities = 1;
+  Graph g = gen::GenerateLubm(opt);
+  SaturationStats stats;
+  Graph sat = reasoner::Saturate(g, &stats);
+  // The deep class hierarchy must produce many derived types (every
+  // FullProfessor is a Professor, Faculty, Employee, Person...).
+  EXPECT_GT(stats.derived_types, g.types().size());
+  // headOf ≺sp worksFor derives data triples.
+  EXPECT_GT(stats.derived_data, 0u);
+  EXPECT_TRUE(reasoner::IsSaturated(sat));
+}
+
+}  // namespace
+}  // namespace rdfsum

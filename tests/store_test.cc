@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+
+#include "gen/bsbm.h"
+#include "rdf/graph.h"
+#include "store/database.h"
+#include "store/triple_table.h"
+
+namespace rdfsum {
+namespace {
+
+using store::Database;
+using store::TriplePattern;
+using store::TripleTable;
+
+TripleTable MakeTable() {
+  TripleTable t;
+  t.Append({1, 10, 2});
+  t.Append({1, 10, 3});
+  t.Append({1, 11, 2});
+  t.Append({2, 10, 3});
+  t.Append({3, 12, 1});
+  t.Freeze();
+  return t;
+}
+
+TEST(TripleTableTest, FreezeSortsAndDedups) {
+  TripleTable t;
+  t.Append({2, 1, 1});
+  t.Append({1, 1, 1});
+  t.Append({1, 1, 1});
+  t.Freeze();
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(t.rows().begin(), t.rows().end()));
+}
+
+TEST(TripleTableTest, ScanFullTable) {
+  TripleTable t = MakeTable();
+  EXPECT_EQ(t.Scan({}).size(), 5u);
+}
+
+TEST(TripleTableTest, ScanBySubject) {
+  TripleTable t = MakeTable();
+  auto rows = t.Scan({.s = 1, .p = std::nullopt, .o = std::nullopt});
+  EXPECT_EQ(rows.size(), 3u);
+  for (const Triple& r : rows) EXPECT_EQ(r.s, 1u);
+}
+
+TEST(TripleTableTest, ScanBySubjectProperty) {
+  TripleTable t = MakeTable();
+  auto rows = t.Scan({.s = 1, .p = 10, .o = std::nullopt});
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(TripleTableTest, ScanExact) {
+  TripleTable t = MakeTable();
+  EXPECT_EQ(t.Scan({.s = 1, .p = 10, .o = 3}).size(), 1u);
+  EXPECT_EQ(t.Scan({.s = 1, .p = 10, .o = 9}).size(), 0u);
+}
+
+TEST(TripleTableTest, ScanByProperty) {
+  TripleTable t = MakeTable();
+  auto rows = t.Scan({.s = std::nullopt, .p = 10, .o = std::nullopt});
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(TripleTableTest, ScanByPropertyObject) {
+  TripleTable t = MakeTable();
+  auto rows = t.Scan({.s = std::nullopt, .p = 10, .o = 3});
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(TripleTableTest, ScanByObject) {
+  TripleTable t = MakeTable();
+  auto rows = t.Scan({.s = std::nullopt, .p = std::nullopt, .o = 2});
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(TripleTableTest, ScanBySubjectObject) {
+  TripleTable t = MakeTable();
+  auto rows = t.Scan({.s = 1, .p = std::nullopt, .o = 2});
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(TripleTableTest, MatchesAndCount) {
+  TripleTable t = MakeTable();
+  EXPECT_TRUE(t.Matches({.s = std::nullopt, .p = 12, .o = std::nullopt}));
+  EXPECT_FALSE(t.Matches({.s = std::nullopt, .p = 99, .o = std::nullopt}));
+  EXPECT_EQ(t.Count({.s = 1, .p = std::nullopt, .o = std::nullopt}), 3u);
+}
+
+TEST(TripleTableTest, Contains) {
+  TripleTable t = MakeTable();
+  EXPECT_TRUE(t.Contains({3, 12, 1}));
+  EXPECT_FALSE(t.Contains({3, 12, 2}));
+}
+
+TEST(TripleTableTest, AppendUnfreezes) {
+  TripleTable t = MakeTable();
+  EXPECT_TRUE(t.frozen());
+  t.Append({9, 9, 9});
+  EXPECT_FALSE(t.frozen());
+  t.Freeze();
+  EXPECT_TRUE(t.Contains({9, 9, 9}));
+}
+
+TEST(TripleTableTest, EmptyTable) {
+  TripleTable t;
+  t.Freeze();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Scan({}).size(), 0u);
+  EXPECT_FALSE(t.Matches({}));
+}
+
+// ---------------------------------------------------------------- database
+
+TEST(DatabaseTest, FromGraphKeepsTriples) {
+  Graph g;
+  g.AddIris("http://a", "http://p", "http://b");
+  g.AddTerms(Term::Iri("http://a"), Term::Iri("http://q"),
+             Term::Literal("v"));
+  Database db = Database::FromGraph(g);
+  EXPECT_EQ(db.num_triples(), 2u);
+}
+
+TEST(DatabaseTest, SaveLoadRoundTrip) {
+  gen::BsbmOptions opt;
+  opt.num_products = 50;
+  Graph g = gen::GenerateBsbm(opt);
+  Database db = Database::FromGraph(g);
+
+  std::string path = testing::TempDir() + "/bsbm.rdfsumdb";
+  ASSERT_TRUE(db.Save(path).ok());
+
+  auto loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_triples(), db.num_triples());
+
+  // The reloaded graph must contain exactly the same decoded triples.
+  Graph g2 = loaded->ToGraph();
+  EXPECT_EQ(g2.NumTriples(), g.NumTriples());
+  size_t checked = 0;
+  g.ForEachTriple([&](const Triple& t) {
+    if (checked++ % 37 != 0) return;  // spot-check a sample
+    Triple mapped{g2.dict().Lookup(g.dict().Decode(t.s)),
+                  g2.dict().Lookup(g.dict().Decode(t.p)),
+                  g2.dict().Lookup(g.dict().Decode(t.o))};
+    EXPECT_NE(mapped.s, kInvalidTermId);
+    EXPECT_TRUE(g2.Contains(mapped));
+  });
+}
+
+TEST(DatabaseTest, LoadMissingFileFails) {
+  auto r = Database::Load("/nonexistent/db.bin");
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(DatabaseTest, LoadRejectsGarbage) {
+  std::string path = testing::TempDir() + "/garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a database";
+  }
+  auto r = Database::Load(path);
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(DatabaseTest, LoadRejectsTruncated) {
+  Graph g;
+  g.AddIris("http://a", "http://p", "http://b");
+  Database db = Database::FromGraph(g);
+  std::string path = testing::TempDir() + "/trunc.bin";
+  ASSERT_TRUE(db.Save(path).ok());
+  // Truncate the file in the middle.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  auto r = Database::Load(path);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace rdfsum

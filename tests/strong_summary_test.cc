@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/hetero.h"
+#include "gen/paper_example.h"
+#include "rdf/graph_stats.h"
+#include "summary/property_checks.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+using gen::BuildFigure2;
+using gen::Figure2Example;
+
+class StrongSummaryTest : public ::testing::Test {
+ protected:
+  StrongSummaryTest() : ex_(BuildFigure2()) {
+    result_ = Summarize(ex_.graph, SummaryKind::kStrong);
+  }
+  TermId Map(TermId n) const { return result_.node_map.at(n); }
+
+  Figure2Example ex_;
+  SummaryResult result_;
+};
+
+// Figure 9: the strong summary of the running example.
+
+TEST_F(StrongSummaryTest, SplitsTheWeakSubjectNode) {
+  // r1, r2, r3, r5 share (SC1, ∅); r4 has (SC1, TC5) and is split off.
+  EXPECT_EQ(Map(ex_.r1), Map(ex_.r2));
+  EXPECT_EQ(Map(ex_.r1), Map(ex_.r3));
+  EXPECT_EQ(Map(ex_.r1), Map(ex_.r5));
+  EXPECT_NE(Map(ex_.r1), Map(ex_.r4));
+}
+
+TEST_F(StrongSummaryTest, SplitsTargetsByTheirSourceCliques) {
+  // a1 (reviews) vs a2 (no outgoing): different source cliques.
+  EXPECT_NE(Map(ex_.a1), Map(ex_.a2));
+  EXPECT_NE(Map(ex_.e1), Map(ex_.e2));
+  // Titles all coincide.
+  EXPECT_EQ(Map(ex_.t1), Map(ex_.t2));
+  EXPECT_EQ(Map(ex_.t1), Map(ex_.t3));
+  EXPECT_EQ(Map(ex_.t1), Map(ex_.t4));
+}
+
+TEST_F(StrongSummaryTest, NineDataNodes) {
+  // {r1,r2,r3,r5}, {r4}, {a1}, {a2}, {t*}, {e1}, {e2}, {c1}, {r6}=Nτ.
+  EXPECT_EQ(result_.stats.num_data_nodes, 9u);
+  std::set<TermId> distinct;
+  for (const auto& [n, h] : result_.node_map) distinct.insert(h);
+  EXPECT_EQ(distinct.size(), 9u);
+}
+
+TEST_F(StrongSummaryTest, DuplicatePropertyLabelsAllowed) {
+  // Unlike W (Property 4), S may repeat an edge label: two author edges.
+  size_t author_edges = 0;
+  for (const Triple& t : result_.graph.data()) {
+    if (t.p == ex_.author) ++author_edges;
+  }
+  EXPECT_EQ(author_edges, 2u);
+  EXPECT_EQ(result_.graph.data().size(), 9u);
+}
+
+TEST_F(StrongSummaryTest, EdgesMatchFigure9) {
+  const Graph& h = result_.graph;
+  TermId big1 = Map(ex_.r1);   // N^{a,t,e,c}
+  TermId big2 = Map(ex_.r4);   // N^{a,t,e,c}_{r,p}
+  EXPECT_TRUE(h.Contains({big1, ex_.author, Map(ex_.a1)}));
+  EXPECT_TRUE(h.Contains({big2, ex_.author, Map(ex_.a2)}));
+  EXPECT_TRUE(h.Contains({big1, ex_.title, Map(ex_.t1)}));
+  EXPECT_TRUE(h.Contains({big2, ex_.title, Map(ex_.t1)}));
+  EXPECT_TRUE(h.Contains({big1, ex_.editor, Map(ex_.e1)}));
+  EXPECT_TRUE(h.Contains({big1, ex_.editor, Map(ex_.e2)}));
+  EXPECT_TRUE(h.Contains({big1, ex_.comment, Map(ex_.c1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.a1), ex_.reviewed, big2}));
+  EXPECT_TRUE(h.Contains({Map(ex_.e1), ex_.published, big2}));
+}
+
+TEST_F(StrongSummaryTest, TypeEdges) {
+  const Graph& h = result_.graph;
+  const TermId rdf_type = h.vocab().rdf_type;
+  TermId big1 = Map(ex_.r1);
+  EXPECT_TRUE(h.Contains({big1, rdf_type, ex_.book}));
+  EXPECT_TRUE(h.Contains({big1, rdf_type, ex_.journal}));
+  EXPECT_TRUE(h.Contains({big1, rdf_type, ex_.spec}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r6), rdf_type, ex_.journal}));
+  EXPECT_EQ(h.types().size(), 4u);
+}
+
+TEST_F(StrongSummaryTest, IsHomomorphicImage) {
+  EXPECT_TRUE(CheckHomomorphism(ex_.graph, result_).ok());
+}
+
+TEST_F(StrongSummaryTest, StrongRefinesWeak) {
+  // Strong equivalence implies weak equivalence: the strong partition must
+  // refine the weak one.
+  SummaryResult weak = Summarize(ex_.graph, SummaryKind::kWeak);
+  for (const auto& [n1, s1] : result_.node_map) {
+    for (const auto& [n2, s2] : result_.node_map) {
+      if (s1 == s2) {
+        EXPECT_EQ(weak.node_map.at(n1), weak.node_map.at(n2))
+            << "strongly equivalent nodes must be weakly equivalent";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- bounds
+
+class StrongBoundsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrongBoundsTest, SizeBoundsOfSection51) {
+  gen::HeteroOptions opt;
+  opt.seed = GetParam();
+  opt.num_nodes = 150;
+  opt.num_properties = 12;
+  Graph g = gen::GenerateHetero(opt);
+  GraphStats gs = ComputeGraphStats(g);
+  SummaryResult r = Summarize(g, SummaryKind::kStrong);
+
+  // Data nodes bounded by both |D_G|n and (|D_G|0p)^2 (§5.1; we add Nτ).
+  uint64_t p = gs.num_distinct_data_properties;
+  EXPECT_LE(r.stats.num_data_nodes, gs.num_data_nodes);
+  EXPECT_LE(r.stats.num_data_nodes, (p + 1) * (p + 1) + 1);
+  EXPECT_LE(r.graph.data().size(), g.data().size());
+  EXPECT_TRUE(CheckHomomorphism(g, r).ok());
+}
+
+TEST_P(StrongBoundsTest, StrongRefinesWeakOnRandomGraphs) {
+  gen::HeteroOptions opt;
+  opt.seed = GetParam() + 100;
+  opt.num_nodes = 100;
+  Graph g = gen::GenerateHetero(opt);
+  SummaryResult strong = Summarize(g, SummaryKind::kStrong);
+  SummaryResult weak = Summarize(g, SummaryKind::kWeak);
+  // Group nodes by strong class and check each is inside one weak class.
+  std::unordered_map<TermId, TermId> strong_to_weak;
+  for (const auto& [n, s] : strong.node_map) {
+    TermId w = weak.node_map.at(n);
+    auto [it, inserted] = strong_to_weak.emplace(s, w);
+    EXPECT_EQ(it->second, w);
+  }
+  EXPECT_GE(strong.stats.num_data_nodes, weak.stats.num_data_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrongBoundsTest,
+                         ::testing::Values(2, 5, 8, 21, 34, 55));
+
+TEST(StrongSummaryEdgeTest, TypedOnlyNodesShareNTau) {
+  Graph g;
+  Dictionary& d = g.dict();
+  g.Add({d.EncodeIri("x"), g.vocab().rdf_type, d.EncodeIri("C1")});
+  g.Add({d.EncodeIri("y"), g.vocab().rdf_type, d.EncodeIri("C2")});
+  SummaryResult r = Summarize(g, SummaryKind::kStrong);
+  EXPECT_EQ(r.node_map.at(d.EncodeIri("x")), r.node_map.at(d.EncodeIri("y")));
+}
+
+TEST(StrongSummaryEdgeTest, EmptyGraph) {
+  Graph g;
+  SummaryResult r = Summarize(g, SummaryKind::kStrong);
+  EXPECT_TRUE(r.graph.Empty());
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

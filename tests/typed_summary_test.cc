@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/paper_example.h"
+#include "rdf/graph_stats.h"
+#include "summary/isomorphism.h"
+#include "summary/property_checks.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+using gen::BuildFigure2;
+using gen::Figure2Example;
+
+// ------------------------------------------------ type-based summary (Def 12)
+
+class TypeBasedSummaryTest : public ::testing::Test {
+ protected:
+  TypeBasedSummaryTest() : ex_(BuildFigure2()) {
+    result_ = Summarize(ex_.graph, SummaryKind::kTypeBased);
+  }
+  TermId Map(TermId n) const { return result_.node_map.at(n); }
+
+  Figure2Example ex_;
+  SummaryResult result_;
+};
+
+TEST_F(TypeBasedSummaryTest, GroupsByExactClassSet) {
+  // Figure 6: r1 -> C({Book}); r2 and r6 share C({Journal}); r5 -> C({Spec}).
+  EXPECT_NE(Map(ex_.r1), Map(ex_.r2));
+  EXPECT_EQ(Map(ex_.r2), Map(ex_.r6));
+  EXPECT_NE(Map(ex_.r2), Map(ex_.r5));
+}
+
+TEST_F(TypeBasedSummaryTest, UntypedNodesAreCopiedSingletons) {
+  // C(∅) mints a fresh node per untyped resource.
+  std::set<TermId> untyped_nodes{Map(ex_.r3), Map(ex_.r4), Map(ex_.a1),
+                                 Map(ex_.a2), Map(ex_.t1), Map(ex_.t2),
+                                 Map(ex_.t3), Map(ex_.t4), Map(ex_.e1),
+                                 Map(ex_.e2), Map(ex_.c1)};
+  EXPECT_EQ(untyped_nodes.size(), 11u);
+}
+
+TEST_F(TypeBasedSummaryTest, NodeAndEdgeCounts) {
+  // 3 typed classes + 11 untyped copies = 14 data nodes; all 12 data edges
+  // survive (distinct because untyped endpoints stay distinct).
+  EXPECT_EQ(result_.stats.num_data_nodes, 14u);
+  EXPECT_EQ(result_.graph.data().size(), 12u);
+  EXPECT_EQ(result_.graph.types().size(), 3u);  // Book, Journal, Spec
+}
+
+TEST_F(TypeBasedSummaryTest, IsHomomorphicImage) {
+  EXPECT_TRUE(CheckHomomorphism(ex_.graph, result_).ok());
+}
+
+TEST_F(TypeBasedSummaryTest, MultiTypeResourcesGroupTogether) {
+  Graph g;
+  Dictionary& d = g.dict();
+  const TermId rdf_type = g.vocab().rdf_type;
+  TermId c1 = d.EncodeIri("C1"), c2 = d.EncodeIri("C2");
+  TermId x = d.EncodeIri("x"), y = d.EncodeIri("y"), z = d.EncodeIri("z");
+  g.Add({x, rdf_type, c1});
+  g.Add({x, rdf_type, c2});
+  g.Add({y, rdf_type, c2});
+  g.Add({y, rdf_type, c1});
+  g.Add({z, rdf_type, c1});
+  SummaryResult r = Summarize(g, SummaryKind::kTypeBased);
+  EXPECT_EQ(r.node_map.at(x), r.node_map.at(y));  // same set {C1, C2}
+  EXPECT_NE(r.node_map.at(x), r.node_map.at(z));  // {C1} differs
+}
+
+// ------------------------------------------------ typed weak (Def 14)
+
+class TypedWeakDefaultTest : public ::testing::Test {
+ protected:
+  TypedWeakDefaultTest() : ex_(BuildFigure2()) {
+    result_ = Summarize(ex_.graph, SummaryKind::kTypedWeak);
+  }
+  TermId Map(TermId n) const { return result_.node_map.at(n); }
+
+  Figure2Example ex_;
+  SummaryResult result_;
+};
+
+// Figure 7, under the default per-property-projection mode.
+
+TEST_F(TypedWeakDefaultTest, TypedNodesByClassSet) {
+  EXPECT_NE(Map(ex_.r1), Map(ex_.r2));
+  EXPECT_NE(Map(ex_.r1), Map(ex_.r5));
+  EXPECT_EQ(Map(ex_.r2), Map(ex_.r6));  // both {Journal}
+}
+
+TEST_F(TypedWeakDefaultTest, UntypedValueNodesMergePerProperty) {
+  // N^a_r = {a1, a2}; N^t = {t1..t4}; N^e_p = {e1, e2} — matching the
+  // figure's labels.
+  EXPECT_EQ(Map(ex_.a1), Map(ex_.a2));
+  EXPECT_EQ(Map(ex_.t1), Map(ex_.t2));
+  EXPECT_EQ(Map(ex_.t1), Map(ex_.t3));
+  EXPECT_EQ(Map(ex_.t1), Map(ex_.t4));
+  EXPECT_EQ(Map(ex_.e1), Map(ex_.e2));
+}
+
+TEST_F(TypedWeakDefaultTest, UntypedSubjectsStaySeparate) {
+  // N_{e,c} = {r3} and N^{a,t}_{r,p} = {r4} are distinct nodes.
+  EXPECT_NE(Map(ex_.r3), Map(ex_.r4));
+  EXPECT_NE(Map(ex_.r3), Map(ex_.r1));
+}
+
+TEST_F(TypedWeakDefaultTest, NineDataNodes) {
+  // 3 typed C-nodes + {r3}, {r4}, {a*}, {t*}, {e*}, {c1} = 9.
+  EXPECT_EQ(result_.stats.num_data_nodes, 9u);
+}
+
+TEST_F(TypedWeakDefaultTest, EdgesMatchFigure7) {
+  const Graph& h = result_.graph;
+  EXPECT_TRUE(h.Contains({Map(ex_.r1), ex_.author, Map(ex_.a1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r1), ex_.title, Map(ex_.t1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r2), ex_.title, Map(ex_.t1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r2), ex_.editor, Map(ex_.e1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r3), ex_.editor, Map(ex_.e1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r3), ex_.comment, Map(ex_.c1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r4), ex_.author, Map(ex_.a1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r4), ex_.title, Map(ex_.t1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r5), ex_.title, Map(ex_.t1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.r5), ex_.editor, Map(ex_.e1)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.a1), ex_.reviewed, Map(ex_.r4)}));
+  EXPECT_TRUE(h.Contains({Map(ex_.e1), ex_.published, Map(ex_.r4)}));
+  EXPECT_EQ(h.data().size(), 12u);
+}
+
+TEST_F(TypedWeakDefaultTest, IsHomomorphicImage) {
+  EXPECT_TRUE(CheckHomomorphism(ex_.graph, result_).ok());
+}
+
+// ------------------------------------------------ typed strong (Def 17)
+
+TEST(TypedStrongDefaultTest, RefinesTypedWeakOnTargets) {
+  Figure2Example ex = BuildFigure2();
+  SummaryResult ts = Summarize(ex.graph, SummaryKind::kTypedStrong);
+  auto Map = [&](TermId n) { return ts.node_map.at(n); };
+  // a1 has source clique {r}, a2 has none: TS separates them (TW merged).
+  EXPECT_NE(Map(ex.a1), Map(ex.a2));
+  EXPECT_NE(Map(ex.e1), Map(ex.e2));
+  // Titles still merge: identical (∅, {t}) keys.
+  EXPECT_EQ(Map(ex.t1), Map(ex.t2));
+  EXPECT_EQ(Map(ex.t1), Map(ex.t4));
+  // 3 typed + {r3},{r4},{a1},{a2},{t*},{e1},{e2},{c1} = 11 data nodes.
+  EXPECT_EQ(ts.stats.num_data_nodes, 11u);
+  EXPECT_TRUE(CheckHomomorphism(ex.graph, ts).ok());
+}
+
+// Under the strict Definition 13/16 mode, TW and TS coincide on the paper's
+// example (§5.2: "the type-strong summary ... coincides with the type-weak").
+
+TEST(TypedStrictModeTest, TwAndTsCoincideOnFigure2) {
+  Figure2Example ex = BuildFigure2();
+  SummaryOptions strict;
+  strict.typed_mode = TypedSummaryMode::kUntypedDataGraph;
+  SummaryResult tw = Summarize(ex.graph, SummaryKind::kTypedWeak, strict);
+  SummaryResult ts = Summarize(ex.graph, SummaryKind::kTypedStrong, strict);
+  EXPECT_TRUE(AreSummariesIsomorphic(tw.graph, ts.graph));
+  // Same partitions node by node.
+  for (const auto& [n, h1] : tw.node_map) {
+    for (const auto& [m, h2] : tw.node_map) {
+      bool same_tw = h1 == h2;
+      bool same_ts = ts.node_map.at(n) == ts.node_map.at(m);
+      EXPECT_EQ(same_tw, same_ts);
+    }
+  }
+}
+
+TEST(TypedStrictModeTest, OutsideUdCollapsesToNTau) {
+  Figure2Example ex = BuildFigure2();
+  SummaryOptions strict;
+  strict.typed_mode = TypedSummaryMode::kUntypedDataGraph;
+  SummaryResult tw = Summarize(ex.graph, SummaryKind::kTypedWeak, strict);
+  auto Map = [&](TermId n) { return tw.node_map.at(n); };
+  // t1, t2, t4 only appear in triples with typed subjects: all -> Nτ.
+  EXPECT_EQ(Map(ex.t1), Map(ex.t2));
+  EXPECT_EQ(Map(ex.t1), Map(ex.t4));
+  // t3 is in UD (object of untyped r4): separate.
+  EXPECT_NE(Map(ex.t3), Map(ex.t1));
+  // a1 and a2 stay separate in strict mode (a1 is a UD source of reviewed,
+  // a2 a UD target of author).
+  EXPECT_NE(Map(ex.a1), Map(ex.a2));
+}
+
+// ------------------------------------------------ untyped fractions
+
+TEST(TypedSummaryMixTest, FullyTypedGraphMakesTwEqualTypeBased) {
+  // When every data node is typed, TW's untyped machinery is idle: TW = T.
+  Graph g;
+  Dictionary& d = g.dict();
+  const TermId rdf_type = g.vocab().rdf_type;
+  TermId c = d.EncodeIri("C"), p = d.EncodeIri("p");
+  TermId x = d.EncodeIri("x"), y = d.EncodeIri("y");
+  g.Add({x, p, y});
+  g.Add({x, rdf_type, c});
+  g.Add({y, rdf_type, c});
+  SummaryResult tw = Summarize(g, SummaryKind::kTypedWeak);
+  SummaryResult tb = Summarize(g, SummaryKind::kTypeBased);
+  EXPECT_TRUE(AreSummariesIsomorphic(tw.graph, tb.graph));
+}
+
+TEST(TypedSummaryMixTest, FullyUntypedGraphMakesTwEqualWeak) {
+  // With no types at all, TW degenerates to W (both modes).
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p"), q = d.EncodeIri("q");
+  g.Add({d.EncodeIri("x1"), p, d.EncodeIri("y1")});
+  g.Add({d.EncodeIri("x2"), p, d.EncodeIri("y2")});
+  g.Add({d.EncodeIri("x2"), q, d.EncodeIri("z")});
+  SummaryResult tw = Summarize(g, SummaryKind::kTypedWeak);
+  SummaryResult w = Summarize(g, SummaryKind::kWeak);
+  EXPECT_TRUE(AreSummariesIsomorphic(tw.graph, w.graph));
+
+  SummaryOptions strict;
+  strict.typed_mode = TypedSummaryMode::kUntypedDataGraph;
+  SummaryResult tw2 = Summarize(g, SummaryKind::kTypedWeak, strict);
+  EXPECT_TRUE(AreSummariesIsomorphic(tw2.graph, w.graph));
+}
+
+TEST(TypedSummaryMixTest, FullyUntypedGraphMakesTsEqualStrong) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p"), q = d.EncodeIri("q");
+  g.Add({d.EncodeIri("x1"), p, d.EncodeIri("y1")});
+  g.Add({d.EncodeIri("x2"), p, d.EncodeIri("y2")});
+  g.Add({d.EncodeIri("x2"), q, d.EncodeIri("z")});
+  SummaryResult ts = Summarize(g, SummaryKind::kTypedStrong);
+  SummaryResult s = Summarize(g, SummaryKind::kStrong);
+  EXPECT_TRUE(AreSummariesIsomorphic(ts.graph, s.graph));
+}
+
+TEST(TypedSummaryMixTest, TypedSummariesHaveMoreNodesWhenTypesSplit) {
+  // Two otherwise-identical subjects with different class sets: W merges
+  // them, TW keeps them apart (the "isolating typed data nodes" effect the
+  // paper measures in Figure 11).
+  Graph g;
+  Dictionary& d = g.dict();
+  const TermId rdf_type = g.vocab().rdf_type;
+  TermId p = d.EncodeIri("p");
+  TermId x = d.EncodeIri("x"), y = d.EncodeIri("y");
+  g.Add({x, p, d.EncodeIri("vx")});
+  g.Add({y, p, d.EncodeIri("vy")});
+  g.Add({x, rdf_type, d.EncodeIri("C1")});
+  g.Add({y, rdf_type, d.EncodeIri("C2")});
+  SummaryResult w = Summarize(g, SummaryKind::kWeak);
+  SummaryResult tw = Summarize(g, SummaryKind::kTypedWeak);
+  EXPECT_EQ(w.node_map.at(x), w.node_map.at(y));
+  EXPECT_NE(tw.node_map.at(x), tw.node_map.at(y));
+  EXPECT_GT(tw.stats.num_data_nodes, w.stats.num_data_nodes);
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

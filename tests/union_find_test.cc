@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "summary/union_find.h"
+
+namespace rdfsum::summary {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+}
+
+TEST(UnionFindTest, TransitiveUnions) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 4u);
+  EXPECT_EQ(uf.SetSize(4), 1u);
+}
+
+TEST(UnionFindTest, AddGrows) {
+  UnionFind uf;
+  uint32_t a = uf.Add();
+  uint32_t b = uf.Add(3);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(uf.size(), 4u);
+  EXPECT_EQ(uf.NumSets(), 4u);
+  uf.Union(0, 3);
+  EXPECT_TRUE(uf.Connected(0, 3));
+}
+
+TEST(UnionFindTest, PathCompressionKeepsAnswersStable) {
+  UnionFind uf(100);
+  for (uint32_t i = 1; i < 100; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.NumSets(), 1u);
+  uint32_t root = uf.Find(0);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(uf.Find(i), root);
+  EXPECT_EQ(uf.SetSize(42), 100u);
+}
+
+TEST(UnionFindTest, ManyInterleavedUnions) {
+  UnionFind uf(1000);
+  for (uint32_t i = 0; i < 1000; i += 2) {
+    if (i + 1 < 1000) uf.Union(i, i + 1);
+  }
+  EXPECT_EQ(uf.NumSets(), 500u);
+  for (uint32_t i = 0; i + 3 < 1000; i += 4) uf.Union(i, i + 2);
+  EXPECT_EQ(uf.NumSets(), 250u);
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

@@ -1,0 +1,249 @@
+// rdfsum — command-line front end to the library.
+//
+//   rdfsum stats     <file>                       dataset profile
+//   rdfsum summarize <file> [--kind K] [--out P]  build one/all summaries
+//                    [--saturate] [--report] [--strict-typed] [--depth N]
+//   rdfsum saturate  <file> [--out out.nt]        materialize G∞
+//   rdfsum convert   <in> <out.nt>                Turtle/N-Triples -> N-Triples
+//   rdfsum query     <file> <sparql...> [--no-prune] [--explicit-only]
+//
+// Input format is chosen by extension: .ttl/.turtle uses the Turtle parser,
+// anything else the N-Triples parser.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/dot_writer.h"
+#include "io/ntriples_parser.h"
+#include "io/ntriples_writer.h"
+#include "io/turtle_parser.h"
+#include "query/pruned_evaluator.h"
+#include "query/sparql_parser.h"
+#include "rdf/graph.h"
+#include "rdf/graph_stats.h"
+#include "reasoner/saturation.h"
+#include "summary/report.h"
+#include "summary/summarizer.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace rdfsum {
+namespace {
+
+int Fail(const std::string& msg) {
+  std::cerr << "rdfsum: " << msg << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  rdfsum stats     <file>\n"
+      "  rdfsum summarize <file> [--kind W|S|TW|TS|T|BISIM|all] [--out prefix]\n"
+      "                   [--saturate] [--report] [--strict-typed] [--depth N]\n"
+      "  rdfsum saturate  <file> [--out out.nt]\n"
+      "  rdfsum convert   <in.(nt|ttl)> <out.nt>\n"
+      "  rdfsum query     <file> <sparql string> [--no-prune] [--explicit-only]\n";
+  return 2;
+}
+
+bool LoadGraph(const std::string& path, Graph* g, std::string* error) {
+  Status st;
+  if (EndsWith(path, ".ttl") || EndsWith(path, ".turtle")) {
+    st = io::TurtleParser::ParseFile(path, g);
+  } else {
+    io::ParseOptions options;
+    options.strict = false;
+    io::ParseStats stats;
+    st = io::NTriplesParser::ParseFile(path, g, &stats, options);
+    if (st.ok() && stats.skipped > 0) {
+      std::cerr << "warning: skipped " << stats.skipped
+                << " malformed line(s)\n";
+    }
+  }
+  if (!st.ok()) {
+    *error = st.ToString();
+    return false;
+  }
+  return true;
+}
+
+bool ParseKind(const std::string& name, summary::SummaryKind* kind) {
+  std::string upper;
+  for (char c : name) upper.push_back(static_cast<char>(std::toupper(c)));
+  if (upper == "W") *kind = summary::SummaryKind::kWeak;
+  else if (upper == "S") *kind = summary::SummaryKind::kStrong;
+  else if (upper == "TW") *kind = summary::SummaryKind::kTypedWeak;
+  else if (upper == "TS") *kind = summary::SummaryKind::kTypedStrong;
+  else if (upper == "T") *kind = summary::SummaryKind::kTypeBased;
+  else if (upper == "BISIM") *kind = summary::SummaryKind::kBisimulation;
+  else return false;
+  return true;
+}
+
+int CmdStats(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  Graph g;
+  std::string error;
+  Timer timer;
+  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  GraphStats stats = ComputeGraphStats(g);
+  std::cout << "loaded " << args[0] << " in " << timer.ElapsedMillis()
+            << " ms\n"
+            << stats.ToString() << "\n";
+  Status wb = CheckWellBehaved(g);
+  std::cout << "well-behaved: " << (wb.ok() ? "yes" : wb.ToString()) << "\n";
+  return 0;
+}
+
+int CmdSummarize(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::string kind_name = "all";
+  std::string out_prefix;
+  bool saturate = false, report = false;
+  summary::SummaryOptions options;
+  options.record_members = true;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--kind" && i + 1 < args.size()) kind_name = args[++i];
+    else if (args[i] == "--out" && i + 1 < args.size()) out_prefix = args[++i];
+    else if (args[i] == "--saturate") saturate = true;
+    else if (args[i] == "--report") report = true;
+    else if (args[i] == "--strict-typed") {
+      options.typed_mode = summary::TypedSummaryMode::kUntypedDataGraph;
+    } else if (args[i] == "--depth" && i + 1 < args.size()) {
+      options.bisimulation_depth =
+          static_cast<uint32_t>(std::stoul(args[++i]));
+    } else {
+      return Fail("unknown option " + args[i]);
+    }
+  }
+
+  Graph g;
+  std::string error;
+  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  if (saturate) g = reasoner::Saturate(g);
+
+  std::vector<summary::SummaryKind> kinds;
+  if (kind_name == "all") {
+    kinds.assign(std::begin(summary::kAllQuotientKinds),
+                 std::end(summary::kAllQuotientKinds));
+  } else {
+    summary::SummaryKind kind;
+    if (!ParseKind(kind_name, &kind)) return Fail("bad --kind " + kind_name);
+    kinds.push_back(kind);
+  }
+
+  for (summary::SummaryKind kind : kinds) {
+    Timer timer;
+    summary::SummaryResult r = summary::Summarize(g, kind, options);
+    std::cout << summary::SummaryKindName(kind) << ": " << r.stats.ToString()
+              << " (" << timer.ElapsedMillis() << " ms)\n";
+    if (report) std::cout << summary::DescribeSummary(r).ToString();
+    if (!out_prefix.empty()) {
+      std::string base =
+          out_prefix + "." + summary::SummaryKindName(kind);
+      Status st = io::NTriplesWriter::WriteFile(r.graph, base + ".nt");
+      if (st.ok()) st = summary::WriteSummaryDotFile(r, base + ".dot");
+      if (!st.ok()) return Fail(st.ToString());
+      std::cout << "  wrote " << base << ".nt / .dot\n";
+    }
+  }
+  return 0;
+}
+
+int CmdSaturate(const std::vector<std::string>& args) {
+  if (args.empty()) return Usage();
+  std::string out;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out = args[++i];
+    else return Fail("unknown option " + args[i]);
+  }
+  Graph g;
+  std::string error;
+  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  reasoner::SaturationStats stats;
+  Timer timer;
+  Graph sat = reasoner::Saturate(g, &stats);
+  std::cout << stats.input_triples << " -> " << stats.output_triples
+            << " triples (+" << stats.derived_data << " data, +"
+            << stats.derived_types << " type, +" << stats.derived_schema
+            << " schema) in " << timer.ElapsedMillis() << " ms\n";
+  if (!out.empty()) {
+    Status st = io::NTriplesWriter::WriteFile(sat, out);
+    if (!st.ok()) return Fail(st.ToString());
+    std::cout << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+int CmdConvert(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Usage();
+  Graph g;
+  std::string error;
+  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  Status st = io::NTriplesWriter::WriteFile(g, args[1]);
+  if (!st.ok()) return Fail(st.ToString());
+  std::cout << "wrote " << g.NumTriples() << " triples to " << args[1]
+            << "\n";
+  return 0;
+}
+
+int CmdQuery(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  bool prune = true;
+  bool saturate = true;
+  std::string sparql;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--no-prune") prune = false;
+    else if (args[i] == "--explicit-only") saturate = false;
+    else sparql += (sparql.empty() ? "" : " ") + args[i];
+  }
+  Graph g;
+  std::string error;
+  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  auto q = query::ParseSparql(sparql);
+  if (!q.ok()) return Fail("query: " + q.status().ToString());
+
+  query::SummaryPrunedEvaluator::Options options;
+  options.saturate = saturate;
+  query::SummaryPrunedEvaluator evaluator(g, options);
+  Timer timer;
+  StatusOr<std::vector<query::Row>> rows = [&] {
+    if (prune) return evaluator.Evaluate(*q, 1000);
+    Graph target = saturate ? reasoner::Saturate(g) : g.Clone();
+    query::BgpEvaluator direct(target);
+    return direct.Evaluate(*q, 1000);
+  }();
+  if (!rows.ok()) return Fail(rows.status().ToString());
+  for (const query::Row& row : *rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) std::cout << "\t";
+      std::cout << row[i].ToNTriples();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "-- " << rows->size() << " row(s) in " << timer.ElapsedMillis()
+            << " ms";
+  if (prune && evaluator.stats().pruned_by_summary > 0) {
+    std::cout << " (pruned by summary without touching the graph)";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  if (argc < 2) return rdfsum::Usage();
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "stats") return rdfsum::CmdStats(args);
+  if (cmd == "summarize") return rdfsum::CmdSummarize(args);
+  if (cmd == "saturate") return rdfsum::CmdSaturate(args);
+  if (cmd == "convert") return rdfsum::CmdConvert(args);
+  if (cmd == "query") return rdfsum::CmdQuery(args);
+  return rdfsum::Usage();
+}
