@@ -2,6 +2,7 @@
 #define RDFSUM_BENCH_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -44,6 +45,50 @@ inline const Graph& CachedBsbm(uint64_t triples) {
 }
 
 inline std::string Num(uint64_t n) { return FormatWithCommas(n); }
+
+/// Machine-readable results next to the human-readable tables: collects
+/// (name, scale, seconds) wall-time records and writes them as a JSON file
+/// (e.g. BENCH_substrate.json) so the perf trajectory can be tracked and
+/// diffed across PRs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Record(const std::string& name, uint64_t scale, double seconds) {
+    records_.push_back(Record_{name, scale, seconds});
+  }
+
+  /// Writes all records as JSON. Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"seconds\",\n",
+                 bench_name_.c_str());
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record_& r = records_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"scale\": %llu, "
+                   "\"seconds\": %.6f}%s\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.scale), r.seconds,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Record_ {
+    std::string name;
+    uint64_t scale;
+    double seconds;
+  };
+  std::string bench_name_;
+  std::vector<Record_> records_;
+};
 
 }  // namespace rdfsum::bench
 

@@ -1,15 +1,26 @@
 // Substrate micro-benchmarks: the N-Triples parser/writer, the dictionary,
-// and the triple-table pattern scans the query evaluator builds on.
+// the triple-table pattern scans the query evaluator builds on, and the
+// DenseGraph dense-ID substrate.
+//
+// Besides the google-benchmark microbenches, main() runs a before/after
+// partition sweep — reference (pre-substrate, hash-map indexed) vs current
+// (DenseGraph) weak and strong partitions across the BSBM scales — and
+// writes the wall times to BENCH_substrate.json for cross-PR tracking.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 
 #include "bench_common.h"
 #include "io/ntriples_parser.h"
 #include "io/ntriples_writer.h"
+#include "rdf/dense_graph.h"
 #include "store/triple_table.h"
+#include "summary/node_partition.h"
+#include "summary/reference_partition.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace rdfsum {
 namespace {
@@ -55,6 +66,29 @@ void BM_DictionaryEncode(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
 }
 BENCHMARK(BM_DictionaryEncode);
+
+void BM_DenseGraphBuild(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  for (auto _ : state) {
+    DenseGraph dg(g);
+    benchmark::DoNotOptimize(dg);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+}
+BENCHMARK(BM_DenseGraphBuild)->Unit(benchmark::kMillisecond);
+
+void BM_WeakPartition(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  g.Dense();  // substrate built once per graph, outside the loop
+  for (auto _ : state) {
+    auto part = summary::ComputeWeakPartition(g);
+    benchmark::DoNotOptimize(part);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.NumTriples()));
+}
+BENCHMARK(BM_WeakPartition)->Unit(benchmark::kMillisecond);
 
 void BM_TripleTableFreeze(benchmark::State& state) {
   const Graph& g = CachedBsbm(250'000);
@@ -105,7 +139,83 @@ void BM_TripleTablePointLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_TripleTablePointLookup);
 
+/// Before/after sweep: pre-substrate reference partitions vs the DenseGraph
+/// implementations, at every BSBM bench scale. Substrate construction is
+/// timed separately and also folded into the "cold" numbers so the speedup
+/// claim does not hide the build cost.
+void RunPartitionSweep() {
+  bench::BenchJson json("bench_substrate");
+  std::printf(
+      "\n%-12s %-12s %-12s %-12s %-12s %-12s %-10s %-10s\n", "scale",
+      "ref_weak", "ref_strong", "dense_build", "weak", "strong", "speedupW",
+      "speedupS");
+  for (uint64_t scale : bench::BenchScales()) {
+    const Graph& g = bench::CachedBsbm(scale);
+
+    Timer t;
+    auto ref_weak = summary::ReferenceWeakPartition(g);
+    double ref_weak_s = t.ElapsedSeconds();
+    t.Reset();
+    auto ref_strong = summary::ReferenceStrongPartition(g);
+    double ref_strong_s = t.ElapsedSeconds();
+
+    // Cold cache (the sweep runs before the microbenches touch these
+    // graphs), so this times one real substrate build and warms the cache
+    // the partitions below consume.
+    t.Reset();
+    const DenseGraph& dg = g.Dense();
+    double build_s = t.ElapsedSeconds();
+    benchmark::DoNotOptimize(&dg);
+
+    t.Reset();
+    auto weak = summary::ComputeWeakPartition(g);
+    double weak_s = t.ElapsedSeconds();
+    t.Reset();
+    auto strong = summary::ComputeStrongPartition(g);
+    double strong_s = t.ElapsedSeconds();
+
+    // The sweep doubles as a correctness check at full bench scale.
+    if (weak.num_classes != ref_weak.num_classes ||
+        strong.num_classes != ref_strong.num_classes ||
+        weak.class_of != ref_weak.class_of ||
+        strong.class_of != ref_strong.class_of) {
+      std::printf("MISMATCH against reference at scale %llu\n",
+                  static_cast<unsigned long long>(scale));
+      std::exit(1);
+    }
+
+    json.Record("weak_partition_reference", scale, ref_weak_s);
+    json.Record("strong_partition_reference", scale, ref_strong_s);
+    json.Record("dense_graph_build", scale, build_s);
+    json.Record("weak_partition", scale, weak_s);
+    json.Record("strong_partition", scale, strong_s);
+    json.Record("weak_plus_strong_reference", scale, ref_weak_s + ref_strong_s);
+    json.Record("weak_plus_strong_with_build", scale,
+                build_s + weak_s + strong_s);
+
+    std::printf(
+        "%-12s %-12.4f %-12.4f %-12.4f %-12.4f %-12.4f %-10.2f %-10.2f\n",
+        bench::Num(scale).c_str(), ref_weak_s, ref_strong_s, build_s, weak_s,
+        strong_s, ref_weak_s / weak_s, ref_strong_s / strong_s);
+  }
+  const char* path = std::getenv("RDFSUM_BENCH_JSON");
+  std::string out = path != nullptr ? path : "BENCH_substrate.json";
+  if (json.WriteFile(out)) {
+    std::printf("\nwrote %s\n", out.c_str());
+  } else {
+    std::printf("\nFAILED to write %s\n", out.c_str());
+  }
+}
+
 }  // namespace
 }  // namespace rdfsum
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Sweep first: it relies on every cached graph's substrate being cold.
+  rdfsum::RunPartitionSweep();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -120,6 +120,11 @@ Graph GenerateBsbm(const BsbmOptions& options) {
   Graph g;
   Dictionary& d = g.dict();
   const Vocabulary& v = g.vocab();
+  // Bulk load: pre-size the dictionary index and triple set so the emit
+  // loops below never rehash (roughly one fresh term per emitted triple).
+  const uint64_t approx = ApproxBsbmTriples(options);
+  d.Reserve(approx);
+  g.Reserve(approx);
   Ids ids = MakeIds(d);
   Sizes sizes = DeriveSizes(options);
   Random rng(options.seed);

@@ -118,18 +118,20 @@ class Search {
     used_[best] = true;
     const PatternC& pat = query_.patterns[best];
     store::TriplePattern probe = Instantiate(pat);
-    std::vector<Triple> matches = table_.Scan(probe);
-    for (const Triple& m : matches) {
+    // Visitor scan: no per-pattern match vector is materialized; the scan
+    // stops as soon as an embedding satisfied the caller.
+    table_.Scan(probe, [&](const Triple& m) {
       // Bind the unbound variable slots; a pattern with repeated variables
       // (e.g. ?x p ?x) must bind consistently.
-      std::vector<std::pair<uint32_t, TermId>> newly;
+      uint32_t newly[3];
+      int num_newly = 0;
       bool ok = true;
       auto bind = [&](const SlotC& s, TermId value) {
         if (!s.is_var) return;
         TermId cur = bindings_[s.var];
         if (cur == kUnbound) {
           bindings_[s.var] = value;
-          newly.emplace_back(s.var, value);
+          newly[num_newly++] = s.var;
         } else if (cur != value) {
           ok = false;
         }
@@ -138,9 +140,9 @@ class Search {
       if (ok) bind(pat.p, m.p);
       if (ok) bind(pat.o, m.o);
       if (ok) Recurse(depth + 1, fn);
-      for (auto& [v, _] : newly) bindings_[v] = kUnbound;
-      if (stop_) break;
-    }
+      for (int i = 0; i < num_newly; ++i) bindings_[newly[i]] = kUnbound;
+      return !stop_;
+    });
     used_[best] = false;
   }
 

@@ -1,0 +1,142 @@
+#ifndef RDFSUM_RDF_DENSE_GRAPH_H_
+#define RDFSUM_RDF_DENSE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace rdfsum {
+
+class Graph;
+
+/// Immutable dense-ID view of a Graph's data and type components: the shared
+/// substrate every summarization hot path runs on.
+///
+/// Built once per graph (see Graph::Dense() for the cached accessor), it
+/// replaces the per-algorithm `unordered_map<TermId, ...>` indexing idiom
+/// with flat arrays:
+///
+///  - **Canonical node numbering.** Data nodes get dense ids 0..n-1 in the
+///    canonical first-encounter order used for partition class-id assignment
+///    everywhere in summary/: data triples (subject, then object), triple by
+///    triple, followed by type-triple subjects. Iterating node ids in
+///    ascending order therefore *is* the canonical node walk.
+///  - **Dense property numbering.** Data properties get ids 0..P-1 in
+///    first-occurrence order over the data component.
+///  - **Encoded edge list.** `data_edges()` is the data component with both
+///    endpoints and the property replaced by dense ids, in graph order.
+///  - **CSR adjacency.** Out-edges and in-edges per node as (property,
+///    neighbor) pairs with offset arrays, in graph order within a node.
+///  - **Per-property first-seen anchors.** The first subject (resp. object)
+///    node of each property in graph order — the seed the weak summary's
+///    union-find anchors to.
+///  - **Type info.** Per-node sorted, de-duplicated class sets (CSR layout)
+///    plus a dense "class set id" shared by nodes with equal class sets.
+///
+/// The view holds TermIds and dense ids only; it never touches term strings.
+/// It is invalidated by any mutation of the underlying Graph (Graph::Dense()
+/// rebuilds automatically; a standalone DenseGraph must not outlive the
+/// graph state it was built from).
+class DenseGraph {
+ public:
+  using NodeId = uint32_t;
+  using PropId = uint32_t;
+  /// Sentinel for "absent" node / property / class-set ids.
+  static constexpr uint32_t kNone = 0xFFFFFFFFu;
+
+  /// A data triple with all three positions densely renumbered.
+  struct Edge {
+    NodeId s;
+    PropId p;
+    NodeId o;
+  };
+
+  /// One CSR adjacency entry.
+  struct Neighbor {
+    PropId p;
+    NodeId node;
+  };
+
+  explicit DenseGraph(const Graph& g);
+
+  // ---- Nodes ----------------------------------------------------------
+  uint32_t num_nodes() const { return static_cast<uint32_t>(terms_.size()); }
+  /// TermId of dense node `i`.
+  TermId term_of(NodeId i) const { return terms_[i]; }
+  /// Dense id of `t`, or kNone if `t` is not a data node of the graph.
+  NodeId node_of(TermId t) const {
+    return t < node_of_term_.size() ? node_of_term_[t] : kNone;
+  }
+  /// True iff node `i` occurs as an endpoint of some data triple.
+  bool HasData(NodeId i) const { return has_data_[i] != 0; }
+  /// True iff node `i` is the subject of some type triple.
+  bool IsTyped(NodeId i) const {
+    return class_offsets_[i + 1] > class_offsets_[i];
+  }
+
+  // ---- Properties -----------------------------------------------------
+  uint32_t num_properties() const {
+    return static_cast<uint32_t>(prop_terms_.size());
+  }
+  TermId property_term(PropId p) const { return prop_terms_[p]; }
+  /// Dense property id of `t`, or kNone if `t` is not a data property.
+  PropId property_of(TermId t) const {
+    return t < prop_of_term_.size() ? prop_of_term_[t] : kNone;
+  }
+
+  // ---- Edges ----------------------------------------------------------
+  /// Data triples in graph order, fully renumbered.
+  const std::vector<Edge>& data_edges() const { return edges_; }
+
+  std::span<const Neighbor> OutEdges(NodeId i) const {
+    return {out_entries_.data() + out_offsets_[i],
+            out_entries_.data() + out_offsets_[i + 1]};
+  }
+  std::span<const Neighbor> InEdges(NodeId i) const {
+    return {in_entries_.data() + in_offsets_[i],
+            in_entries_.data() + in_offsets_[i + 1]};
+  }
+
+  /// First subject (resp. object) node of property `p` in graph order.
+  NodeId SourceAnchor(PropId p) const { return source_anchor_[p]; }
+  NodeId TargetAnchor(PropId p) const { return target_anchor_[p]; }
+
+  // ---- Types ----------------------------------------------------------
+  /// Sorted, de-duplicated class TermIds of node `i` (empty if untyped).
+  std::span<const TermId> ClassesOf(NodeId i) const {
+    return {classes_.data() + class_offsets_[i],
+            classes_.data() + class_offsets_[i + 1]};
+  }
+  /// Dense id of the class *set* of node `i` (equal sets share an id,
+  /// assigned in canonical node order); kNone for untyped nodes.
+  uint32_t ClassSetId(NodeId i) const { return class_set_id_[i]; }
+  uint32_t num_class_sets() const { return num_class_sets_; }
+
+ private:
+  // Nodes, canonical order.
+  std::vector<TermId> terms_;
+  std::vector<NodeId> node_of_term_;  // indexed by TermId
+  std::vector<uint8_t> has_data_;
+
+  // Properties, first-occurrence order.
+  std::vector<TermId> prop_terms_;
+  std::vector<PropId> prop_of_term_;  // indexed by TermId
+
+  // Data edges + CSR adjacency.
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> out_offsets_, in_offsets_;
+  std::vector<Neighbor> out_entries_, in_entries_;
+  std::vector<NodeId> source_anchor_, target_anchor_;
+
+  // Type component (CSR of sorted unique class sets).
+  std::vector<uint32_t> class_offsets_;
+  std::vector<TermId> classes_;
+  std::vector<uint32_t> class_set_id_;
+  uint32_t num_class_sets_ = 0;
+};
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_RDF_DENSE_GRAPH_H_

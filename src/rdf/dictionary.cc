@@ -1,22 +1,87 @@
 #include "rdf/dictionary.h"
 
+#include <string>
+
 #include "util/string_util.h"
 
 namespace rdfsum {
+namespace {
+
+/// FNV-1a over a string fragment, seeded so empty fields still separate
+/// "lit" from "lit"@en etc.
+uint64_t HashPiece(uint64_t h, std::string_view s) {
+  h ^= 0x9E3779B97F4A7C15ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t Dictionary::HashTerm(const Term& term) {
+  uint64_t h = 0xCBF29CE484222325ULL + static_cast<uint64_t>(term.kind);
+  h = HashPiece(h, term.lexical);
+  h = HashPiece(h, term.datatype);
+  h = HashPiece(h, term.language);
+  // Final avalanche so power-of-two masking sees high-entropy low bits.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  return h;
+}
+
+size_t Dictionary::FindSlot(const Term& term, uint64_t h) const {
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(h) & mask;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.id == kInvalidTermId) return i;
+    if (slot.hash == h && terms_[slot.id] == term) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+void Dictionary::GrowIfNeeded() {
+  // Max load factor 0.7; terms_.size() counts the reserved id 0, so the
+  // entry count is terms_.size() - 1 (+1 for the insertion under way).
+  if (terms_.size() * 10 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+}
+
+void Dictionary::Rehash(size_t new_slot_count) {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(new_slot_count, Slot{});
+  const size_t mask = new_slot_count - 1;
+  for (const Slot& slot : old) {
+    if (slot.id == kInvalidTermId) continue;
+    size_t i = static_cast<size_t>(slot.hash) & mask;
+    while (slots_[i].id != kInvalidTermId) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+void Dictionary::Reserve(size_t num_terms) {
+  terms_.reserve(num_terms + 1);
+  size_t want = kInitialSlots;
+  while (num_terms * 10 >= want * 7) want *= 2;
+  if (want > slots_.size()) Rehash(want);
+}
 
 TermId Dictionary::Encode(const Term& term) {
-  std::string key = term.ToNTriples();
-  auto it = index_.find(key);
-  if (it != index_.end()) return it->second;
+  const uint64_t h = HashTerm(term);
+  size_t i = FindSlot(term, h);
+  if (slots_[i].id != kInvalidTermId) return slots_[i].id;
   TermId id = static_cast<TermId>(terms_.size());
   terms_.push_back(term);
-  index_.emplace(std::move(key), id);
+  slots_[i] = Slot{h, id};
+  GrowIfNeeded();
   return id;
 }
 
 TermId Dictionary::Lookup(const Term& term) const {
-  auto it = index_.find(term.ToNTriples());
-  return it == index_.end() ? kInvalidTermId : it->second;
+  const uint64_t h = HashTerm(term);
+  return slots_[FindSlot(term, h)].id;  // kInvalidTermId when absent
 }
 
 TermId Dictionary::MintNodeUri(std::string_view tag) {

@@ -1,9 +1,8 @@
 #ifndef RDFSUM_RDF_DICTIONARY_H_
 #define RDFSUM_RDF_DICTIONARY_H_
 
-#include <string>
+#include <cstdint>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "rdf/term.h"
@@ -14,13 +13,21 @@ namespace rdfsum {
 /// Bidirectional term <-> integer mapping (the paper's Postgres `dictionary`
 /// table, §6). Ids are dense and start at 1; id 0 is reserved.
 ///
+/// Encode/Lookup are allocation-free on the hot path: terms are hashed in
+/// place (kind + lexical + datatype + language) against an open-addressing
+/// index of ids into the term store, instead of keying a map on a freshly
+/// built ToNTriples() string. Cached hashes make rehashing cheap.
+///
 /// The dictionary also mints fresh "summary node" URIs for the
 /// representation functions N(.,.) and C(.) (Definition 11 onwards); minted
 /// URIs use the urn:rdfsum: prefix so they can be recognized as anonymous
 /// when comparing summaries up to isomorphism.
 class Dictionary {
  public:
-  Dictionary() { terms_.emplace_back(); /* id 0 placeholder */ }
+  Dictionary() {
+    terms_.emplace_back();  // id 0 placeholder
+    slots_.resize(kInitialSlots);
+  }
 
   /// Interns `term`, returning its id (existing or fresh).
   TermId Encode(const Term& term);
@@ -44,6 +51,9 @@ class Dictionary {
   /// Number of entries including the reserved id 0.
   size_t size() const { return terms_.size(); }
 
+  /// Pre-sizes the term store and index for `num_terms` entries.
+  void Reserve(size_t num_terms);
+
   /// Mints a fresh URI of the form urn:rdfsum:<tag>:<counter>; each call
   /// returns a distinct id. Used by the N and C representation functions.
   TermId MintNodeUri(std::string_view tag);
@@ -55,8 +65,25 @@ class Dictionary {
   static constexpr std::string_view kMintedPrefix = "urn:rdfsum:";
 
  private:
+  static constexpr size_t kInitialSlots = 64;  // power of two
+
+  /// One open-addressing slot: id 0 (kInvalidTermId) marks "empty".
+  struct Slot {
+    uint64_t hash = 0;
+    TermId id = kInvalidTermId;
+  };
+
+  static uint64_t HashTerm(const Term& term);
+
+  /// Index of the slot holding `term` (hash `h`), or of the empty slot where
+  /// it would be inserted. Requires a non-full table.
+  size_t FindSlot(const Term& term, uint64_t h) const;
+
+  void GrowIfNeeded();
+  void Rehash(size_t new_slot_count);
+
   std::vector<Term> terms_;
-  std::unordered_map<std::string, TermId> index_;  // keyed by ToNTriples()
+  std::vector<Slot> slots_;  // size is always a power of two
   uint64_t mint_counter_ = 0;
 };
 

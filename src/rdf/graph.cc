@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "rdf/dense_graph.h"
+
 namespace rdfsum {
 
 Graph::Graph() : dict_(std::make_shared<Dictionary>()), vocab_(*dict_) {}
@@ -31,7 +33,18 @@ bool Graph::AddIris(std::string_view s, std::string_view p,
 }
 
 void Graph::AddAll(const Graph& other) {
+  Reserve(all_.size() + other.NumTriples());
   other.ForEachTriple([this](const Triple& t) { Add(t); });
+}
+
+void Graph::Reserve(size_t num_triples) { all_.reserve(num_triples); }
+
+const DenseGraph& Graph::Dense() const {
+  if (!dense_ || dense_built_at_ != all_.size()) {
+    dense_ = std::make_shared<const DenseGraph>(*this);
+    dense_built_at_ = all_.size();
+  }
+  return *dense_;
 }
 
 Graph Graph::Clone() const {

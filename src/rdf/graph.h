@@ -14,6 +14,8 @@
 
 namespace rdfsum {
 
+class DenseGraph;
+
 /// An RDF graph in the paper's triple-based representation G = <D, S, T>
 /// (§2.1):
 ///   - D (data component): all triples that are neither τ nor RDFS,
@@ -27,6 +29,13 @@ namespace rdfsum {
 /// Insertion de-duplicates: a Graph is a *set* of triples.
 class Graph {
  public:
+  /// Copying a Graph copies the triple storage but shares the dictionary
+  /// (and the cached DenseGraph substrate, which is immutable once built).
+  Graph(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph& operator=(Graph&&) = default;
+
   /// Creates a graph with a fresh dictionary.
   Graph();
 
@@ -45,6 +54,10 @@ class Graph {
 
   /// Adds every triple of `other` (which must share this dictionary).
   void AddAll(const Graph& other);
+
+  /// Pre-sizes the triple set for `num_triples` insertions; call before bulk
+  /// Add loops to avoid rehashing on the hot path.
+  void Reserve(size_t num_triples);
 
   bool Contains(const Triple& t) const { return all_.count(t) > 0; }
 
@@ -67,6 +80,13 @@ class Graph {
   /// Deep copy sharing the same dictionary.
   Graph Clone() const;
 
+  /// The dense-ID substrate (canonical node numbering + CSR adjacency; see
+  /// DenseGraph). Built lazily on first call and cached; automatically
+  /// rebuilt if triples were added since. NOT thread-safe, even across
+  /// const callers (the lazy build mutates the cache): warm the cache with
+  /// a single Dense() call before sharing a graph across threads.
+  const DenseGraph& Dense() const;
+
   /// Invokes `fn(const Triple&)` for every triple in D, then T, then S.
   template <typename Fn>
   void ForEachTriple(Fn&& fn) const {
@@ -82,6 +102,10 @@ class Graph {
   std::vector<Triple> types_;
   std::vector<Triple> schema_;
   std::unordered_set<Triple, TripleHash> all_;
+
+  // Lazily built substrate; shared so copies reuse it until they mutate.
+  mutable std::shared_ptr<const DenseGraph> dense_;
+  mutable size_t dense_built_at_ = 0;  // all_.size() when dense_ was built
 };
 
 /// Verifies the "well-behaved" conditions of §2.1: (i) no class appears in a

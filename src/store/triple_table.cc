@@ -4,25 +4,6 @@
 #include <cassert>
 
 namespace rdfsum::store {
-namespace {
-
-struct PosLess {
-  bool operator()(const Triple& a, const Triple& b) const {
-    if (a.p != b.p) return a.p < b.p;
-    if (a.o != b.o) return a.o < b.o;
-    return a.s < b.s;
-  }
-};
-
-struct OspLess {
-  bool operator()(const Triple& a, const Triple& b) const {
-    if (a.o != b.o) return a.o < b.o;
-    if (a.s != b.s) return a.s < b.s;
-    return a.p < b.p;
-  }
-};
-
-}  // namespace
 
 void TripleTable::Append(const Triple& t) {
   spo_.push_back(t);
@@ -44,57 +25,9 @@ void TripleTable::Freeze() {
   frozen_ = true;
 }
 
-template <typename Fn>
-void TripleTable::ScanInternal(const TriplePattern& q, Fn&& fn) const {
-  assert(frozen_ && "Scan requires a frozen table");
-  auto emit_range = [&](auto begin, auto end) {
-    for (auto it = begin; it != end; ++it) {
-      if (q.s && it->s != *q.s) continue;
-      if (q.p && it->p != *q.p) continue;
-      if (q.o && it->o != *q.o) continue;
-      if (!fn(*it)) return;
-    }
-  };
-
-  if (q.s) {
-    // SPO index: contiguous range for a fixed subject (and property).
-    Triple lo, hi;
-    if (!q.p) {
-      lo = Triple{*q.s, 0, 0};
-      hi = Triple{*q.s, ~TermId{0}, ~TermId{0}};
-    } else if (!q.o) {
-      lo = Triple{*q.s, *q.p, 0};
-      hi = Triple{*q.s, *q.p, ~TermId{0}};
-    } else {
-      lo = hi = Triple{*q.s, *q.p, *q.o};
-    }
-    auto begin = std::lower_bound(spo_.begin(), spo_.end(), lo);
-    auto end = std::upper_bound(spo_.begin(), spo_.end(), hi);
-    emit_range(begin, end);
-    return;
-  }
-  if (q.p) {
-    Triple lo{0, *q.p, q.o.value_or(0)};
-    Triple hi{~TermId{0}, *q.p, q.o ? *q.o : ~TermId{0}};
-    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
-    auto end = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
-    emit_range(begin, end);
-    return;
-  }
-  if (q.o) {
-    Triple lo{0, 0, *q.o};
-    Triple hi{~TermId{0}, ~TermId{0}, *q.o};
-    auto begin = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
-    auto end = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
-    emit_range(begin, end);
-    return;
-  }
-  emit_range(spo_.begin(), spo_.end());
-}
-
 std::vector<Triple> TripleTable::Scan(const TriplePattern& pattern) const {
   std::vector<Triple> out;
-  ScanInternal(pattern, [&](const Triple& t) {
+  Scan(pattern, [&](const Triple& t) {
     out.push_back(t);
     return true;
   });
@@ -103,7 +36,7 @@ std::vector<Triple> TripleTable::Scan(const TriplePattern& pattern) const {
 
 bool TripleTable::Matches(const TriplePattern& pattern) const {
   bool found = false;
-  ScanInternal(pattern, [&](const Triple&) {
+  Scan(pattern, [&](const Triple&) {
     found = true;
     return false;
   });
@@ -112,7 +45,7 @@ bool TripleTable::Matches(const TriplePattern& pattern) const {
 
 size_t TripleTable::Count(const TriplePattern& pattern) const {
   size_t n = 0;
-  ScanInternal(pattern, [&](const Triple&) {
+  Scan(pattern, [&](const Triple&) {
     ++n;
     return true;
   });

@@ -1,6 +1,8 @@
 #ifndef RDFSUM_STORE_TRIPLE_TABLE_H_
 #define RDFSUM_STORE_TRIPLE_TABLE_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -37,7 +39,15 @@ class TripleTable {
   /// Rows in SPO order (frozen) or insertion order (unfrozen).
   const std::vector<Triple>& rows() const { return spo_; }
 
-  /// Returns all triples matching `pattern`. Requires frozen().
+  /// Visits every triple matching `pattern` without materializing results:
+  /// invokes `fn(const Triple&)` per match; `fn` returns false to stop the
+  /// scan early. Requires frozen(). This is the allocation-free primitive
+  /// the query evaluators build on.
+  template <typename Fn>
+  void Scan(const TriplePattern& pattern, Fn&& fn) const;
+
+  /// Returns all triples matching `pattern`. Requires frozen(). Prefer the
+  /// visitor overload on hot paths; this one allocates a vector per call.
   std::vector<Triple> Scan(const TriplePattern& pattern) const;
 
   /// Returns whether at least one triple matches `pattern`. Requires
@@ -51,14 +61,74 @@ class TripleTable {
   bool Contains(const Triple& t) const;
 
  private:
-  template <typename Fn>
-  void ScanInternal(const TriplePattern& pattern, Fn&& fn) const;
+  struct PosLess {
+    bool operator()(const Triple& a, const Triple& b) const {
+      if (a.p != b.p) return a.p < b.p;
+      if (a.o != b.o) return a.o < b.o;
+      return a.s < b.s;
+    }
+  };
+  struct OspLess {
+    bool operator()(const Triple& a, const Triple& b) const {
+      if (a.o != b.o) return a.o < b.o;
+      if (a.s != b.s) return a.s < b.s;
+      return a.p < b.p;
+    }
+  };
 
   std::vector<Triple> spo_;  // primary storage, SPO-sorted when frozen
   std::vector<Triple> pos_;  // sorted by (p, o, s)
   std::vector<Triple> osp_;  // sorted by (o, s, p)
   bool frozen_ = false;
 };
+
+template <typename Fn>
+void TripleTable::Scan(const TriplePattern& q, Fn&& fn) const {
+  assert(frozen_ && "Scan requires a frozen table");
+  auto emit_range = [&](auto begin, auto end) {
+    for (auto it = begin; it != end; ++it) {
+      if (q.s && it->s != *q.s) continue;
+      if (q.p && it->p != *q.p) continue;
+      if (q.o && it->o != *q.o) continue;
+      if (!fn(*it)) return;
+    }
+  };
+
+  if (q.s) {
+    // SPO index: contiguous range for a fixed subject (and property).
+    Triple lo, hi;
+    if (!q.p) {
+      lo = Triple{*q.s, 0, 0};
+      hi = Triple{*q.s, ~TermId{0}, ~TermId{0}};
+    } else if (!q.o) {
+      lo = Triple{*q.s, *q.p, 0};
+      hi = Triple{*q.s, *q.p, ~TermId{0}};
+    } else {
+      lo = hi = Triple{*q.s, *q.p, *q.o};
+    }
+    auto begin = std::lower_bound(spo_.begin(), spo_.end(), lo);
+    auto end = std::upper_bound(spo_.begin(), spo_.end(), hi);
+    emit_range(begin, end);
+    return;
+  }
+  if (q.p) {
+    Triple lo{0, *q.p, q.o.value_or(0)};
+    Triple hi{~TermId{0}, *q.p, q.o ? *q.o : ~TermId{0}};
+    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
+    auto end = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
+    emit_range(begin, end);
+    return;
+  }
+  if (q.o) {
+    Triple lo{0, 0, *q.o};
+    Triple hi{~TermId{0}, ~TermId{0}, *q.o};
+    auto begin = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
+    auto end = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
+    emit_range(begin, end);
+    return;
+  }
+  emit_range(spo_.begin(), spo_.end());
+}
 
 }  // namespace rdfsum::store
 

@@ -9,119 +9,202 @@
 namespace rdfsum::summary {
 namespace {
 
-/// Builds one side (source or target) of the clique structure.
-class SideBuilder {
- public:
-  SideBuilder(std::vector<TermId>& properties,
-              std::unordered_map<TermId, uint32_t>& property_index)
-      : properties_(properties), property_index_(property_index) {}
+constexpr uint32_t kNone = DenseGraph::kNone;
 
-  uint32_t PropIndex(TermId p) {
-    auto [it, inserted] =
-        property_index_.emplace(p, static_cast<uint32_t>(properties_.size()));
-    if (inserted) {
-      properties_.push_back(p);
-      uf_.Add();
-      in_scope_.push_back(false);
-    }
-    // The UF may be behind if the other side interned properties first.
-    while (uf_.size() < properties_.size()) {
-      uf_.Add();
-      in_scope_.push_back(false);
-    }
-    return it->second;
+/// Shared clique machinery over the dense substrate. Properties are
+/// re-interned in first-in-scope-observation order ("obs positions") so the
+/// public PropertyCliques keeps its historical property and clique
+/// numbering; all per-node state is flat arrays indexed by dense node id.
+struct CliqueBuilder {
+  const DenseGraph& dg;
+  // Observation-order property interning (shared by both sides).
+  std::vector<uint32_t> obs_of_pid;   // dense pid -> obs position
+  std::vector<DenseGraph::PropId> pid_of_obs;  // obs position -> dense pid
+  // Per side: union-find over obs positions, scope flags, per-node first
+  // observed property.
+  UnionFind uf_src, uf_tgt;
+  std::vector<uint8_t> src_in_scope, tgt_in_scope;
+  std::vector<uint32_t> first_src, first_tgt;  // by node id, obs position
+
+  explicit CliqueBuilder(const DenseGraph& dense_graph) : dg(dense_graph) {
+    obs_of_pid.assign(dg.num_properties(), kNone);
+    first_src.assign(dg.num_nodes(), kNone);
+    first_tgt.assign(dg.num_nodes(), kNone);
   }
 
-  /// Records that `node` carries property `p` on this side.
-  void Observe(TermId node, TermId p) {
-    uint32_t pi = PropIndex(p);
-    in_scope_[pi] = true;
-    auto [it, inserted] = first_prop_of_node_.emplace(node, pi);
-    if (!inserted) uf_.Union(pi, it->second);
+  uint32_t Intern(DenseGraph::PropId pid) {
+    uint32_t& slot = obs_of_pid[pid];
+    if (slot == kNone) {
+      slot = static_cast<uint32_t>(pid_of_obs.size());
+      pid_of_obs.push_back(pid);
+      uf_src.Add();
+      uf_tgt.Add();
+      src_in_scope.push_back(0);
+      tgt_in_scope.push_back(0);
+    }
+    return slot;
   }
 
-  void Finalize(std::vector<uint32_t>* clique_of_property,
-                std::vector<std::vector<TermId>>* clique_members,
-                std::unordered_map<TermId, uint32_t>* clique_of_node,
-                uint32_t* num_cliques) {
-    while (uf_.size() < properties_.size()) {
-      uf_.Add();
-      in_scope_.push_back(false);
-    }
-    clique_of_property->assign(properties_.size(), 0);
-    std::unordered_map<uint32_t, uint32_t> root_to_clique;
-    for (uint32_t i = 0; i < properties_.size(); ++i) {
-      if (!in_scope_[i]) continue;
-      uint32_t root = uf_.Find(i);
-      auto [it, inserted] = root_to_clique.emplace(
-          root, static_cast<uint32_t>(root_to_clique.size() + 1));
-      (*clique_of_property)[i] = it->second;
-    }
-    *num_cliques = static_cast<uint32_t>(root_to_clique.size());
-    clique_members->assign(*num_cliques, {});
-    for (uint32_t i = 0; i < properties_.size(); ++i) {
-      uint32_t c = (*clique_of_property)[i];
-      if (c != 0) (*clique_members)[c - 1].push_back(properties_[i]);
-    }
-    for (auto& members : *clique_members) {
-      std::sort(members.begin(), members.end());
-    }
-    for (const auto& [node, pi] : first_prop_of_node_) {
-      (*clique_of_node)[node] = (*clique_of_property)[pi];
+  void Run(CliqueScope scope, const std::vector<uint8_t>& typed) {
+    for (const DenseGraph::Edge& e : dg.data_edges()) {
+      bool s_in = true;
+      bool o_in = true;
+      switch (scope) {
+        case CliqueScope::kAll:
+          break;
+        case CliqueScope::kUntypedEndpoints:
+          s_in = !typed[e.s];
+          o_in = !typed[e.o];
+          break;
+        case CliqueScope::kUntypedDataGraph: {
+          bool both = !typed[e.s] && !typed[e.o];
+          s_in = both;
+          o_in = both;
+          break;
+        }
+      }
+      if (s_in) {
+        uint32_t pos = Intern(e.p);
+        src_in_scope[pos] = 1;
+        if (first_src[e.s] == kNone) {
+          first_src[e.s] = pos;
+        } else {
+          uf_src.Union(pos, first_src[e.s]);
+        }
+      }
+      if (o_in) {
+        uint32_t pos = Intern(e.p);
+        tgt_in_scope[pos] = 1;
+        if (first_tgt[e.o] == kNone) {
+          first_tgt[e.o] = pos;
+        } else {
+          uf_tgt.Union(pos, first_tgt[e.o]);
+        }
+      }
     }
   }
 
- private:
-  std::vector<TermId>& properties_;
-  std::unordered_map<TermId, uint32_t>& property_index_;
-  UnionFind uf_;
-  std::vector<bool> in_scope_;
-  std::unordered_map<TermId, uint32_t> first_prop_of_node_;
+  /// Clique id per obs position, 1-based in position order; 0 = out of
+  /// scope on this side.
+  std::vector<uint32_t> FinalizeSide(UnionFind& uf,
+                                     const std::vector<uint8_t>& in_scope,
+                                     uint32_t* num_cliques) const {
+    const uint32_t p = static_cast<uint32_t>(pid_of_obs.size());
+    std::vector<uint32_t> clique_of_pos(p, 0);
+    std::vector<uint32_t> root_to_clique(p, kNone);
+    uint32_t next = 0;
+    for (uint32_t i = 0; i < p; ++i) {
+      if (!in_scope[i]) continue;
+      uint32_t root = uf.Find(i);
+      if (root_to_clique[root] == kNone) root_to_clique[root] = ++next;
+      clique_of_pos[i] = root_to_clique[root];
+    }
+    *num_cliques = next;
+    return clique_of_pos;
+  }
 };
+
+/// Scope-filter flags per dense node: IsTyped by default, or the caller's
+/// typed-resource set mapped onto dense ids.
+std::vector<uint8_t> TypedFlags(
+    const DenseGraph& dg, CliqueScope scope,
+    const std::unordered_set<TermId>* typed_resources) {
+  std::vector<uint8_t> typed(dg.num_nodes(), 0);
+  if (scope == CliqueScope::kAll) return typed;  // never consulted
+  if (typed_resources != nullptr) {
+    for (TermId t : *typed_resources) {
+      uint32_t i = dg.node_of(t);
+      if (i != kNone) typed[i] = 1;
+    }
+  } else {
+    for (uint32_t i = 0; i < dg.num_nodes(); ++i) typed[i] = dg.IsTyped(i);
+  }
+  return typed;
+}
 
 }  // namespace
 
 PropertyCliques ComputePropertyCliques(
     const Graph& g, CliqueScope scope,
     const std::unordered_set<TermId>* typed_resources) {
-  std::unordered_set<TermId> typed_local;
-  if (scope != CliqueScope::kAll && typed_resources == nullptr) {
-    typed_local = TypedResources(g);
-    typed_resources = &typed_local;
-  }
-  auto is_untyped = [&](TermId n) {
-    return typed_resources == nullptr || typed_resources->count(n) == 0;
-  };
+  const DenseGraph& dg = g.Dense();
+  CliqueBuilder b(dg);
+  b.Run(scope, TypedFlags(dg, scope, typed_resources));
 
   PropertyCliques out;
-  SideBuilder source(out.properties, out.property_index);
-  SideBuilder target(out.properties, out.property_index);
+  const uint32_t p = static_cast<uint32_t>(b.pid_of_obs.size());
+  out.properties.reserve(p);
+  out.property_index.reserve(p);
+  for (uint32_t i = 0; i < p; ++i) {
+    TermId term = dg.property_term(b.pid_of_obs[i]);
+    out.properties.push_back(term);
+    out.property_index.emplace(term, i);
+  }
+  out.source_clique_of_property =
+      b.FinalizeSide(b.uf_src, b.src_in_scope, &out.num_source_cliques);
+  out.target_clique_of_property =
+      b.FinalizeSide(b.uf_tgt, b.tgt_in_scope, &out.num_target_cliques);
 
-  for (const Triple& t : g.data()) {
-    bool s_in_scope = true;
-    bool o_in_scope = true;
-    switch (scope) {
-      case CliqueScope::kAll:
-        break;
-      case CliqueScope::kUntypedEndpoints:
-        s_in_scope = is_untyped(t.s);
-        o_in_scope = is_untyped(t.o);
-        break;
-      case CliqueScope::kUntypedDataGraph: {
-        bool both = is_untyped(t.s) && is_untyped(t.o);
-        s_in_scope = both;
-        o_in_scope = both;
-        break;
+  auto fill_members = [&](const std::vector<uint32_t>& clique_of_pos,
+                          uint32_t num_cliques,
+                          std::vector<std::vector<TermId>>* members) {
+    members->assign(num_cliques, {});
+    for (uint32_t i = 0; i < p; ++i) {
+      uint32_t c = clique_of_pos[i];
+      if (c != 0) (*members)[c - 1].push_back(out.properties[i]);
+    }
+    for (auto& m : *members) std::sort(m.begin(), m.end());
+  };
+  fill_members(out.source_clique_of_property, out.num_source_cliques,
+               &out.source_clique_members);
+  fill_members(out.target_clique_of_property, out.num_target_cliques,
+               &out.target_clique_members);
+
+  auto fill_nodes = [&](const std::vector<uint32_t>& first,
+                        const std::vector<uint32_t>& clique_of_pos,
+                        std::unordered_map<TermId, uint32_t>* clique_of_node) {
+    size_t observed = 0;
+    for (uint32_t f : first) observed += (f != kNone);
+    clique_of_node->reserve(observed);
+    for (uint32_t i = 0; i < dg.num_nodes(); ++i) {
+      if (first[i] != kNone) {
+        clique_of_node->emplace(dg.term_of(i), clique_of_pos[first[i]]);
       }
     }
-    if (s_in_scope) source.Observe(t.s, t.p);
-    if (o_in_scope) target.Observe(t.o, t.p);
+  };
+  fill_nodes(b.first_src, out.source_clique_of_property,
+             &out.source_clique_of_node);
+  fill_nodes(b.first_tgt, out.target_clique_of_property,
+             &out.target_clique_of_node);
+  return out;
+}
+
+DenseCliqueAssignment ComputeDenseCliqueAssignment(
+    const DenseGraph& dg, CliqueScope scope,
+    const std::vector<uint8_t>* typed_override) {
+  CliqueBuilder b(dg);
+  if (typed_override != nullptr) {
+    b.Run(scope, *typed_override);
+  } else {
+    b.Run(scope, TypedFlags(dg, scope, nullptr));
   }
 
-  source.Finalize(&out.source_clique_of_property, &out.source_clique_members,
-                  &out.source_clique_of_node, &out.num_source_cliques);
-  target.Finalize(&out.target_clique_of_property, &out.target_clique_members,
-                  &out.target_clique_of_node, &out.num_target_cliques);
+  DenseCliqueAssignment out;
+  std::vector<uint32_t> src_clique =
+      b.FinalizeSide(b.uf_src, b.src_in_scope, &out.num_source_cliques);
+  std::vector<uint32_t> tgt_clique =
+      b.FinalizeSide(b.uf_tgt, b.tgt_in_scope, &out.num_target_cliques);
+  const uint32_t n = dg.num_nodes();
+  out.source_clique_of_node.assign(n, 0);
+  out.target_clique_of_node.assign(n, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (b.first_src[i] != kNone) {
+      out.source_clique_of_node[i] = src_clique[b.first_src[i]];
+    }
+    if (b.first_tgt[i] != kNone) {
+      out.target_clique_of_node[i] = tgt_clique[b.first_tgt[i]];
+    }
+  }
   return out;
 }
 

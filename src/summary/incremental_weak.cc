@@ -2,14 +2,21 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <map>
 #include <set>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "rdf/dense_graph.h"
 #include "util/timer.h"
+
+// Both incremental builders run on the DenseGraph substrate: resources and
+// properties are dense ids, and the paper's rd / dp-src / dp-targ maps are
+// flat vectors instead of per-builder unordered_maps. A key invariant makes
+// the property-attachment sets (`src_dps_` / `targ_dps_`) plain vectors: a
+// property is attached to exactly one summary node per side (`dp_src_[p]`),
+// so per-node attachment lists are disjoint and never need de-duplication.
 
 namespace rdfsum::summary {
 namespace {
@@ -19,19 +26,20 @@ namespace {
 using NodeId = uint32_t;
 constexpr NodeId kNoNode = 0xFFFFFFFFu;
 
-struct DataTriple {
-  NodeId src;
-  TermId p;
-  NodeId targ;
-};
-
 class Builder {
  public:
   Builder(const Graph& g, const IncrementalWeakOptions& options)
-      : g_(g), options_(options) {}
+      : g_(g), dg_(g.Dense()), options_(options) {}
 
   SummaryResult Build() {
     Timer timer;
+    const uint32_t n = dg_.num_nodes();
+    const uint32_t p = dg_.num_properties();
+    rd_.assign(n, kNoNode);
+    dp_src_.assign(p, kNoNode);
+    dp_targ_.assign(p, kNoNode);
+    dtp_src_.assign(p, kNoNode);
+    dtp_targ_.assign(p, kNoNode);
     SummarizeDataTriples();
     SummarizeTypeTriples();
     SummaryResult out = Assemble();
@@ -42,17 +50,17 @@ class Builder {
  private:
   // ---- Algorithm 1: summarizing data triples ----
   void SummarizeDataTriples() {
-    for (const Triple& t : g_.data()) {
-      GetSource(t.s, t.p);
-      GetTarget(t.o, t.p);
+    for (const DenseGraph::Edge& e : dg_.data_edges()) {
+      GetSource(e.s, e.p);
+      GetTarget(e.o, e.p);
       // GETTARGET may have merged the node GETSOURCE returned (and
       // vice-versa), so re-resolve both before recording the edge
       // (lines 5-7 of Algorithm 1).
-      NodeId src = GetSource(t.s, t.p);
-      NodeId targ = GetTarget(t.o, t.p);
-      auto it = dtp_.find(t.p);
-      if (it == dtp_.end()) {
-        CreateDataTriple(src, t.p, targ);
+      NodeId src = GetSource(e.s, e.p);
+      NodeId targ = GetTarget(e.o, e.p);
+      if (dtp_src_[e.p] == kNoNode) {
+        dtp_src_[e.p] = src;
+        dtp_targ_[e.p] = targ;
       }
       // Property 4 guarantees a single data edge per property; if the edge
       // exists, src/targ already coincide with its endpoints by the merges
@@ -60,22 +68,14 @@ class Builder {
     }
   }
 
-  void CreateDataTriple(NodeId src, TermId p, NodeId targ) {
-    dtp_.emplace(p, DataTriple{src, p, targ});
-    dp_src_.emplace(p, src);
-    src_dps_[src].insert(p);
-    dp_targ_.emplace(p, targ);
-    targ_dps_[targ].insert(p);
-  }
-
   // ---- Algorithm 2: representing a subject (GETSOURCE) ----
-  NodeId GetSource(TermId s, TermId p) {
-    NodeId src_u = Get(dp_src_, p);
-    NodeId src_s = Get(rd_, s);
+  NodeId GetSource(uint32_t s, uint32_t p) {
+    NodeId src_u = dp_src_[p];
+    NodeId src_s = rd_[s];
     if (src_u == kNoNode && src_s == kNoNode) {
       NodeId fresh = CreateDataNode(s);
       dp_src_[p] = fresh;
-      src_dps_[fresh].insert(p);
+      src_dps_[fresh].push_back(p);
       return fresh;
     }
     if (src_u != kNoNode && src_s == kNoNode) {
@@ -84,20 +84,20 @@ class Builder {
     }
     if (src_u == kNoNode && src_s != kNoNode) {
       dp_src_[p] = src_s;
-      src_dps_[src_s].insert(p);
+      src_dps_[src_s].push_back(p);
       return src_s;
     }
     if (src_s == src_u) return src_s;
     return MergeDataNodes(src_s, src_u);
   }
 
-  NodeId GetTarget(TermId o, TermId p) {
-    NodeId targ_u = Get(dp_targ_, p);
-    NodeId targ_o = Get(rd_, o);
+  NodeId GetTarget(uint32_t o, uint32_t p) {
+    NodeId targ_u = dp_targ_[p];
+    NodeId targ_o = rd_[o];
     if (targ_u == kNoNode && targ_o == kNoNode) {
       NodeId fresh = CreateDataNode(o);
       dp_targ_[p] = fresh;
-      targ_dps_[fresh].insert(p);
+      targ_dps_[fresh].push_back(p);
       return fresh;
     }
     if (targ_u != kNoNode && targ_o == kNoNode) {
@@ -106,31 +106,29 @@ class Builder {
     }
     if (targ_u == kNoNode && targ_o != kNoNode) {
       dp_targ_[p] = targ_o;
-      targ_dps_[targ_o].insert(p);
+      targ_dps_[targ_o].push_back(p);
       return targ_o;
     }
     if (targ_o == targ_u) return targ_o;
     return MergeDataNodes(targ_o, targ_u);
   }
 
-  NodeId CreateDataNode(TermId r) {
+  NodeId CreateDataNode(uint32_t r) {
     NodeId d = next_node_++;
+    dr_.emplace_back();
+    src_dps_.emplace_back();
+    targ_dps_.emplace_back();
     Represent(r, d);
     return d;
   }
 
-  void Represent(TermId r, NodeId d) {
+  void Represent(uint32_t r, NodeId d) {
     rd_[r] = d;
     dr_[d].push_back(r);
   }
 
   size_t EdgeCount(NodeId n) const {
-    size_t count = 0;
-    auto s = src_dps_.find(n);
-    if (s != src_dps_.end()) count += s->second.size();
-    auto t = targ_dps_.find(n);
-    if (t != targ_dps_.end()) count += t->second.size();
-    return count;
+    return src_dps_[n].size() + targ_dps_[n].size();
   }
 
   /// Merges two summary nodes; the survivor absorbs the other's represented
@@ -144,38 +142,19 @@ class Builder {
       drop = a;
     }
     // Re-point represented resources.
-    auto dit = dr_.find(drop);
-    if (dit != dr_.end()) {
-      auto& keep_list = dr_[keep];
-      for (TermId r : dit->second) {
-        rd_[r] = keep;
-        keep_list.push_back(r);
-      }
-      dr_.erase(dit);
-    }
+    for (uint32_t r : dr_[drop]) rd_[r] = keep;
+    Absorb(&dr_[keep], &dr_[drop]);
     // Re-point property attachments and the summary edges.
-    auto sit = src_dps_.find(drop);
-    if (sit != src_dps_.end()) {
-      auto& keep_set = src_dps_[keep];
-      for (TermId p : sit->second) {
-        dp_src_[p] = keep;
-        auto t = dtp_.find(p);
-        if (t != dtp_.end() && t->second.src == drop) t->second.src = keep;
-        keep_set.insert(p);
-      }
-      src_dps_.erase(sit);
+    for (uint32_t p : src_dps_[drop]) {
+      dp_src_[p] = keep;
+      if (dtp_src_[p] == drop) dtp_src_[p] = keep;
     }
-    auto tit = targ_dps_.find(drop);
-    if (tit != targ_dps_.end()) {
-      auto& keep_set = targ_dps_[keep];
-      for (TermId p : tit->second) {
-        dp_targ_[p] = keep;
-        auto t = dtp_.find(p);
-        if (t != dtp_.end() && t->second.targ == drop) t->second.targ = keep;
-        keep_set.insert(p);
-      }
-      targ_dps_.erase(tit);
+    Absorb(&src_dps_[keep], &src_dps_[drop]);
+    for (uint32_t p : targ_dps_[drop]) {
+      dp_targ_[p] = keep;
+      if (dtp_targ_[p] == drop) dtp_targ_[p] = keep;
     }
+    Absorb(&targ_dps_[keep], &targ_dps_[drop]);
     // Class sets (only non-empty once type triples are processed; merges
     // do not happen then for W, but keep it correct anyway).
     auto cit = dcls_.find(drop);
@@ -186,28 +165,33 @@ class Builder {
     return keep;
   }
 
+  static void Absorb(std::vector<uint32_t>* into, std::vector<uint32_t>* from) {
+    into->insert(into->end(), from->begin(), from->end());
+    from->clear();
+    from->shrink_to_fit();
+  }
+
   // ---- Algorithm 3: summarizing type triples ----
   void SummarizeTypeTriples() {
-    std::vector<TermId> typed_only_res;
-    std::vector<TermId> typed_only_cls;
+    NodeId typed_only = kNoNode;  // REPRESENTTYPEDONLY: one shared node
     for (const Triple& t : g_.types()) {
-      auto it = rd_.find(t.s);
-      if (it != rd_.end()) {
-        dcls_[it->second].insert(t.o);
+      uint32_t s = dg_.node_of(t.s);
+      if (rd_[s] != kNoNode) {
+        dcls_[rd_[s]].insert(t.o);
       } else {
-        typed_only_res.push_back(t.s);
-        typed_only_cls.push_back(t.o);
+        if (typed_only == kNoNode) typed_only = CreateTypedOnlyNode();
+        Represent(s, typed_only);
+        dcls_[typed_only].insert(t.o);
       }
     }
-    if (!typed_only_res.empty()) {
-      // REPRESENTTYPEDONLY: one node for all typed-only resources.
-      NodeId d = next_node_++;
-      for (TermId r : typed_only_res) {
-        if (rd_.emplace(r, d).second) dr_[d].push_back(r);
-      }
-      auto& cls = dcls_[d];
-      for (TermId c : typed_only_cls) cls.insert(c);
-    }
+  }
+
+  NodeId CreateTypedOnlyNode() {
+    NodeId d = next_node_++;
+    dr_.emplace_back();
+    src_dps_.emplace_back();
+    targ_dps_.emplace_back();
+    return d;
   }
 
   // ---- Final assembly & decoding ----
@@ -217,24 +201,28 @@ class Builder {
     out.graph = Graph(g_.dict_ptr());
     Dictionary& dict = out.graph.dict();
 
-    std::unordered_map<NodeId, TermId> node_uri;
+    std::vector<TermId> node_uri(next_node_, kInvalidTermId);
     auto uri_of = [&](NodeId d) {
-      auto [it, inserted] = node_uri.emplace(d, kInvalidTermId);
-      if (inserted) it->second = dict.MintNodeUri("node:w");
-      return it->second;
+      if (node_uri[d] == kInvalidTermId) {
+        node_uri[d] = dict.MintNodeUri("node:w");
+      }
+      return node_uri[d];
     };
 
     // Deterministic minting order: walk data properties in graph order,
     // then class-set holders.
-    for (const Triple& t : g_.data()) {
-      auto it = dtp_.find(t.p);
-      if (it != dtp_.end()) {
-        uri_of(it->second.src);
-        uri_of(it->second.targ);
+    for (const DenseGraph::Edge& e : dg_.data_edges()) {
+      if (dtp_src_[e.p] != kNoNode) {
+        uri_of(dtp_src_[e.p]);
+        uri_of(dtp_targ_[e.p]);
       }
     }
-    for (const auto& [p, dt] : dtp_) {
-      out.graph.Add(Triple{uri_of(dt.src), p, uri_of(dt.targ)});
+    for (uint32_t p = 0; p < dg_.num_properties(); ++p) {
+      if (dtp_src_[p] != kNoNode) {
+        out.graph.Add(
+            Triple{uri_of(dtp_src_[p]), dg_.property_term(p),
+                   uri_of(dtp_targ_[p])});
+      }
     }
     const TermId rdf_type = g_.vocab().rdf_type;
     for (const auto& [d, classes] : dcls_) {
@@ -244,34 +232,39 @@ class Builder {
     }
     for (const Triple& t : g_.schema()) out.graph.Add(t);
 
-    out.node_map.reserve(rd_.size());
-    for (const auto& [r, d] : rd_) out.node_map.emplace(r, uri_of(d));
+    out.node_map.reserve(dg_.num_nodes());
+    for (uint32_t r = 0; r < dg_.num_nodes(); ++r) {
+      if (rd_[r] != kNoNode) {
+        out.node_map.emplace(dg_.term_of(r), uri_of(rd_[r]));
+      }
+    }
     if (options_.record_members) {
-      for (const auto& [d, rs] : dr_) {
+      for (NodeId d = 0; d < next_node_; ++d) {
+        if (dr_[d].empty()) continue;
         auto& v = out.members[uri_of(d)];
-        v.insert(v.end(), rs.begin(), rs.end());
+        v.reserve(dr_[d].size());
+        for (uint32_t r : dr_[d]) v.push_back(dg_.term_of(r));
       }
     }
     out.stats = ComputeSummaryStats(out.graph, 0.0);
     return out;
   }
 
-  static NodeId Get(const std::unordered_map<TermId, NodeId>& m, TermId k) {
-    auto it = m.find(k);
-    return it == m.end() ? kNoNode : it->second;
-  }
-
   const Graph& g_;
+  const DenseGraph& dg_;
   IncrementalWeakOptions options_;
   NodeId next_node_ = 0;
 
-  std::unordered_map<TermId, NodeId> rd_;                   // resource -> node
-  std::unordered_map<NodeId, std::vector<TermId>> dr_;      // node -> resources
-  std::unordered_map<TermId, NodeId> dp_src_;               // property -> node
-  std::unordered_map<TermId, NodeId> dp_targ_;
-  std::unordered_map<NodeId, std::unordered_set<TermId>> src_dps_;
-  std::unordered_map<NodeId, std::unordered_set<TermId>> targ_dps_;
-  std::unordered_map<TermId, DataTriple> dtp_;              // property -> edge
+  std::vector<NodeId> rd_;  // dense resource id -> summary node
+  std::vector<std::vector<uint32_t>> dr_;  // summary node -> dense resources
+  std::vector<NodeId> dp_src_;   // dense property id -> summary node
+  std::vector<NodeId> dp_targ_;
+  // Summary node -> attached property ids (disjoint across nodes per side).
+  std::vector<std::vector<uint32_t>> src_dps_;
+  std::vector<std::vector<uint32_t>> targ_dps_;
+  // The single summary data edge per property (kNoNode src = absent).
+  std::vector<NodeId> dtp_src_;
+  std::vector<NodeId> dtp_targ_;
   std::unordered_map<NodeId, std::unordered_set<TermId>> dcls_;
 };
 
@@ -281,10 +274,15 @@ class Builder {
 class TypedWeakBuilder {
  public:
   TypedWeakBuilder(const Graph& g, const IncrementalWeakOptions& options)
-      : g_(g), options_(options) {}
+      : g_(g), dg_(g.Dense()), options_(options) {}
 
   SummaryResult Build() {
     Timer timer;
+    const uint32_t n = dg_.num_nodes();
+    const uint32_t p = dg_.num_properties();
+    rd_.assign(n, kNoNode);
+    dp_src_.assign(p, kNoNode);
+    dp_targ_.assign(p, kNoNode);
     SummarizeTypeTriplesFirst();
     SummarizeDataTriples();
     SummaryResult out = Assemble();
@@ -294,72 +292,75 @@ class TypedWeakBuilder {
 
  private:
   void SummarizeTypeTriplesFirst() {
-    // Collect class sets, then one node per distinct set (the clsd map).
-    std::unordered_map<TermId, std::vector<TermId>> class_sets;
-    for (const Triple& t : g_.types()) class_sets[t.s].push_back(t.o);
-    std::map<std::vector<TermId>, NodeId> clsd;
-    for (auto& [res, classes] : class_sets) {
-      std::sort(classes.begin(), classes.end());
-      classes.erase(std::unique(classes.begin(), classes.end()),
-                    classes.end());
-      auto [it, inserted] = clsd.emplace(classes, 0);
-      if (inserted) {
-        it->second = next_node_++;
-        dcls_[it->second].insert(classes.begin(), classes.end());
+    // One node per distinct class set (the clsd map), in canonical node
+    // order; the substrate already de-duplicated the sets.
+    std::vector<NodeId> node_of_set(dg_.num_class_sets(), kNoNode);
+    for (uint32_t i = 0; i < dg_.num_nodes(); ++i) {
+      uint32_t set_id = dg_.ClassSetId(i);
+      if (set_id == DenseGraph::kNone) continue;
+      NodeId& d = node_of_set[set_id];
+      if (d == kNoNode) {
+        d = NewNode();
+        std::span<const TermId> classes = dg_.ClassesOf(i);
+        dcls_[d].assign(classes.begin(), classes.end());
       }
-      rd_[res] = it->second;
-      dr_[it->second].push_back(res);
-      typed_.insert(res);
+      Represent(i, d);
     }
   }
 
   void SummarizeDataTriples() {
-    for (const Triple& t : g_.data()) {
-      NodeId src = ResolveEndpoint(t.s, t.p, /*as_source=*/true);
-      NodeId targ = ResolveEndpoint(t.o, t.p, /*as_source=*/false);
+    for (const DenseGraph::Edge& e : dg_.data_edges()) {
+      NodeId src = ResolveEndpoint(e.s, e.p, /*as_source=*/true);
+      NodeId targ = ResolveEndpoint(e.o, e.p, /*as_source=*/false);
       // Merges inside ResolveEndpoint may have replaced earlier results;
       // re-resolve as in Algorithm 1.
-      src = ResolveEndpoint(t.s, t.p, true);
-      targ = ResolveEndpoint(t.o, t.p, false);
-      edges_.insert({src, t.p, targ});
+      src = ResolveEndpoint(e.s, e.p, true);
+      targ = ResolveEndpoint(e.o, e.p, false);
+      edges_.insert({src, dg_.property_term(e.p), targ});
     }
   }
 
-  NodeId ResolveEndpoint(TermId r, TermId p, bool as_source) {
-    if (typed_.count(r)) return rd_.at(r);  // typed: class-set node, no merge
+  NodeId ResolveEndpoint(uint32_t r, uint32_t p, bool as_source) {
+    if (dg_.IsTyped(r)) return rd_[r];  // typed: class-set node, no merge
     auto& dp = as_source ? dp_src_ : dp_targ_;
     auto& dps = as_source ? src_dps_ : targ_dps_;
-    NodeId via_prop = Get(dp, p);
-    NodeId via_res = Get(rd_, r);
+    NodeId via_prop = dp[p];
+    NodeId via_res = rd_[r];
     if (via_prop == kNoNode && via_res == kNoNode) {
-      NodeId fresh = next_node_++;
-      rd_[r] = fresh;
-      dr_[fresh].push_back(r);
+      NodeId fresh = NewNode();
+      Represent(r, fresh);
       dp[p] = fresh;
-      dps[fresh].insert(p);
+      dps[fresh].push_back(p);
       return fresh;
     }
     if (via_prop != kNoNode && via_res == kNoNode) {
-      rd_[r] = via_prop;
-      dr_[via_prop].push_back(r);
+      Represent(r, via_prop);
       return via_prop;
     }
     if (via_prop == kNoNode && via_res != kNoNode) {
       dp[p] = via_res;
-      dps[via_res].insert(p);
+      dps[via_res].push_back(p);
       return via_res;
     }
     if (via_prop == via_res) return via_res;
     return Merge(via_res, via_prop);
   }
 
+  NodeId NewNode() {
+    NodeId d = next_node_++;
+    dr_.emplace_back();
+    src_dps_.emplace_back();
+    targ_dps_.emplace_back();
+    return d;
+  }
+
+  void Represent(uint32_t r, NodeId d) {
+    rd_[r] = d;
+    dr_[d].push_back(r);
+  }
+
   size_t EdgeCount(NodeId n) const {
-    size_t count = 0;
-    auto s = src_dps_.find(n);
-    if (s != src_dps_.end()) count += s->second.size();
-    auto t = targ_dps_.find(n);
-    if (t != targ_dps_.end()) count += t->second.size();
-    return count;
+    return src_dps_[n].size() + targ_dps_[n].size();
   }
 
   NodeId Merge(NodeId a, NodeId b) {
@@ -367,26 +368,14 @@ class TypedWeakBuilder {
     if (options_.merge_smaller_node && EdgeCount(a) < EdgeCount(b)) {
       std::swap(keep, drop);
     }
-    auto dit = dr_.find(drop);
-    if (dit != dr_.end()) {
-      auto& keep_list = dr_[keep];
-      for (TermId r : dit->second) {
-        rd_[r] = keep;
-        keep_list.push_back(r);
-      }
-      dr_.erase(dit);
-    }
-    auto move_side = [&](std::unordered_map<TermId, NodeId>& dp,
-                         std::unordered_map<NodeId,
-                                            std::unordered_set<TermId>>& dps) {
-      auto it = dps.find(drop);
-      if (it == dps.end()) return;
-      auto& keep_set = dps[keep];
-      for (TermId p : it->second) {
-        dp[p] = keep;
-        keep_set.insert(p);
-      }
-      dps.erase(it);
+    for (uint32_t r : dr_[drop]) rd_[r] = keep;
+    dr_[keep].insert(dr_[keep].end(), dr_[drop].begin(), dr_[drop].end());
+    dr_[drop].clear();
+    auto move_side = [&](std::vector<NodeId>& dp,
+                         std::vector<std::vector<uint32_t>>& dps) {
+      for (uint32_t p : dps[drop]) dp[p] = keep;
+      dps[keep].insert(dps[keep].end(), dps[drop].begin(), dps[drop].end());
+      dps[drop].clear();
     };
     move_side(dp_src_, src_dps_);
     move_side(dp_targ_, targ_dps_);
@@ -410,11 +399,12 @@ class TypedWeakBuilder {
     out.kind = SummaryKind::kTypedWeak;
     out.graph = Graph(g_.dict_ptr());
     Dictionary& dict = out.graph.dict();
-    std::unordered_map<NodeId, TermId> node_uri;
+    std::vector<TermId> node_uri(next_node_, kInvalidTermId);
     auto uri_of = [&](NodeId d) {
-      auto [it, inserted] = node_uri.emplace(d, kInvalidTermId);
-      if (inserted) it->second = dict.MintNodeUri("node:tw");
-      return it->second;
+      if (node_uri[d] == kInvalidTermId) {
+        node_uri[d] = dict.MintNodeUri("node:tw");
+      }
+      return node_uri[d];
     };
     for (const auto& [s, p, o] : edges_) {
       out.graph.Add(Triple{uri_of(s), p, uri_of(o)});
@@ -424,33 +414,35 @@ class TypedWeakBuilder {
       for (TermId c : classes) out.graph.Add(Triple{uri_of(d), rdf_type, c});
     }
     for (const Triple& t : g_.schema()) out.graph.Add(t);
-    for (const auto& [r, d] : rd_) out.node_map.emplace(r, uri_of(d));
+    out.node_map.reserve(dg_.num_nodes());
+    for (uint32_t r = 0; r < dg_.num_nodes(); ++r) {
+      if (rd_[r] != kNoNode) {
+        out.node_map.emplace(dg_.term_of(r), uri_of(rd_[r]));
+      }
+    }
     if (options_.record_members) {
-      for (const auto& [d, rs] : dr_) {
+      for (NodeId d = 0; d < next_node_; ++d) {
+        if (dr_[d].empty()) continue;
         auto& v = out.members[uri_of(d)];
-        v.insert(v.end(), rs.begin(), rs.end());
+        v.reserve(dr_[d].size());
+        for (uint32_t r : dr_[d]) v.push_back(dg_.term_of(r));
       }
     }
     out.stats = ComputeSummaryStats(out.graph, 0.0);
     return out;
   }
 
-  static NodeId Get(const std::unordered_map<TermId, NodeId>& m, TermId k) {
-    auto it = m.find(k);
-    return it == m.end() ? kNoNode : it->second;
-  }
-
   const Graph& g_;
+  const DenseGraph& dg_;
   IncrementalWeakOptions options_;
   NodeId next_node_ = 0;
-  std::unordered_set<TermId> typed_;
-  std::unordered_map<TermId, NodeId> rd_;
-  std::unordered_map<NodeId, std::vector<TermId>> dr_;
-  std::unordered_map<TermId, NodeId> dp_src_;
-  std::unordered_map<TermId, NodeId> dp_targ_;
-  std::unordered_map<NodeId, std::unordered_set<TermId>> src_dps_;
-  std::unordered_map<NodeId, std::unordered_set<TermId>> targ_dps_;
-  std::unordered_map<NodeId, std::unordered_set<TermId>> dcls_;
+  std::vector<NodeId> rd_;
+  std::vector<std::vector<uint32_t>> dr_;
+  std::vector<NodeId> dp_src_;
+  std::vector<NodeId> dp_targ_;
+  std::vector<std::vector<uint32_t>> src_dps_;
+  std::vector<std::vector<uint32_t>> targ_dps_;
+  std::unordered_map<NodeId, std::vector<TermId>> dcls_;
   std::set<std::tuple<NodeId, TermId, NodeId>> edges_;
 };
 

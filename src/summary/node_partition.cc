@@ -1,253 +1,231 @@
 #include "summary/node_partition.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_set>
+#include <tuple>
+#include <unordered_map>
 #include <vector>
 
-#include "rdf/graph_stats.h"
+#include "rdf/dense_graph.h"
 #include "summary/cliques.h"
 #include "summary/union_find.h"
+
+// All partition kinds run on the DenseGraph substrate (Graph::Dense()):
+// flat arrays indexed by dense node / property id instead of per-algorithm
+// unordered_map scaffolding. The canonical class-id semantics are unchanged
+// — dense node id order *is* the canonical first-encounter order — and every
+// function must stay byte-identical to its reference_partition.h oracle
+// (enforced by tests/dense_graph_test.cc).
 
 namespace rdfsum::summary {
 namespace {
 
-/// Visits every data node of `g` in the canonical order used for class-id
-/// assignment: data triples (subject then object), then type subjects.
-template <typename Fn>
-void ForEachDataNodeInOrder(const Graph& g, Fn&& fn) {
-  for (const Triple& t : g.data()) {
-    fn(t.s);
-    fn(t.o);
-  }
-  for (const Triple& t : g.types()) fn(t.s);
-}
+constexpr uint32_t kNone = DenseGraph::kNone;
 
-/// Dense indexing of data nodes in canonical order.
-struct NodeIndex {
-  std::unordered_map<TermId, uint32_t> index_of;
-  std::vector<TermId> nodes;
-
-  explicit NodeIndex(const Graph& g) {
-    ForEachDataNodeInOrder(g, [&](TermId n) {
-      if (index_of.emplace(n, static_cast<uint32_t>(nodes.size())).second) {
-        nodes.push_back(n);
-      }
-    });
-  }
-};
-
-/// Renumbers an arbitrary raw-class assignment into dense, canonical ids.
-NodePartition Finalize(const Graph& g,
-                       const std::unordered_map<TermId, uint32_t>& raw) {
+/// Renumbers a raw class assignment (by dense node id, raw ids < `bound`)
+/// into dense canonical ids: class ids are assigned in first-encounter order
+/// over dense node ids, which is exactly the old ForEachDataNodeInOrder walk.
+NodePartition Finalize(const DenseGraph& dg, const std::vector<uint32_t>& raw,
+                       uint32_t bound) {
   NodePartition out;
-  std::unordered_map<uint32_t, uint32_t> remap;
-  ForEachDataNodeInOrder(g, [&](TermId n) {
-    if (out.class_of.count(n)) return;
-    uint32_t raw_class = raw.at(n);
-    auto [it, inserted] =
-        remap.emplace(raw_class, static_cast<uint32_t>(remap.size()));
-    out.class_of.emplace(n, it->second);
-  });
-  out.num_classes = static_cast<uint32_t>(remap.size());
-  return out;
-}
-
-/// Sorted class set of every typed resource.
-std::unordered_map<TermId, std::vector<TermId>> ClassSets(const Graph& g) {
-  std::unordered_map<TermId, std::vector<TermId>> out;
-  for (const Triple& t : g.types()) out[t.s].push_back(t.o);
-  for (auto& [node, classes] : out) {
-    std::sort(classes.begin(), classes.end());
-    classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  const uint32_t n = dg.num_nodes();
+  std::vector<uint32_t> remap(bound, kNone);
+  uint32_t next = 0;
+  out.class_of.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t& cls = remap[raw[i]];
+    if (cls == kNone) cls = next++;
+    out.class_of.emplace(dg.term_of(i), cls);
   }
+  out.num_classes = next;
   return out;
 }
 
-constexpr uint32_t kUnassigned = 0xFFFFFFFFu;
+/// Weak-style union-find over data endpoints: every subject (resp. object)
+/// of a property is merged with the property's first-seen subject (resp.
+/// object). `in_scope(node)` gates which endpoints participate; `covered` is
+/// set for every endpoint that did.
+void UnionPerProperty(const DenseGraph& dg, UnionFind& uf,
+                      const std::vector<uint8_t>* untyped, bool require_both,
+                      std::vector<uint8_t>* covered) {
+  if (untyped == nullptr) {
+    // Unscoped: the substrate's first-seen anchors are exactly the per-
+    // property union seeds, so no local anchor state is needed at all.
+    for (const DenseGraph::Edge& e : dg.data_edges()) {
+      uf.Union(e.s, dg.SourceAnchor(e.p));
+      uf.Union(e.o, dg.TargetAnchor(e.p));
+    }
+    return;
+  }
+  const uint32_t p = dg.num_properties();
+  std::vector<uint32_t> src_anchor(p, kNone);
+  std::vector<uint32_t> tgt_anchor(p, kNone);
+  for (const DenseGraph::Edge& e : dg.data_edges()) {
+    bool s_ok, o_ok;
+    if (require_both) {
+      bool both = (*untyped)[e.s] && (*untyped)[e.o];
+      s_ok = both;
+      o_ok = both;
+    } else {
+      s_ok = (*untyped)[e.s] != 0;
+      o_ok = (*untyped)[e.o] != 0;
+    }
+    if (s_ok) {
+      if (covered != nullptr) (*covered)[e.s] = 1;
+      if (src_anchor[e.p] == kNone) {
+        src_anchor[e.p] = e.s;
+      } else {
+        uf.Union(e.s, src_anchor[e.p]);
+      }
+    }
+    if (o_ok) {
+      if (covered != nullptr) (*covered)[e.o] = 1;
+      if (tgt_anchor[e.p] == kNone) {
+        tgt_anchor[e.p] = e.o;
+      } else {
+        uf.Union(e.o, tgt_anchor[e.p]);
+      }
+    }
+  }
+}
+
+/// Untyped flags by dense node id (the complement of IsTyped).
+std::vector<uint8_t> UntypedFlags(const DenseGraph& dg) {
+  std::vector<uint8_t> untyped(dg.num_nodes());
+  for (uint32_t i = 0; i < dg.num_nodes(); ++i) untyped[i] = !dg.IsTyped(i);
+  return untyped;
+}
+
+/// Shared scaffolding for TW/TS: typed nodes are grouped by their dense
+/// class-set id; untyped ones by `assign_untyped(node)`, whose ids live in a
+/// namespace disjoint from the class-set ids and are bounded by
+/// `untyped_bound`.
+template <typename AssignUntyped>
+NodePartition TypedPartition(const DenseGraph& dg, uint32_t untyped_bound,
+                             AssignUntyped&& assign_untyped) {
+  const uint32_t n = dg.num_nodes();
+  const uint32_t base = dg.num_class_sets();
+  std::vector<uint32_t> raw(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t set_id = dg.ClassSetId(i);
+    raw[i] = set_id != kNone ? set_id : base + assign_untyped(i);
+  }
+  return Finalize(dg, raw, base + untyped_bound);
+}
 
 }  // namespace
 
 NodePartition ComputeWeakPartition(const Graph& g) {
-  NodeIndex idx(g);
-  UnionFind uf(static_cast<uint32_t>(idx.nodes.size()));
-  std::unordered_map<TermId, uint32_t> source_anchor;  // property -> node idx
-  std::unordered_map<TermId, uint32_t> target_anchor;
-  for (const Triple& t : g.data()) {
-    uint32_t si = idx.index_of.at(t.s);
-    uint32_t oi = idx.index_of.at(t.o);
-    auto [sit, s_new] = source_anchor.emplace(t.p, si);
-    if (!s_new) uf.Union(si, sit->second);
-    auto [tit, t_new] = target_anchor.emplace(t.p, oi);
-    if (!t_new) uf.Union(oi, tit->second);
-  }
+  const DenseGraph& dg = g.Dense();
+  UnionFind uf(dg.num_nodes());
+  UnionPerProperty(dg, uf, nullptr, false, nullptr);
+  return WeakPartitionFromUnionFind(dg, uf);
+}
+
+NodePartition WeakPartitionFromUnionFind(const DenseGraph& dg, UnionFind& uf) {
   // Typed-only resources (no data property at all) all map to Nτ: a single
-  // shared raw class.
-  std::unordered_set<TermId> in_data;
-  for (const Triple& t : g.data()) {
-    in_data.insert(t.s);
-    in_data.insert(t.o);
+  // shared raw class with id n, distinct from every union-find root.
+  const uint32_t n = dg.num_nodes();
+  std::vector<uint32_t> raw(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    raw[i] = dg.HasData(i) ? uf.Find(i) : n;
   }
-  uint32_t ntau_raw = uf.size();  // any id distinct from all UF roots
-  std::unordered_map<TermId, uint32_t> raw;
-  ForEachDataNodeInOrder(g, [&](TermId n) {
-    if (raw.count(n)) return;
-    if (in_data.count(n)) {
-      raw.emplace(n, uf.Find(idx.index_of.at(n)));
-    } else {
-      raw.emplace(n, ntau_raw);
-    }
-  });
-  return Finalize(g, raw);
+  return Finalize(dg, raw, n + 1);
 }
 
 NodePartition ComputeStrongPartition(const Graph& g) {
-  PropertyCliques cliques = ComputePropertyCliques(g, CliqueScope::kAll);
+  const DenseGraph& dg = g.Dense();
+  DenseCliqueAssignment cliques =
+      ComputeDenseCliqueAssignment(dg, CliqueScope::kAll);
   // Raw class = dense id of the (source clique, target clique) pair; the
   // (0,0) pair covers typed-only resources, realizing Nτ.
-  std::map<std::pair<uint32_t, uint32_t>, uint32_t> pair_class;
-  std::unordered_map<TermId, uint32_t> raw;
-  ForEachDataNodeInOrder(g, [&](TermId n) {
-    if (raw.count(n)) return;
-    std::pair<uint32_t, uint32_t> key{cliques.SourceCliqueOf(n),
-                                      cliques.TargetCliqueOf(n)};
+  const uint32_t n = dg.num_nodes();
+  std::unordered_map<uint64_t, uint32_t> pair_class;
+  std::vector<uint32_t> raw(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t key = (static_cast<uint64_t>(cliques.source_clique_of_node[i])
+                    << 32) |
+                   cliques.target_clique_of_node[i];
     auto [it, inserted] =
         pair_class.emplace(key, static_cast<uint32_t>(pair_class.size()));
-    raw.emplace(n, it->second);
-  });
-  return Finalize(g, raw);
+    raw[i] = it->second;
+  }
+  return Finalize(dg, raw, static_cast<uint32_t>(pair_class.size()));
 }
 
 NodePartition ComputeTypePartition(const Graph& g) {
-  auto class_sets = ClassSets(g);
-  std::map<std::vector<TermId>, uint32_t> set_class;
-  std::unordered_map<TermId, uint32_t> raw;
-  uint32_t next = 0;
-  ForEachDataNodeInOrder(g, [&](TermId n) {
-    if (raw.count(n)) return;
-    auto it = class_sets.find(n);
-    if (it == class_sets.end()) {
-      raw.emplace(n, next++);  // untyped: fresh class per node (C(∅))
-    } else {
-      auto [sit, inserted] = set_class.emplace(it->second, kUnassigned);
-      if (inserted) sit->second = next++;
-      raw.emplace(n, sit->second);
-    }
-  });
-  return Finalize(g, raw);
+  // Typed resources by exact class set; every untyped data node a fresh
+  // singleton (C(∅) is fresh per node).
+  const DenseGraph& dg = g.Dense();
+  return TypedPartition(dg, dg.num_nodes(), [](uint32_t i) { return i; });
 }
-
-namespace {
-
-/// Shared scaffolding for TW/TS: typed nodes are grouped by class set; the
-/// untyped ones by the `assign_untyped` callback, which returns a raw class
-/// id in a namespace disjoint from the typed ids.
-template <typename AssignUntyped>
-NodePartition TypedPartition(const Graph& g, AssignUntyped&& assign_untyped) {
-  auto class_sets = ClassSets(g);
-  std::map<std::vector<TermId>, uint32_t> set_class;
-  std::unordered_map<TermId, uint32_t> raw;
-  uint32_t next_typed = 0;
-  constexpr uint32_t kUntypedBase = 0x80000000u;
-  ForEachDataNodeInOrder(g, [&](TermId n) {
-    if (raw.count(n)) return;
-    auto it = class_sets.find(n);
-    if (it != class_sets.end()) {
-      auto [sit, inserted] = set_class.emplace(it->second, kUnassigned);
-      if (inserted) sit->second = next_typed++;
-      raw.emplace(n, sit->second);
-    } else {
-      raw.emplace(n, kUntypedBase + assign_untyped(n));
-    }
-  });
-  return Finalize(g, raw);
-}
-
-}  // namespace
 
 NodePartition ComputeTypedWeakPartition(const Graph& g,
                                         TypedSummaryMode mode) {
-  std::unordered_set<TermId> typed = TypedResources(g);
-  auto is_untyped = [&](TermId n) { return typed.count(n) == 0; };
+  const DenseGraph& dg = g.Dense();
+  const uint32_t n = dg.num_nodes();
+  std::vector<uint8_t> untyped = UntypedFlags(dg);
+  std::vector<uint8_t> covered(n, 0);
+  UnionFind uf(n);
+  UnionPerProperty(dg, uf, &untyped,
+                   mode != TypedSummaryMode::kPerPropertyProjection, &covered);
+  // Untyped nodes outside the projection (only possible in kUntypedDataGraph
+  // mode) collapse into Nτ, raw id n.
+  return TypedPartition(dg, n + 1, [&](uint32_t i) -> uint32_t {
+    return covered[i] ? uf.Find(i) : n;
+  });
+}
 
-  NodeIndex idx(g);
-  UnionFind uf(static_cast<uint32_t>(idx.nodes.size()));
-  std::unordered_map<TermId, uint32_t> source_anchor;
-  std::unordered_map<TermId, uint32_t> target_anchor;
-  std::unordered_set<TermId> covered;  // untyped nodes that took part
-  for (const Triple& t : g.data()) {
-    bool s_ok, o_ok;
-    if (mode == TypedSummaryMode::kPerPropertyProjection) {
-      s_ok = is_untyped(t.s);
-      o_ok = is_untyped(t.o);
-    } else {
-      bool both = is_untyped(t.s) && is_untyped(t.o);
-      s_ok = both;
-      o_ok = both;
-    }
-    if (s_ok) {
-      uint32_t si = idx.index_of.at(t.s);
-      covered.insert(t.s);
-      auto [it, fresh] = source_anchor.emplace(t.p, si);
-      if (!fresh) uf.Union(si, it->second);
-    }
-    if (o_ok) {
-      uint32_t oi = idx.index_of.at(t.o);
-      covered.insert(t.o);
-      auto [it, fresh] = target_anchor.emplace(t.p, oi);
-      if (!fresh) uf.Union(oi, it->second);
-    }
-  }
-  uint32_t ntau_raw = uf.size();
-  return TypedPartition(g, [&](TermId n) -> uint32_t {
-    if (covered.count(n)) return uf.Find(idx.index_of.at(n));
-    // Untyped node outside the projection (only possible in
-    // kUntypedDataGraph mode): collapses into Nτ.
-    return ntau_raw;
+NodePartition ComputeTypedStrongPartition(const Graph& g,
+                                          TypedSummaryMode mode) {
+  const DenseGraph& dg = g.Dense();
+  CliqueScope scope = mode == TypedSummaryMode::kPerPropertyProjection
+                          ? CliqueScope::kUntypedEndpoints
+                          : CliqueScope::kUntypedDataGraph;
+  DenseCliqueAssignment cliques = ComputeDenseCliqueAssignment(dg, scope);
+  std::unordered_map<uint64_t, uint32_t> pair_class;
+  return TypedPartition(dg, dg.num_nodes() + 1, [&](uint32_t i) -> uint32_t {
+    uint64_t key = (static_cast<uint64_t>(cliques.source_clique_of_node[i])
+                    << 32) |
+                   cliques.target_clique_of_node[i];
+    auto [it, inserted] =
+        pair_class.emplace(key, static_cast<uint32_t>(pair_class.size()));
+    return it->second;
   });
 }
 
 NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
                                            bool use_types) {
-  NodeIndex idx(g);
-  const uint32_t n = static_cast<uint32_t>(idx.nodes.size());
+  const DenseGraph& dg = g.Dense();
+  const uint32_t n = dg.num_nodes();
 
-  // Seed colors: class-set hash (or a shared constant).
+  // Seed colors: class-set hash (or a shared constant). The hash formula
+  // matches the reference implementation so seed grouping is identical.
   std::vector<uint64_t> color(n, 0x9E3779B97F4A7C15ULL);
   if (use_types) {
-    auto class_sets = ClassSets(g);
     for (uint32_t i = 0; i < n; ++i) {
-      auto it = class_sets.find(idx.nodes[i]);
-      if (it == class_sets.end()) continue;
+      std::span<const TermId> classes = dg.ClassesOf(i);
+      if (classes.empty()) continue;
       uint64_t h = 0x12345;
-      for (TermId c : it->second) {
+      for (TermId c : classes) {
         h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
       }
       color[i] = h;
     }
   }
 
-  // Pre-index adjacency as (direction, property, neighbor index).
-  struct Adj {
-    bool out;
-    TermId p;
-    uint32_t other;
-  };
-  std::vector<std::vector<Adj>> adj(n);
-  for (const Triple& t : g.data()) {
-    uint32_t si = idx.index_of.at(t.s);
-    uint32_t oi = idx.index_of.at(t.o);
-    adj[si].push_back({true, t.p, oi});
-    adj[oi].push_back({false, t.p, si});
-  }
-
+  // Refinement rounds over the CSR adjacency. Signatures use dense property
+  // ids — a bijective relabeling of the reference's TermIds, so equivalence
+  // classes (and therefore the canonical partition) are unchanged.
+  std::vector<std::tuple<int, uint32_t, uint64_t>> sig;
   for (uint32_t round = 0; round < depth; ++round) {
     std::vector<uint64_t> next(n);
     for (uint32_t i = 0; i < n; ++i) {
-      std::vector<std::tuple<int, TermId, uint64_t>> sig;
-      sig.reserve(adj[i].size());
-      for (const Adj& a : adj[i]) {
-        sig.emplace_back(a.out ? 1 : 0, a.p, color[a.other]);
+      sig.clear();
+      for (const DenseGraph::Neighbor& a : dg.InEdges(i)) {
+        sig.emplace_back(0, a.p, color[a.node]);
+      }
+      for (const DenseGraph::Neighbor& a : dg.OutEdges(i)) {
+        sig.emplace_back(1, a.p, color[a.node]);
       }
       std::sort(sig.begin(), sig.end());
       sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
@@ -262,31 +240,15 @@ NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
     color = std::move(next);
   }
 
-  std::unordered_map<TermId, uint32_t> raw;
   std::unordered_map<uint64_t, uint32_t> color_class;
+  color_class.reserve(n);
+  std::vector<uint32_t> raw(n);
   for (uint32_t i = 0; i < n; ++i) {
     auto [it, inserted] = color_class.emplace(
         color[i], static_cast<uint32_t>(color_class.size()));
-    raw.emplace(idx.nodes[i], it->second);
+    raw[i] = it->second;
   }
-  return Finalize(g, raw);
-}
-
-NodePartition ComputeTypedStrongPartition(const Graph& g,
-                                          TypedSummaryMode mode) {
-  std::unordered_set<TermId> typed = TypedResources(g);
-  CliqueScope scope = mode == TypedSummaryMode::kPerPropertyProjection
-                          ? CliqueScope::kUntypedEndpoints
-                          : CliqueScope::kUntypedDataGraph;
-  PropertyCliques cliques = ComputePropertyCliques(g, scope, &typed);
-  std::map<std::pair<uint32_t, uint32_t>, uint32_t> pair_class;
-  return TypedPartition(g, [&](TermId n) -> uint32_t {
-    std::pair<uint32_t, uint32_t> key{cliques.SourceCliqueOf(n),
-                                      cliques.TargetCliqueOf(n)};
-    auto [it, inserted] =
-        pair_class.emplace(key, static_cast<uint32_t>(pair_class.size()));
-    return it->second;
-  });
+  return Finalize(dg, raw, static_cast<uint32_t>(color_class.size()));
 }
 
 }  // namespace rdfsum::summary

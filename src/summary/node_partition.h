@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "rdf/dense_graph.h"
 #include "rdf/graph.h"
 #include "summary/summary.h"
+#include "summary/union_find.h"
 
 namespace rdfsum::summary {
 
@@ -22,6 +24,12 @@ struct NodePartition {
 /// ≡W (Definition 7) with the Nτ convention: all typed-only resources form
 /// one class.
 NodePartition ComputeWeakPartition(const Graph& g);
+
+/// Assembles the weak NodePartition from a union-find over dense node ids
+/// (nodes with no data property collapse into Nτ). This is the canonical
+/// class-id assignment shared by ComputeWeakPartition and the parallel weak
+/// path — any change to it changes both identically.
+NodePartition WeakPartitionFromUnionFind(const DenseGraph& dg, UnionFind& uf);
 
 /// ≡S (Definition 7): same (source clique, target clique); typed-only
 /// resources have (∅,∅) and form one class (Nτ).

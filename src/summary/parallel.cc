@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "rdf/dense_graph.h"
 #include "summary/node_partition.h"
 #include "summary/summarizer.h"
 #include "summary/union_find.h"
@@ -60,63 +60,44 @@ SummaryResult ParallelWeakSummarize(const Graph& g,
     for (auto& w : workers) w.join();
   }
 
-  // ---- Phase B: sequential union-find over all edges.
-  std::unordered_map<TermId, uint32_t> index_of;
-  std::vector<TermId> nodes;
-  UnionFind uf;
-  auto idx = [&](TermId n) {
-    auto [it, inserted] =
-        index_of.emplace(n, static_cast<uint32_t>(nodes.size()));
-    if (inserted) {
-      nodes.push_back(n);
-      uf.Add();
-    }
-    return it->second;
-  };
-  // Register all data endpoints in canonical (graph) order so class ids come
-  // out identical to the batch partition.
-  for (const Triple& t : data) {
-    idx(t.s);
-    idx(t.o);
-  }
+  // ---- Phase B: sequential union-find over the dense substrate. The
+  // substrate's canonical node numbering replaces the per-call index map;
+  // shard-local TermId anchors are resolved through node_of().
+  const DenseGraph& dg = g.Dense();
+  const uint32_t n = dg.num_nodes();
+  UnionFind uf(n);
   for (const ShardResult& shard : shards) {
-    for (const auto& [a, b] : shard.unions) uf.Union(idx(a), idx(b));
+    for (const auto& [a, b] : shard.unions) {
+      uf.Union(dg.node_of(a), dg.node_of(b));
+    }
   }
   // Cross-shard: all shard anchors of one property belong together.
-  std::unordered_map<TermId, uint32_t> global_src, global_tgt;
+  std::vector<uint32_t> global_src(dg.num_properties(), DenseGraph::kNone);
+  std::vector<uint32_t> global_tgt(dg.num_properties(), DenseGraph::kNone);
   for (const ShardResult& shard : shards) {
     for (const auto& [p, anchor] : shard.src_anchor) {
-      auto [it, inserted] = global_src.emplace(p, idx(anchor));
-      if (!inserted) uf.Union(it->second, idx(anchor));
+      uint32_t pid = dg.property_of(p);
+      uint32_t node = dg.node_of(anchor);
+      if (global_src[pid] == DenseGraph::kNone) {
+        global_src[pid] = node;
+      } else {
+        uf.Union(global_src[pid], node);
+      }
     }
     for (const auto& [p, anchor] : shard.tgt_anchor) {
-      auto [it, inserted] = global_tgt.emplace(p, idx(anchor));
-      if (!inserted) uf.Union(it->second, idx(anchor));
+      uint32_t pid = dg.property_of(p);
+      uint32_t node = dg.node_of(anchor);
+      if (global_tgt[pid] == DenseGraph::kNone) {
+        global_tgt[pid] = node;
+      } else {
+        uf.Union(global_tgt[pid], node);
+      }
     }
   }
 
-  // ---- Phase C: canonical partition + quotient (same as the batch path).
-  NodePartition part;
-  std::unordered_map<uint32_t, uint32_t> remap;
-  std::unordered_set<TermId> in_data(index_of.size());
-  auto assign = [&](TermId n, uint32_t raw) {
-    auto [it, inserted] =
-        remap.emplace(raw, static_cast<uint32_t>(remap.size()));
-    part.class_of.emplace(n, it->second);
-  };
-  for (const Triple& t : data) {
-    for (TermId n : {t.s, t.o}) {
-      if (in_data.insert(n).second) assign(n, uf.Find(index_of.at(n)));
-    }
-  }
-  // Typed-only resources -> a single Nτ class.
-  constexpr uint32_t kNTauRaw = 0xFFFFFFFFu;
-  for (const Triple& t : g.types()) {
-    if (!in_data.count(t.s) && !part.class_of.count(t.s)) {
-      assign(t.s, kNTauRaw);
-    }
-  }
-  part.num_classes = static_cast<uint32_t>(remap.size());
+  // ---- Phase C: canonical partition + quotient — the same class-id
+  // assembly as the batch path, so class ids come out identical.
+  NodePartition part = WeakPartitionFromUnionFind(dg, uf);
 
   SummaryOptions sum_options;
   sum_options.record_members = options.record_members;

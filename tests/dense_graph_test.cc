@@ -1,0 +1,247 @@
+#include "rdf/dense_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/bsbm.h"
+#include "gen/hetero.h"
+#include "gen/lubm.h"
+#include "gen/paper_example.h"
+#include "rdf/graph.h"
+#include "summary/node_partition.h"
+#include "summary/reference_partition.h"
+
+namespace rdfsum {
+namespace {
+
+using summary::NodePartition;
+
+// ---- CSR construction edge cases -------------------------------------------
+
+TEST(DenseGraphTest, EmptyGraph) {
+  Graph g;
+  const DenseGraph& dg = g.Dense();
+  EXPECT_EQ(dg.num_nodes(), 0u);
+  EXPECT_EQ(dg.num_properties(), 0u);
+  EXPECT_TRUE(dg.data_edges().empty());
+  EXPECT_EQ(dg.num_class_sets(), 0u);
+}
+
+TEST(DenseGraphTest, CanonicalNodeAndPropertyOrder) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId a = d.EncodeIri("a"), b = d.EncodeIri("b"), c = d.EncodeIri("c");
+  TermId p1 = d.EncodeIri("p1"), p2 = d.EncodeIri("p2");
+  g.Add({a, p1, b});
+  g.Add({c, p2, a});
+
+  const DenseGraph& dg = g.Dense();
+  // Canonical order: subjects then objects, triple by triple.
+  ASSERT_EQ(dg.num_nodes(), 3u);
+  EXPECT_EQ(dg.term_of(0), a);
+  EXPECT_EQ(dg.term_of(1), b);
+  EXPECT_EQ(dg.term_of(2), c);
+  EXPECT_EQ(dg.node_of(a), 0u);
+  EXPECT_EQ(dg.node_of(b), 1u);
+  EXPECT_EQ(dg.node_of(c), 2u);
+  // Properties in first-occurrence order.
+  ASSERT_EQ(dg.num_properties(), 2u);
+  EXPECT_EQ(dg.property_term(0), p1);
+  EXPECT_EQ(dg.property_term(1), p2);
+  EXPECT_EQ(dg.property_of(p1), 0u);
+  // A term that is not a data node / property maps to kNone.
+  EXPECT_EQ(dg.node_of(p1), DenseGraph::kNone);
+  EXPECT_EQ(dg.property_of(a), DenseGraph::kNone);
+}
+
+TEST(DenseGraphTest, CsrAdjacencyAndAnchors) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId a = d.EncodeIri("a"), b = d.EncodeIri("b"), c = d.EncodeIri("c");
+  TermId p = d.EncodeIri("p"), q = d.EncodeIri("q");
+  g.Add({a, p, b});
+  g.Add({a, q, c});
+  g.Add({b, p, c});
+
+  const DenseGraph& dg = g.Dense();
+  uint32_t na = dg.node_of(a), nb = dg.node_of(b), nc = dg.node_of(c);
+  ASSERT_EQ(dg.OutEdges(na).size(), 2u);
+  EXPECT_EQ(dg.OutEdges(na)[0].p, dg.property_of(p));
+  EXPECT_EQ(dg.OutEdges(na)[0].node, nb);
+  EXPECT_EQ(dg.OutEdges(na)[1].p, dg.property_of(q));
+  EXPECT_EQ(dg.OutEdges(na)[1].node, nc);
+  ASSERT_EQ(dg.InEdges(nc).size(), 2u);
+  EXPECT_EQ(dg.OutEdges(nc).size(), 0u);
+  ASSERT_EQ(dg.InEdges(nb).size(), 1u);
+  EXPECT_EQ(dg.InEdges(nb)[0].node, na);
+  // First-seen anchors.
+  EXPECT_EQ(dg.SourceAnchor(dg.property_of(p)), na);
+  EXPECT_EQ(dg.TargetAnchor(dg.property_of(p)), nb);
+  EXPECT_EQ(dg.SourceAnchor(dg.property_of(q)), na);
+  EXPECT_EQ(dg.TargetAnchor(dg.property_of(q)), nc);
+}
+
+TEST(DenseGraphTest, SelfLoop) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId a = d.EncodeIri("a");
+  TermId p = d.EncodeIri("p");
+  g.Add({a, p, a});
+
+  const DenseGraph& dg = g.Dense();
+  ASSERT_EQ(dg.num_nodes(), 1u);
+  ASSERT_EQ(dg.OutEdges(0).size(), 1u);
+  ASSERT_EQ(dg.InEdges(0).size(), 1u);
+  EXPECT_EQ(dg.OutEdges(0)[0].node, 0u);
+  EXPECT_EQ(dg.InEdges(0)[0].node, 0u);
+  EXPECT_EQ(dg.SourceAnchor(0), 0u);
+  EXPECT_EQ(dg.TargetAnchor(0), 0u);
+  EXPECT_TRUE(dg.HasData(0));
+}
+
+TEST(DenseGraphTest, TypedOnlyNodes) {
+  Graph g;
+  Dictionary& d = g.dict();
+  const Vocabulary& v = g.vocab();
+  TermId a = d.EncodeIri("a"), b = d.EncodeIri("b");
+  TermId c1 = d.EncodeIri("C1"), c2 = d.EncodeIri("C2");
+  TermId p = d.EncodeIri("p");
+  g.Add({a, p, b});
+  g.Add({a, v.rdf_type, c2});
+  g.Add({a, v.rdf_type, c1});
+  // x is typed-only: subject of type triples, no data edges.
+  TermId x = d.EncodeIri("x");
+  g.Add({x, v.rdf_type, c1});
+
+  const DenseGraph& dg = g.Dense();
+  ASSERT_EQ(dg.num_nodes(), 3u);  // a, b, then typed-only x
+  uint32_t nx = dg.node_of(x);
+  EXPECT_EQ(nx, 2u);  // type subjects come after data endpoints
+  EXPECT_FALSE(dg.HasData(nx));
+  EXPECT_TRUE(dg.IsTyped(nx));
+  EXPECT_EQ(dg.OutEdges(nx).size(), 0u);
+  EXPECT_EQ(dg.InEdges(nx).size(), 0u);
+  // Class sets are sorted and shared by id only when equal.
+  uint32_t na = dg.node_of(a);
+  ASSERT_EQ(dg.ClassesOf(na).size(), 2u);
+  EXPECT_LE(dg.ClassesOf(na)[0], dg.ClassesOf(na)[1]);
+  EXPECT_EQ(dg.ClassesOf(nx).size(), 1u);
+  EXPECT_NE(dg.ClassSetId(na), dg.ClassSetId(nx));
+  EXPECT_EQ(dg.ClassSetId(dg.node_of(b)), DenseGraph::kNone);
+  EXPECT_EQ(dg.num_class_sets(), 2u);
+}
+
+TEST(DenseGraphTest, ClassSetIdsDeduplicateEqualSets) {
+  Graph g;
+  Dictionary& d = g.dict();
+  const Vocabulary& v = g.vocab();
+  TermId c1 = d.EncodeIri("C1"), c2 = d.EncodeIri("C2");
+  TermId p = d.EncodeIri("p");
+  TermId a = d.EncodeIri("a"), b = d.EncodeIri("b");
+  g.Add({a, p, b});
+  // Same set {C1, C2} inserted in different orders.
+  g.Add({a, v.rdf_type, c1});
+  g.Add({a, v.rdf_type, c2});
+  g.Add({b, v.rdf_type, c2});
+  g.Add({b, v.rdf_type, c1});
+
+  const DenseGraph& dg = g.Dense();
+  EXPECT_EQ(dg.ClassSetId(dg.node_of(a)), dg.ClassSetId(dg.node_of(b)));
+  EXPECT_EQ(dg.num_class_sets(), 1u);
+}
+
+TEST(DenseGraphTest, CacheInvalidatedByAdd) {
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId a = d.EncodeIri("a"), b = d.EncodeIri("b");
+  TermId p = d.EncodeIri("p");
+  g.Add({a, p, b});
+  EXPECT_EQ(g.Dense().num_nodes(), 2u);
+  g.Add({b, p, d.EncodeIri("c")});
+  EXPECT_EQ(g.Dense().num_nodes(), 3u);
+}
+
+// ---- Differential tests: substrate partitions vs the reference oracle ------
+
+void ExpectIdentical(const NodePartition& got, const NodePartition& want,
+                     const char* label) {
+  EXPECT_EQ(got.num_classes, want.num_classes) << label;
+  ASSERT_EQ(got.class_of.size(), want.class_of.size()) << label;
+  for (const auto& [node, cls] : want.class_of) {
+    auto it = got.class_of.find(node);
+    ASSERT_NE(it, got.class_of.end()) << label << " missing node " << node;
+    EXPECT_EQ(it->second, cls) << label << " node " << node;
+  }
+}
+
+void CheckAllPartitionKinds(const Graph& g) {
+  ExpectIdentical(summary::ComputeWeakPartition(g),
+                  summary::ReferenceWeakPartition(g), "weak");
+  ExpectIdentical(summary::ComputeStrongPartition(g),
+                  summary::ReferenceStrongPartition(g), "strong");
+  ExpectIdentical(summary::ComputeTypePartition(g),
+                  summary::ReferenceTypePartition(g), "type");
+  for (auto mode : {summary::TypedSummaryMode::kPerPropertyProjection,
+                    summary::TypedSummaryMode::kUntypedDataGraph}) {
+    ExpectIdentical(summary::ComputeTypedWeakPartition(g, mode),
+                    summary::ReferenceTypedWeakPartition(g, mode),
+                    "typed-weak");
+    ExpectIdentical(summary::ComputeTypedStrongPartition(g, mode),
+                    summary::ReferenceTypedStrongPartition(g, mode),
+                    "typed-strong");
+  }
+  for (uint32_t depth : {1u, 3u}) {
+    ExpectIdentical(summary::ComputeBisimulationPartition(g, depth, true),
+                    summary::ReferenceBisimulationPartition(g, depth, true),
+                    "bisim-typed");
+    ExpectIdentical(summary::ComputeBisimulationPartition(g, depth, false),
+                    summary::ReferenceBisimulationPartition(g, depth, false),
+                    "bisim-untyped");
+  }
+}
+
+TEST(DensePartitionDifferentialTest, PaperExample) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  CheckAllPartitionKinds(ex.graph);
+}
+
+TEST(DensePartitionDifferentialTest, Bsbm) {
+  gen::BsbmOptions opt;
+  opt.num_products = 120;
+  CheckAllPartitionKinds(gen::GenerateBsbm(opt));
+}
+
+TEST(DensePartitionDifferentialTest, Lubm) {
+  gen::LubmOptions opt;
+  opt.num_universities = 2;
+  CheckAllPartitionKinds(gen::GenerateLubm(opt));
+}
+
+TEST(DensePartitionDifferentialTest, HeteroSweep) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 17ull}) {
+    gen::HeteroOptions opt;
+    opt.seed = seed;
+    opt.num_nodes = 300;
+    opt.type_probability = seed % 2 == 0 ? 0.8 : 0.3;
+    CheckAllPartitionKinds(gen::GenerateHetero(opt));
+  }
+}
+
+TEST(DensePartitionDifferentialTest, EmptyAndTypedOnlyGraphs) {
+  Graph empty;
+  CheckAllPartitionKinds(empty);
+
+  // A graph with only type triples: everything collapses into Nτ for W/S.
+  Graph typed_only;
+  Dictionary& d = typed_only.dict();
+  const Vocabulary& v = typed_only.vocab();
+  TermId c1 = d.EncodeIri("C1");
+  typed_only.Add({d.EncodeIri("x"), v.rdf_type, c1});
+  typed_only.Add({d.EncodeIri("y"), v.rdf_type, c1});
+  CheckAllPartitionKinds(typed_only);
+  EXPECT_EQ(summary::ComputeWeakPartition(typed_only).num_classes, 1u);
+}
+
+}  // namespace
+}  // namespace rdfsum
