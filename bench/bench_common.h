@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gen/bsbm.h"
@@ -59,12 +60,23 @@ class BenchJson {
     records_.push_back(Record_{name, scale, seconds});
   }
 
+  /// Adds a top-level integer metadata field (e.g. the producing machine's
+  /// hardware_concurrency) — context for interpreting the results, kept out
+  /// of the results array so per-name diffs across PRs stay clean.
+  void MetaInt(const std::string& key, uint64_t value) {
+    meta_.emplace_back(key, value);
+  }
+
   /// Writes all records as JSON. Returns false on I/O failure.
   bool WriteFile(const std::string& path) const {
     FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"seconds\",\n",
                  bench_name_.c_str());
+    for (const auto& [key, value] : meta_) {
+      std::fprintf(f, "  \"%s\": %llu,\n", key.c_str(),
+                   static_cast<unsigned long long>(value));
+    }
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record_& r = records_[i];
@@ -87,6 +99,7 @@ class BenchJson {
     double seconds;
   };
   std::string bench_name_;
+  std::vector<std::pair<std::string, uint64_t>> meta_;
   std::vector<Record_> records_;
 };
 

@@ -1,14 +1,20 @@
 // The paper's §9 future work — parallel summarization — measured: the
-// thread-sharded weak summarizer against the sequential batch builder, plus
-// the streaming maintainer's per-triple cost.
+// substrate-sharded weak summarizer and the sharded bisimulation baseline
+// against their sequential counterparts across a thread sweep, plus the
+// streaming maintainer's per-triple cost. Wall times land in
+// BENCH_parallel.json (override the path with RDFSUM_BENCH_JSON) so the
+// scaling trajectory can be tracked and diffed across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "bench_common.h"
 #include "summary/isomorphism.h"
 #include "summary/maintenance.h"
+#include "summary/node_partition.h"
 #include "summary/parallel.h"
 #include "summary/summarizer.h"
 #include "util/csv.h"
@@ -20,38 +26,129 @@ namespace {
 using bench::BenchScales;
 using bench::CachedBsbm;
 using bench::Num;
+using summary::ComputeBisimulationPartition;
+using summary::ComputeParallelWeakPartition;
+using summary::ComputeWeakPartition;
+using summary::NodePartition;
+using summary::ParallelBisimulationOptions;
+using summary::ParallelBisimulationSummarize;
 using summary::ParallelWeakOptions;
 using summary::ParallelWeakSummarize;
 using summary::Summarize;
 using summary::SummaryKind;
 
-void PrintParallel() {
-  TablePrinter table({"triples", "sequential (ms)", "2 threads (ms)",
-                      "4 threads (ms)", "speedup@4", "equal"});
+constexpr uint32_t kSweepThreads[] = {1, 2, 4, 8};
+
+/// Best-of-two wall time; the first run doubles as warm-up (single-shot
+/// timings at small scales are dominated by allocator/page-fault
+/// cold-start, not the algorithm).
+template <typename Fn>
+double BestOfTwo(Fn&& fn) {
+  Timer t1;
+  fn();
+  double first = t1.ElapsedSeconds();
+  Timer t2;
+  fn();
+  return std::min(first, t2.ElapsedSeconds());
+}
+
+bool SamePartition(const NodePartition& a, const NodePartition& b) {
+  return a.num_classes == b.num_classes && a.class_of == b.class_of;
+}
+
+// One thread sweep over the bench scales: `sequential(g)` measures the
+// baseline (stashing whatever the equality check needs), then
+// `parallel(g, threads)` runs the sharded path and reports (seconds,
+// matched-baseline). Records land in the JSON as <prefix>_sequential and
+// <prefix>_p<threads>.
+template <typename Sequential, typename Parallel>
+void PrintSweep(bench::BenchJson* json, const std::string& prefix,
+                const std::string& title, Sequential&& sequential,
+                Parallel&& parallel) {
+  TablePrinter table({"triples", "sequential (ms)", "1t (ms)", "2t (ms)",
+                      "4t (ms)", "8t (ms)", "speedup@4", "equal"});
   for (uint64_t scale : BenchScales()) {
     const Graph& g = CachedBsbm(scale);
-    Timer t0;
-    auto batch = Summarize(g, SummaryKind::kWeak);
-    double seq = t0.ElapsedSeconds();
+    g.Dense();  // substrate shared by every run below; build it once up front
+    double seq = sequential(g);
+    json->Record(prefix + "_sequential", scale, seq);
 
-    auto timed = [&](uint32_t threads) {
-      ParallelWeakOptions options;
-      options.num_threads = threads;
-      Timer t;
-      auto r = ParallelWeakSummarize(g, options);
-      double secs = t.ElapsedSeconds();
-      return std::make_pair(secs, std::move(r));
-    };
-    auto [t2, r2] = timed(2);
-    auto [t4, r4] = timed(4);
-    bool equal = summary::AreSummariesIsomorphic(batch.graph, r4.graph);
-    table.AddRow({Num(g.NumTriples()), FormatDouble(seq * 1e3, 1),
-                  FormatDouble(t2 * 1e3, 1), FormatDouble(t4 * 1e3, 1),
-                  FormatDouble(seq / t4, 2) + "x",
-                  equal ? "yes" : "NO (bug!)"});
+    std::vector<std::string> row = {Num(g.NumTriples()),
+                                    FormatDouble(seq * 1e3, 1)};
+    double at4 = seq;
+    bool equal = true;
+    for (uint32_t threads : kSweepThreads) {
+      auto [secs, matched] = parallel(g, threads);
+      json->Record(prefix + "_p" + std::to_string(threads), scale, secs);
+      row.push_back(FormatDouble(secs * 1e3, 1));
+      if (threads == 4) at4 = secs;
+      equal = equal && matched;
+    }
+    row.push_back(FormatDouble(seq / at4, 2) + "x");
+    row.push_back(equal ? "yes" : "NO (bug!)");
+    table.AddRow(row);
   }
-  table.Print(std::cout, "Future work (§9): parallel weak summarization");
+  table.Print(std::cout, title);
+}
 
+void PrintParallelWeak(bench::BenchJson* json) {
+  summary::SummaryResult batch;
+  PrintSweep(
+      json, "weak",
+      "Future work (§9): parallel weak summarization (substrate-sharded)",
+      [&](const Graph& g) {
+        return BestOfTwo([&] { batch = Summarize(g, SummaryKind::kWeak); });
+      },
+      [&](const Graph& g, uint32_t threads) {
+        ParallelWeakOptions options;
+        options.num_threads = threads;
+        summary::SummaryResult r;
+        double secs =
+            BestOfTwo([&] { r = ParallelWeakSummarize(g, options); });
+        return std::make_pair(
+            secs, summary::AreSummariesIsomorphic(batch.graph, r.graph));
+      });
+}
+
+// Partition construction alone — the phase the sharded scan parallelizes
+// (full ParallelWeakSummarize also pays the sequential quotient, which
+// dilutes the visible speedup).
+void PrintParallelWeakPartitionOnly(bench::BenchJson* json) {
+  NodePartition seq_part;
+  PrintSweep(
+      json, "weak_partition",
+      "Parallel weak partition only (quotient excluded)",
+      [&](const Graph& g) {
+        return BestOfTwo([&] { seq_part = ComputeWeakPartition(g); });
+      },
+      [&](const Graph& g, uint32_t threads) {
+        NodePartition part;
+        double secs = BestOfTwo(
+            [&] { part = ComputeParallelWeakPartition(g, threads); });
+        return std::make_pair(secs, SamePartition(seq_part, part));
+      });
+}
+
+void PrintParallelBisimulation(bench::BenchJson* json) {
+  NodePartition seq_part;
+  PrintSweep(
+      json, "bisim", "Parallel bisimulation refinement (depth 2, typed)",
+      [&](const Graph& g) {
+        return BestOfTwo(
+            [&] { seq_part = ComputeBisimulationPartition(g, 2, true); });
+      },
+      [&](const Graph& g, uint32_t threads) {
+        NodePartition part;
+        double secs = BestOfTwo([&] {
+          part = ComputeBisimulationPartition(
+              g, 2, true, summary::BisimulationDirection::kForwardBackward,
+              threads);
+        });
+        return std::make_pair(secs, SamePartition(seq_part, part));
+      });
+}
+
+void PrintMaintenance() {
   // Streaming maintenance: amortized cost per inserted triple.
   TablePrinter stream({"triples", "maintainer total (ms)", "ns/triple",
                        "snapshot (ms)"});
@@ -73,6 +170,24 @@ void PrintParallel() {
                    FormatDouble(snap_s * 1e3, 2)});
   }
   stream.Print(std::cout, "Streaming maintenance cost (insert-only)");
+}
+
+void PrintParallel() {
+  bench::BenchJson json("bench_parallel");
+  // Interpretation context: speedups are bounded by the cores of the
+  // machine that produced the file.
+  json.MetaInt("hardware_concurrency", std::thread::hardware_concurrency());
+  PrintParallelWeak(&json);
+  PrintParallelWeakPartitionOnly(&json);
+  PrintParallelBisimulation(&json);
+  PrintMaintenance();
+  const char* path = std::getenv("RDFSUM_BENCH_JSON");
+  std::string out = path != nullptr ? path : "BENCH_parallel.json";
+  if (json.WriteFile(out)) {
+    std::cout << "wrote " << out << "\n";
+  } else {
+    std::cerr << "failed to write " << out << "\n";
+  }
   std::cout.flush();
 }
 
@@ -87,6 +202,19 @@ void BM_ParallelWeak(benchmark::State& state) {
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_ParallelWeak)->Arg(1)->Arg(2)->Arg(4)->Unit(
+    benchmark::kMillisecond);
+
+void BM_ParallelBisimulation(benchmark::State& state) {
+  const Graph& g = CachedBsbm(250'000);
+  ParallelBisimulationOptions options;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = ParallelBisimulationSummarize(g, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelBisimulation)->Arg(1)->Arg(2)->Arg(4)->Unit(
     benchmark::kMillisecond);
 
 void BM_MaintainerInsert(benchmark::State& state) {

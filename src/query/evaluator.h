@@ -21,6 +21,9 @@ using Row = std::vector<Term>;
 class BgpEvaluator {
  public:
   explicit BgpEvaluator(const Graph& g);
+  /// The evaluator only borrows the graph; binding a temporary would
+  /// dangle after the constructor returns (ASan caught exactly this).
+  explicit BgpEvaluator(Graph&&) = delete;
 
   /// True iff the query has at least one embedding into the graph.
   bool ExistsMatch(const BgpQuery& q) const;

@@ -90,6 +90,14 @@ class DenseGraph {
   /// Data triples in graph order, fully renumbered.
   const std::vector<Edge>& data_edges() const { return edges_; }
 
+  uint64_t num_data_edges() const { return edges_.size(); }
+
+  /// Contiguous slice [begin, end) of data_edges() — the unit a parallel
+  /// shard scans (see util::ShardRange for the canonical split).
+  std::span<const Edge> EdgeRange(uint64_t begin, uint64_t end) const {
+    return {edges_.data() + begin, edges_.data() + end};
+  }
+
   std::span<const Neighbor> OutEdges(NodeId i) const {
     return {out_entries_.data() + out_offsets_[i],
             out_entries_.data() + out_offsets_[i + 1]};

@@ -8,6 +8,7 @@
 #include "rdf/dense_graph.h"
 #include "summary/cliques.h"
 #include "summary/union_find.h"
+#include "util/parallel_for.h"
 
 // All partition kinds run on the DenseGraph substrate (Graph::Dense()):
 // flat arrays indexed by dense node / property id instead of per-algorithm
@@ -132,6 +133,16 @@ NodePartition WeakPartitionFromUnionFind(const DenseGraph& dg, UnionFind& uf) {
   return Finalize(dg, raw, n + 1);
 }
 
+NodePartition WeakPartitionFromRoots(const DenseGraph& dg,
+                                     const std::vector<uint32_t>& root_of) {
+  const uint32_t n = dg.num_nodes();
+  std::vector<uint32_t> raw(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    raw[i] = dg.HasData(i) ? root_of[i] : n;
+  }
+  return Finalize(dg, raw, n + 1);
+}
+
 NodePartition ComputeStrongPartition(const Graph& g) {
   const DenseGraph& dg = g.Dense();
   DenseCliqueAssignment cliques =
@@ -194,9 +205,12 @@ NodePartition ComputeTypedStrongPartition(const Graph& g,
 }
 
 NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
-                                           bool use_types) {
+                                           bool use_types,
+                                           BisimulationDirection direction,
+                                           uint32_t num_threads) {
   const DenseGraph& dg = g.Dense();
   const uint32_t n = dg.num_nodes();
+  const uint32_t threads = util::ResolveThreadCount(num_threads, n);
 
   // Seed colors: class-set hash (or a shared constant). The hash formula
   // matches the reference implementation so seed grouping is identical.
@@ -213,31 +227,45 @@ NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
     }
   }
 
-  // Refinement rounds over the CSR adjacency. Signatures use dense property
-  // ids — a bijective relabeling of the reference's TermIds, so equivalence
-  // classes (and therefore the canonical partition) are unchanged.
-  std::vector<std::tuple<int, uint32_t, uint64_t>> sig;
+  // Refinement rounds over the CSR adjacency, sharded over dense node-id
+  // ranges: each round reads the previous colors and writes disjoint slices
+  // of `next`, and the shard join is the re-labeling barrier before the
+  // buffers swap. Signatures use dense property ids — a bijective
+  // relabeling of the reference's TermIds, so equivalence classes (and
+  // therefore the canonical partition) are unchanged.
+  const bool fwd = direction != BisimulationDirection::kBackward;
+  const bool bwd = direction != BisimulationDirection::kForward;
+  std::vector<uint64_t> next(n);
   for (uint32_t round = 0; round < depth; ++round) {
-    std::vector<uint64_t> next(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      sig.clear();
-      for (const DenseGraph::Neighbor& a : dg.InEdges(i)) {
-        sig.emplace_back(0, a.p, color[a.node]);
-      }
-      for (const DenseGraph::Neighbor& a : dg.OutEdges(i)) {
-        sig.emplace_back(1, a.p, color[a.node]);
-      }
-      std::sort(sig.begin(), sig.end());
-      sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
-      uint64_t h = color[i] * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL;
-      for (const auto& [dir, p, c] : sig) {
-        h ^= (static_cast<uint64_t>(dir) * 0x2545F4914F6CDD1DULL + p) +
-             0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-        h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-      }
-      next[i] = h;
-    }
-    color = std::move(next);
+    util::ParallelForRanges(
+        threads, n, [&](uint32_t, uint64_t begin, uint64_t end) {
+          std::vector<std::tuple<int, uint32_t, uint64_t>> sig;
+          for (uint64_t node = begin; node < end; ++node) {
+            const uint32_t i = static_cast<uint32_t>(node);
+            sig.clear();
+            if (bwd) {
+              for (const DenseGraph::Neighbor& a : dg.InEdges(i)) {
+                sig.emplace_back(0, a.p, color[a.node]);
+              }
+            }
+            if (fwd) {
+              for (const DenseGraph::Neighbor& a : dg.OutEdges(i)) {
+                sig.emplace_back(1, a.p, color[a.node]);
+              }
+            }
+            std::sort(sig.begin(), sig.end());
+            sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+            uint64_t h =
+                color[i] * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL;
+            for (const auto& [dir, p, c] : sig) {
+              h ^= (static_cast<uint64_t>(dir) * 0x2545F4914F6CDD1DULL + p) +
+                   0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+              h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+            }
+            next[i] = h;
+          }
+        });
+    color.swap(next);
   }
 
   std::unordered_map<uint64_t, uint32_t> color_class;

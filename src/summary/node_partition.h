@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "rdf/dense_graph.h"
 #include "rdf/graph.h"
@@ -31,6 +32,13 @@ NodePartition ComputeWeakPartition(const Graph& g);
 /// path — any change to it changes both identically.
 NodePartition WeakPartitionFromUnionFind(const DenseGraph& dg, UnionFind& uf);
 
+/// The same canonical assembly from a pre-resolved root array (root_of[i] =
+/// union-find root of dense node i; any values < num_nodes). The parallel
+/// weak path compresses its concurrent union-find into `root_of` with a
+/// parallel pass and enters here, so the class-id assignment stays shared.
+NodePartition WeakPartitionFromRoots(const DenseGraph& dg,
+                                     const std::vector<uint32_t>& root_of);
+
 /// ≡S (Definition 7): same (source clique, target clique); typed-only
 /// resources have (∅,∅) and form one class (Nτ).
 NodePartition ComputeStrongPartition(const Graph& g);
@@ -48,14 +56,22 @@ NodePartition ComputeTypedWeakPartition(const Graph& g, TypedSummaryMode mode);
 NodePartition ComputeTypedStrongPartition(const Graph& g,
                                           TypedSummaryMode mode);
 
-/// Baseline from the paper's related work (§8): k-bounded forward+backward
-/// bisimulation over the data triples, seeded with class sets when
-/// `use_types` is set. Two nodes are equivalent iff their labeled
-/// neighborhoods agree up to `depth` hops. Unlike the paper's summaries its
-/// size grows with structural diversity — the blow-up
+/// Baseline from the paper's related work (§8): k-bounded bisimulation over
+/// the data triples, seeded with class sets when `use_types` is set. Two
+/// nodes are equivalent iff their labeled neighborhoods (per `direction`:
+/// forward, backward, or both) agree up to `depth` hops. Unlike the paper's
+/// summaries its size grows with structural diversity — the blow-up
 /// bench_baseline_bisimulation measures.
-NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
-                                           bool use_types);
+///
+/// `num_threads` shards each refinement round over dense node-id ranges
+/// (1 = sequential, 0 = all hardware threads); each round's spawn/join is
+/// the re-labeling barrier. Every per-node signature hash is a pure
+/// function of the previous round's colors, so the partition is identical
+/// at every thread count.
+NodePartition ComputeBisimulationPartition(
+    const Graph& g, uint32_t depth, bool use_types,
+    BisimulationDirection direction = BisimulationDirection::kForwardBackward,
+    uint32_t num_threads = 1);
 
 }  // namespace rdfsum::summary
 

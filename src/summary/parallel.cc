@@ -1,108 +1,113 @@
 #include "summary/parallel.h"
 
-#include <algorithm>
-#include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "rdf/dense_graph.h"
 #include "summary/node_partition.h"
 #include "summary/summarizer.h"
 #include "summary/union_find.h"
+#include "util/parallel_for.h"
 #include "util/timer.h"
 
 namespace rdfsum::summary {
 namespace {
 
-struct ShardResult {
-  // property -> first subject/object observed in this shard
-  std::unordered_map<TermId, TermId> src_anchor;
-  std::unordered_map<TermId, TermId> tgt_anchor;
-  // (node, node) pairs that must be unified
-  std::vector<std::pair<TermId, TermId>> unions;
-};
-
-void ProcessShard(const std::vector<Triple>& data, size_t begin, size_t end,
-                  ShardResult* out) {
-  for (size_t i = begin; i < end; ++i) {
-    const Triple& t = data[i];
-    auto [sit, s_new] = out->src_anchor.emplace(t.p, t.s);
-    if (!s_new && sit->second != t.s) out->unions.emplace_back(t.s, sit->second);
-    auto [tit, t_new] = out->tgt_anchor.emplace(t.p, t.o);
-    if (!t_new && tit->second != t.o) out->unions.emplace_back(t.o, tit->second);
-  }
-}
+constexpr uint32_t kNone = DenseGraph::kNone;
 
 }  // namespace
+
+NodePartition ComputeParallelWeakPartition(const Graph& g,
+                                           uint32_t num_threads) {
+  // The substrate is built (or fetched from cache) before any thread
+  // spawns; workers only ever read it.
+  const DenseGraph& dg = g.Dense();
+  const uint32_t n = dg.num_nodes();
+  const uint32_t num_props = dg.num_properties();
+  const uint32_t threads =
+      util::ResolveThreadCount(num_threads, dg.num_data_edges());
+
+  AtomicUnionFind uf(n);
+
+  // ---- Phase A: sharded scan of the dense edge list. Flat anchor arrays
+  // indexed by dense property id replace the old per-shard hash maps; the
+  // first occurrence of a property in a shard claims the anchor for free,
+  // every repeat hooks into the shared lock-free union-find.
+  std::vector<std::vector<uint32_t>> shard_src(threads);
+  std::vector<std::vector<uint32_t>> shard_tgt(threads);
+  util::ParallelForRanges(
+      threads, dg.num_data_edges(),
+      [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        std::vector<uint32_t>& src = shard_src[shard];
+        std::vector<uint32_t>& tgt = shard_tgt[shard];
+        src.assign(num_props, kNone);
+        tgt.assign(num_props, kNone);
+        for (const DenseGraph::Edge& e : dg.EdgeRange(begin, end)) {
+          if (src[e.p] == kNone) {
+            src[e.p] = e.s;
+          } else {
+            uf.Union(e.s, src[e.p]);
+          }
+          if (tgt[e.p] == kNone) {
+            tgt[e.p] = e.o;
+          } else {
+            uf.Union(e.o, tgt[e.p]);
+          }
+        }
+      });
+
+  // ---- Phase B: cross-shard unification — every shard anchor joins the
+  // substrate's global first-seen anchor of its property. threads × P
+  // unions; the merge never touches node_of().
+  for (uint32_t shard = 0; shard < threads; ++shard) {
+    for (uint32_t p = 0; p < num_props; ++p) {
+      if (shard_src[shard][p] != kNone) {
+        uf.Union(shard_src[shard][p], dg.SourceAnchor(p));
+      }
+      if (shard_tgt[shard][p] != kNone) {
+        uf.Union(shard_tgt[shard][p], dg.TargetAnchor(p));
+      }
+    }
+  }
+
+  // ---- Phase C: parallel compress — resolve every node to its final root
+  // (the structure is frozen now, so Find results are deterministic).
+  std::vector<uint32_t> root(n);
+  util::ParallelForRanges(util::ResolveThreadCount(num_threads, n), n,
+                          [&](uint32_t, uint64_t begin, uint64_t end) {
+                            for (uint64_t i = begin; i < end; ++i) {
+                              root[i] = uf.Find(static_cast<uint32_t>(i));
+                            }
+                          });
+
+  // ---- Phase D: canonical class numbering, shared with the batch path.
+  return WeakPartitionFromRoots(dg, root);
+}
 
 SummaryResult ParallelWeakSummarize(const Graph& g,
                                     const ParallelWeakOptions& options) {
   Timer timer;
-  uint32_t threads = options.num_threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  const std::vector<Triple>& data = g.data();
-  threads = std::max<uint32_t>(
-      1, std::min<uint64_t>(threads, data.empty() ? 1 : data.size()));
-
-  // ---- Phase A: parallel shard scans.
-  std::vector<ShardResult> shards(threads);
-  {
-    std::vector<std::thread> workers;
-    size_t chunk = (data.size() + threads - 1) / threads;
-    for (uint32_t i = 0; i < threads; ++i) {
-      size_t begin = std::min<size_t>(i * chunk, data.size());
-      size_t end = std::min<size_t>(begin + chunk, data.size());
-      workers.emplace_back(ProcessShard, std::cref(data), begin, end,
-                           &shards[i]);
-    }
-    for (auto& w : workers) w.join();
-  }
-
-  // ---- Phase B: sequential union-find over the dense substrate. The
-  // substrate's canonical node numbering replaces the per-call index map;
-  // shard-local TermId anchors are resolved through node_of().
-  const DenseGraph& dg = g.Dense();
-  const uint32_t n = dg.num_nodes();
-  UnionFind uf(n);
-  for (const ShardResult& shard : shards) {
-    for (const auto& [a, b] : shard.unions) {
-      uf.Union(dg.node_of(a), dg.node_of(b));
-    }
-  }
-  // Cross-shard: all shard anchors of one property belong together.
-  std::vector<uint32_t> global_src(dg.num_properties(), DenseGraph::kNone);
-  std::vector<uint32_t> global_tgt(dg.num_properties(), DenseGraph::kNone);
-  for (const ShardResult& shard : shards) {
-    for (const auto& [p, anchor] : shard.src_anchor) {
-      uint32_t pid = dg.property_of(p);
-      uint32_t node = dg.node_of(anchor);
-      if (global_src[pid] == DenseGraph::kNone) {
-        global_src[pid] = node;
-      } else {
-        uf.Union(global_src[pid], node);
-      }
-    }
-    for (const auto& [p, anchor] : shard.tgt_anchor) {
-      uint32_t pid = dg.property_of(p);
-      uint32_t node = dg.node_of(anchor);
-      if (global_tgt[pid] == DenseGraph::kNone) {
-        global_tgt[pid] = node;
-      } else {
-        uf.Union(global_tgt[pid], node);
-      }
-    }
-  }
-
-  // ---- Phase C: canonical partition + quotient — the same class-id
-  // assembly as the batch path, so class ids come out identical.
-  NodePartition part = WeakPartitionFromUnionFind(dg, uf);
-
+  NodePartition part = ComputeParallelWeakPartition(g, options.num_threads);
   SummaryOptions sum_options;
   sum_options.record_members = options.record_members;
   SummaryResult out =
       QuotientByPartition(g, part, SummaryKind::kWeak, sum_options);
+  out.stats.build_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+SummaryResult ParallelBisimulationSummarize(
+    const Graph& g, const ParallelBisimulationOptions& options) {
+  Timer timer;
+  NodePartition part = ComputeBisimulationPartition(
+      g, options.depth, options.use_types, options.direction,
+      options.num_threads);
+  SummaryOptions sum_options;
+  sum_options.record_members = options.record_members;
+  sum_options.bisimulation_depth = options.depth;
+  sum_options.bisimulation_uses_types = options.use_types;
+  sum_options.bisimulation_direction = options.direction;
+  SummaryResult out =
+      QuotientByPartition(g, part, SummaryKind::kBisimulation, sum_options);
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;
 }

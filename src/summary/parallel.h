@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "rdf/graph.h"
+#include "summary/node_partition.h"
 #include "summary/summary.h"
 
 namespace rdfsum::summary {
@@ -17,22 +18,56 @@ struct ParallelWeakOptions {
 
 /// Shared-memory parallel weak summarization — the paper's §9 future-work
 /// direction ("improving scalability by leveraging a massively parallel
-/// platform"), realized with threads instead of Spark:
+/// platform"), realized with threads instead of Spark, running natively on
+/// the DenseGraph substrate:
 ///
-///   phase A (parallel)  : each thread scans a shard of the data triples and
-///                         emits shard-local per-property anchors plus
-///                         (node, anchor) union edges;
-///   phase B (sequential): one union-find pass over all shard edges, plus
-///                         cross-shard anchor unification per property;
-///   phase C (sequential): canonical class numbering and quotient
+///   phase A (parallel)  : each shard scans a contiguous range of the dense
+///                         edge list with flat per-shard anchor arrays
+///                         indexed by dense property id (no hashing), and
+///                         hooks repeat endpoints into one shared
+///                         lock-free union-find;
+///   phase B (sequential): every shard anchor joins the substrate's global
+///                         first-seen anchor of its property (threads × P
+///                         unions — no node_of() lookups anywhere);
+///   phase C (parallel)  : a sharded compress pass resolves every node to
+///                         its final root;
+///   phase D (sequential): canonical class numbering and quotient
 ///                         construction, identical to the batch path.
 ///
 /// The result equals Summarize(g, SummaryKind::kWeak) exactly (same
-/// partition, not merely isomorphic), because weak equivalence is the
-/// union-find closure of "shares a property occurrence", which is
-/// shard-decomposable.
+/// partition and class ids, not merely isomorphic), because weak
+/// equivalence is the union-find closure of "shares a property occurrence",
+/// which is shard-decomposable, and the closure is independent of the order
+/// unions are applied in.
 SummaryResult ParallelWeakSummarize(const Graph& g,
                                     const ParallelWeakOptions& options = {});
+
+/// The parallel weak partition alone (no quotient construction):
+/// byte-identical to ComputeWeakPartition(g) at every thread count.
+NodePartition ComputeParallelWeakPartition(const Graph& g,
+                                           uint32_t num_threads = 0);
+
+/// Options for the multi-threaded bisimulation baseline (all refinement
+/// directions: forward, backward, fb).
+struct ParallelBisimulationOptions {
+  /// 0 = std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+  /// Refinement rounds (k of the k-bounded bisimulation).
+  uint32_t depth = 2;
+  /// Seed the colors with the nodes' class sets.
+  bool use_types = true;
+  BisimulationDirection direction = BisimulationDirection::kForwardBackward;
+  bool record_members = false;
+};
+
+/// Parallel k-bounded bisimulation summarization: refinement rounds are
+/// sharded over dense node-id ranges (per-shard signature hashing with a
+/// join barrier per round — see ComputeBisimulationPartition), then the
+/// canonical numbering and quotient run exactly as in the sequential path.
+/// The result equals Summarize(g, SummaryKind::kBisimulation) with the same
+/// depth/use_types/direction, at every thread count.
+SummaryResult ParallelBisimulationSummarize(
+    const Graph& g, const ParallelBisimulationOptions& options = {});
 
 }  // namespace rdfsum::summary
 

@@ -25,7 +25,8 @@ NodePartition ComputePartition(const Graph& g, SummaryKind kind,
       return ComputeTypePartition(g);
     case SummaryKind::kBisimulation:
       return ComputeBisimulationPartition(g, options.bisimulation_depth,
-                                          options.bisimulation_uses_types);
+                                          options.bisimulation_uses_types,
+                                          options.bisimulation_direction);
   }
   return ComputeWeakPartition(g);
 }

@@ -44,6 +44,15 @@ enum class TypedSummaryMode {
   kUntypedDataGraph,
 };
 
+/// Which labeled neighborhoods the bisimulation baseline compares: outgoing
+/// edges only (forward), incoming only (backward), or both — the fb variant
+/// the paper's §8 baseline uses, and the default everywhere.
+enum class BisimulationDirection {
+  kForward,
+  kBackward,
+  kForwardBackward,
+};
+
 struct SummaryOptions {
   TypedSummaryMode typed_mode = TypedSummaryMode::kPerPropertyProjection;
   /// Fill SummaryResult::members (the paper's `dr` multimap).
@@ -55,6 +64,9 @@ struct SummaryOptions {
   uint32_t bisimulation_depth = 2;
   /// Seed the bisimulation colors with the nodes' class sets.
   bool bisimulation_uses_types = true;
+  /// Which neighborhoods the refinement signatures include.
+  BisimulationDirection bisimulation_direction =
+      BisimulationDirection::kForwardBackward;
 };
 
 /// Sizes of a summary, in the measures reported by Figures 11 and 12.

@@ -1,7 +1,9 @@
 #ifndef RDFSUM_SUMMARY_UNION_FIND_H_
 #define RDFSUM_SUMMARY_UNION_FIND_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace rdfsum::summary {
@@ -62,6 +64,66 @@ class UnionFind {
   std::vector<uint32_t> parent_;
   std::vector<uint32_t> size_;
   uint32_t num_sets_ = 0;
+};
+
+/// Concurrent disjoint-set forest for the parallel summarizers: lock-free
+/// Union (CAS hook of the larger root under the smaller) and Find with CAS
+/// path halving. No set sizes or counts — the parallel paths only need
+/// connectivity. Two properties the callers rely on:
+///
+///  - the resulting partition depends only on the *set* of Union calls,
+///    never on their interleaving (connectivity closure is confluent), so
+///    summaries come out identical at every thread count;
+///  - because hooking always points the larger root at the smaller one,
+///    parent ids strictly decrease along every path (termination) and, once
+///    all Unions have completed and their threads joined, the root of every
+///    element is the minimum element id of its set — Find results are then
+///    deterministic.
+class AtomicUnionFind {
+ public:
+  explicit AtomicUnionFind(uint32_t n)
+      : parent_(std::make_unique<std::atomic<uint32_t>[]>(n)), size_(n) {
+    for (uint32_t i = 0; i < n; ++i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    }
+  }
+
+  uint32_t size() const { return size_; }
+
+  /// Root of x's set. Safe to call concurrently with Union/Find; the CAS
+  /// halving writes are benign (a lost race just costs an extra hop).
+  uint32_t Find(uint32_t x) {
+    while (true) {
+      uint32_t p = parent_[x].load(std::memory_order_acquire);
+      if (p == x) return x;
+      uint32_t gp = parent_[p].load(std::memory_order_acquire);
+      if (gp == p) return p;
+      parent_[x].compare_exchange_weak(p, gp, std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+      x = gp;
+    }
+  }
+
+  /// Merges the sets of a and b; lock-free under concurrent Union/Find.
+  void Union(uint32_t a, uint32_t b) {
+    while (true) {
+      a = Find(a);
+      b = Find(b);
+      if (a == b) return;
+      if (a > b) std::swap(a, b);
+      uint32_t expected = b;
+      if (parent_[b].compare_exchange_strong(expected, a,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        return;
+      }
+      // b gained a parent concurrently; chase the new roots and retry.
+    }
+  }
+
+ private:
+  std::unique_ptr<std::atomic<uint32_t>[]> parent_;
+  uint32_t size_;
 };
 
 }  // namespace rdfsum::summary

@@ -1,0 +1,76 @@
+#ifndef RDFSUM_UTIL_PARALLEL_FOR_H_
+#define RDFSUM_UTIL_PARALLEL_FOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rdfsum::util {
+
+/// Resolves a requested thread count against the hardware and the amount of
+/// work: 0 means std::thread::hardware_concurrency(), never more threads
+/// than work items, always at least one, never more than kMaxThreads (so a
+/// bogus request — e.g. "-1" wrapped to ~4e9 by a caller's parser — cannot
+/// exhaust the process with thread spawns). All arithmetic is 64-bit so a
+/// work-item count above 2^32 cannot truncate into the clamp (the bug the
+/// old per-call clamps in summary/parallel.cc had).
+inline constexpr uint32_t kMaxThreads = 256;
+
+inline uint32_t ResolveThreadCount(uint32_t requested, uint64_t work_items) {
+  uint64_t threads =
+      requested != 0 ? requested
+                     : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<uint64_t>(threads, kMaxThreads);
+  threads = std::min<uint64_t>(threads, std::max<uint64_t>(work_items, 1));
+  return static_cast<uint32_t>(threads);
+}
+
+/// Half-open slice of [0, total) owned by `shard` of `num_shards`:
+/// contiguous, balanced to within one element, and jointly covering the
+/// whole range.
+inline std::pair<uint64_t, uint64_t> ShardRange(uint64_t total, uint32_t shard,
+                                                uint32_t num_shards) {
+  uint64_t chunk = total / num_shards;
+  uint64_t rem = total % num_shards;
+  uint64_t begin = shard * chunk + std::min<uint64_t>(shard, rem);
+  return {begin, begin + chunk + (shard < rem ? 1 : 0)};
+}
+
+/// Runs body(shard) for every shard in [0, num_threads): shard 0 on the
+/// calling thread, the rest on spawned threads, joining them all before
+/// returning — the shared spawn/join boilerplate of every parallel
+/// summarization pass, and the barrier between passes.
+template <typename Body>
+void ParallelFor(uint32_t num_threads, Body&& body) {
+  if (num_threads <= 1) {
+    body(0u);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads - 1);
+  for (uint32_t shard = 1; shard < num_threads; ++shard) {
+    workers.emplace_back([&body, shard] { body(shard); });
+  }
+  body(0u);
+  for (std::thread& w : workers) w.join();
+}
+
+/// Shards [0, total) contiguously over num_threads threads and runs
+/// body(shard, begin, end) per shard (empty ranges included, so per-shard
+/// state is initialized even when total < num_threads). Accepts 0 — the
+/// codebase's "hardware concurrency" sentinel — as 1, so forwarding an
+/// unresolved options value cannot divide by zero in ShardRange.
+template <typename Body>
+void ParallelForRanges(uint32_t num_threads, uint64_t total, Body&& body) {
+  const uint32_t shards = std::max(num_threads, 1u);
+  ParallelFor(shards, [&body, total, shards](uint32_t shard) {
+    auto [begin, end] = ShardRange(total, shard, shards);
+    body(shard, begin, end);
+  });
+}
+
+}  // namespace rdfsum::util
+
+#endif  // RDFSUM_UTIL_PARALLEL_FOR_H_

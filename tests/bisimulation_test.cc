@@ -110,5 +110,59 @@ TEST(BisimulationTest, DeterministicAcrossRuns) {
   for (const auto& [n, c] : a.class_of) EXPECT_EQ(b.class_of.at(n), c);
 }
 
+TEST(BisimulationTest, DirectionSelectsNeighborhoods) {
+  // {x1,p,y1}, {x2,p,y2}, {x3,q,y3}: forward depth-1 groups the sources by
+  // outgoing label and all targets together (no out-edges); backward is the
+  // mirror image; fb separates both sides.
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p"), q = d.EncodeIri("q");
+  TermId x1 = d.EncodeIri("x1"), x2 = d.EncodeIri("x2"),
+         x3 = d.EncodeIri("x3");
+  TermId y1 = d.EncodeIri("y1"), y2 = d.EncodeIri("y2"),
+         y3 = d.EncodeIri("y3");
+  g.Add({x1, p, y1});
+  g.Add({x2, p, y2});
+  g.Add({x3, q, y3});
+
+  NodePartition fwd = ComputeBisimulationPartition(
+      g, 1, false, BisimulationDirection::kForward);
+  EXPECT_EQ(fwd.class_of.at(x1), fwd.class_of.at(x2));
+  EXPECT_NE(fwd.class_of.at(x1), fwd.class_of.at(x3));
+  EXPECT_EQ(fwd.class_of.at(y1), fwd.class_of.at(y3));
+
+  NodePartition bwd = ComputeBisimulationPartition(
+      g, 1, false, BisimulationDirection::kBackward);
+  EXPECT_EQ(bwd.class_of.at(y1), bwd.class_of.at(y2));
+  EXPECT_NE(bwd.class_of.at(y1), bwd.class_of.at(y3));
+  EXPECT_EQ(bwd.class_of.at(x1), bwd.class_of.at(x3));
+
+  NodePartition fb = ComputeBisimulationPartition(
+      g, 1, false, BisimulationDirection::kForwardBackward);
+  EXPECT_NE(fb.class_of.at(y1), fb.class_of.at(y3));
+  EXPECT_NE(fb.class_of.at(x1), fb.class_of.at(x3));
+}
+
+TEST(BisimulationTest, ParallelRoundsMatchSequential) {
+  gen::HeteroOptions opt;
+  opt.seed = 5;
+  opt.num_nodes = 180;
+  opt.type_probability = 0.3;
+  Graph g = gen::GenerateHetero(opt);
+  for (uint32_t depth : {0u, 2u, 4u}) {
+    NodePartition seq = ComputeBisimulationPartition(g, depth, true);
+    for (uint32_t threads : {2u, 7u, 0u}) {
+      NodePartition par = ComputeBisimulationPartition(
+          g, depth, true, BisimulationDirection::kForwardBackward, threads);
+      EXPECT_EQ(par.num_classes, seq.num_classes)
+          << "depth " << depth << " threads " << threads;
+      for (const auto& [n, c] : seq.class_of) {
+        ASSERT_EQ(par.class_of.at(n), c)
+            << "depth " << depth << " threads " << threads;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rdfsum::summary

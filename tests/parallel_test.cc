@@ -1,16 +1,48 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <tuple>
+
 #include "gen/bsbm.h"
 #include "gen/hetero.h"
 #include "gen/lubm.h"
 #include "gen/paper_example.h"
+#include "io/ntriples_writer.h"
 #include "summary/isomorphism.h"
+#include "summary/node_partition.h"
 #include "summary/parallel.h"
 #include "summary/property_checks.h"
+#include "summary/reference_partition.h"
 #include "summary/summarizer.h"
 
 namespace rdfsum::summary {
 namespace {
+
+// Thread counts the sweeps cover: sequential, even split, an odd count that
+// leaves ragged shard ranges, and 0 = hardware concurrency.
+constexpr uint32_t kThreadCounts[] = {1, 2, 7, 0};
+
+void ExpectIdenticalPartition(const NodePartition& got,
+                              const NodePartition& want, const char* label) {
+  EXPECT_EQ(got.num_classes, want.num_classes) << label;
+  ASSERT_EQ(got.class_of.size(), want.class_of.size()) << label;
+  for (const auto& [node, cls] : want.class_of) {
+    auto it = got.class_of.find(node);
+    ASSERT_NE(it, got.class_of.end()) << label << " missing node " << node;
+    EXPECT_EQ(it->second, cls) << label << " node " << node;
+  }
+}
+
+Graph HeteroGraph(uint64_t seed) {
+  gen::HeteroOptions opt;
+  opt.seed = seed;
+  opt.num_nodes = 200;
+  opt.num_properties = 14;
+  opt.type_probability = 0.4;
+  return gen::GenerateHetero(opt);
+}
+
+// ---- Parallel weak --------------------------------------------------------
 
 TEST(ParallelWeakTest, IdenticalPartitionToBatchOnFigure2) {
   gen::Figure2Example ex = gen::BuildFigure2();
@@ -34,31 +66,33 @@ TEST(ParallelWeakTest, IdenticalPartitionToBatchOnFigure2) {
 class ParallelWeakSweepTest
     : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
 
-TEST_P(ParallelWeakSweepTest, MatchesBatchAcrossThreadCounts) {
+TEST_P(ParallelWeakSweepTest, PartitionByteIdenticalAcrossThreadCounts) {
   auto [threads, seed] = GetParam();
-  gen::HeteroOptions opt;
-  opt.seed = seed;
-  opt.num_nodes = 200;
-  opt.num_properties = 14;
-  opt.type_probability = 0.4;
-  Graph g = gen::GenerateHetero(opt);
+  Graph g = HeteroGraph(seed);
+  // Byte-identity against both the sequential substrate path and the frozen
+  // pre-substrate oracle: same class_of, same canonical class ids.
+  NodePartition par = ComputeParallelWeakPartition(g, threads);
+  ExpectIdenticalPartition(par, ComputeWeakPartition(g), "vs sequential");
+  ExpectIdenticalPartition(par, ReferenceWeakPartition(g), "vs reference");
+
   SummaryResult batch = Summarize(g, SummaryKind::kWeak);
   ParallelWeakOptions options;
   options.num_threads = threads;
-  SummaryResult par = ParallelWeakSummarize(g, options);
-  EXPECT_EQ(par.stats.num_data_nodes, batch.stats.num_data_nodes);
-  EXPECT_EQ(par.graph.NumTriples(), batch.graph.NumTriples());
-  EXPECT_TRUE(AreSummariesIsomorphic(batch.graph, par.graph));
-  EXPECT_TRUE(CheckHomomorphism(g, par).ok());
+  SummaryResult summarized = ParallelWeakSummarize(g, options);
+  EXPECT_EQ(summarized.stats.num_data_nodes, batch.stats.num_data_nodes);
+  EXPECT_EQ(summarized.graph.NumTriples(), batch.graph.NumTriples());
+  EXPECT_TRUE(AreSummariesIsomorphic(batch.graph, summarized.graph));
+  EXPECT_TRUE(CheckHomomorphism(g, summarized).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(
     ThreadsAndSeeds, ParallelWeakSweepTest,
-    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+    ::testing::Combine(::testing::ValuesIn(kThreadCounts),
                        ::testing::Values(7, 19, 42)),
     [](const auto& info) {
-      return "t" + std::to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+      uint32_t t = std::get<0>(info.param);
+      return (t == 0 ? std::string("hw") : "t" + std::to_string(t)) +
+             "_seed" + std::to_string(std::get<1>(info.param));
     });
 
 TEST(ParallelWeakTest, MatchesBatchOnBsbm) {
@@ -68,6 +102,10 @@ TEST(ParallelWeakTest, MatchesBatchOnBsbm) {
   SummaryResult batch = Summarize(g, SummaryKind::kWeak);
   SummaryResult par = ParallelWeakSummarize(g);
   EXPECT_TRUE(AreSummariesIsomorphic(batch.graph, par.graph));
+  for (uint32_t threads : kThreadCounts) {
+    ExpectIdenticalPartition(ComputeParallelWeakPartition(g, threads),
+                             ReferenceWeakPartition(g), "bsbm");
+  }
 }
 
 TEST(ParallelWeakTest, MatchesBatchOnLubm) {
@@ -77,12 +115,40 @@ TEST(ParallelWeakTest, MatchesBatchOnLubm) {
   SummaryResult batch = Summarize(g, SummaryKind::kWeak);
   SummaryResult par = ParallelWeakSummarize(g);
   EXPECT_TRUE(AreSummariesIsomorphic(batch.graph, par.graph));
+  for (uint32_t threads : kThreadCounts) {
+    ExpectIdenticalPartition(ComputeParallelWeakPartition(g, threads),
+                             ReferenceWeakPartition(g), "lubm");
+  }
 }
 
 TEST(ParallelWeakTest, EmptyGraph) {
   Graph g;
-  SummaryResult par = ParallelWeakSummarize(g);
-  EXPECT_TRUE(par.graph.Empty());
+  for (uint32_t threads : kThreadCounts) {
+    ParallelWeakOptions options;
+    options.num_threads = threads;
+    SummaryResult par = ParallelWeakSummarize(g, options);
+    EXPECT_TRUE(par.graph.Empty());
+  }
+}
+
+TEST(ParallelWeakTest, SinglePropertyGraph) {
+  // One property: all subjects collapse through the source anchor, all
+  // objects through the target anchor — two classes, at any thread count.
+  Graph g;
+  Dictionary& d = g.dict();
+  TermId p = d.EncodeIri("p");
+  for (int i = 0; i < 40; ++i) {
+    g.Add({d.EncodeIri("s" + std::to_string(i)), p,
+           d.EncodeIri("o" + std::to_string(i))});
+  }
+  for (uint32_t threads : kThreadCounts) {
+    ParallelWeakOptions options;
+    options.num_threads = threads;
+    SummaryResult par = ParallelWeakSummarize(g, options);
+    EXPECT_EQ(par.stats.num_data_nodes, 2u) << "threads " << threads;
+    ExpectIdenticalPartition(ComputeParallelWeakPartition(g, threads),
+                             ReferenceWeakPartition(g), "single-property");
+  }
 }
 
 TEST(ParallelWeakTest, TypesOnlyGraph) {
@@ -105,12 +171,114 @@ TEST(ParallelWeakTest, MoreThreadsThanTriples) {
   EXPECT_EQ(par.stats.num_data_nodes, 2u);
 }
 
+TEST(ParallelWeakTest, DeterministicSummariesAcrossThreadCounts) {
+  // Two identically-built graphs summarized with different thread counts
+  // serialize to byte-identical N-Triples: same partition, same canonical
+  // class ids, same minted URIs.
+  Graph g3 = HeteroGraph(23);
+  Graph g5 = HeteroGraph(23);
+  ParallelWeakOptions o3;
+  o3.num_threads = 3;
+  ParallelWeakOptions o5;
+  o5.num_threads = 5;
+  SummaryResult r3 = ParallelWeakSummarize(g3, o3);
+  SummaryResult r5 = ParallelWeakSummarize(g5, o5);
+  EXPECT_EQ(io::NTriplesWriter::ToString(r3.graph),
+            io::NTriplesWriter::ToString(r5.graph));
+
+  // And two runs at the same thread count are byte-identical too.
+  Graph g3b = HeteroGraph(23);
+  SummaryResult r3b = ParallelWeakSummarize(g3b, o3);
+  EXPECT_EQ(io::NTriplesWriter::ToString(r3.graph),
+            io::NTriplesWriter::ToString(r3b.graph));
+}
+
 TEST(ParallelWeakTest, RecordMembers) {
   gen::Figure2Example ex = gen::BuildFigure2();
   ParallelWeakOptions options;
   options.record_members = true;
   SummaryResult par = ParallelWeakSummarize(ex.graph, options);
   EXPECT_EQ(par.members.at(par.node_map.at(ex.r1)).size(), 5u);
+}
+
+// ---- Parallel bisimulation ------------------------------------------------
+
+class ParallelBisimSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(ParallelBisimSweepTest, PartitionByteIdenticalAcrossThreadCounts) {
+  auto [threads, depth] = GetParam();
+  Graph g = HeteroGraph(11);
+  for (BisimulationDirection dir :
+       {BisimulationDirection::kForward, BisimulationDirection::kBackward,
+        BisimulationDirection::kForwardBackward}) {
+    NodePartition seq = ComputeBisimulationPartition(g, depth, true, dir);
+    NodePartition par =
+        ComputeBisimulationPartition(g, depth, true, dir, threads);
+    ExpectIdenticalPartition(par, seq, "vs sequential");
+  }
+  // The fb default additionally matches the frozen pre-substrate oracle.
+  NodePartition par_fb = ComputeBisimulationPartition(
+      g, depth, true, BisimulationDirection::kForwardBackward, threads);
+  ExpectIdenticalPartition(par_fb, ReferenceBisimulationPartition(g, depth, true),
+                           "vs reference");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndDepths, ParallelBisimSweepTest,
+    ::testing::Combine(::testing::ValuesIn(kThreadCounts),
+                       ::testing::Values(0u, 1u, 3u)),
+    [](const auto& info) {
+      uint32_t t = std::get<0>(info.param);
+      return (t == 0 ? std::string("hw") : "t" + std::to_string(t)) +
+             "_depth" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelBisimulationTest, SummaryMatchesSequentialFacade) {
+  Graph g = HeteroGraph(29);
+  SummaryOptions options;
+  options.bisimulation_depth = 2;
+  SummaryResult batch = Summarize(g, SummaryKind::kBisimulation, options);
+  ParallelBisimulationOptions popt;
+  popt.num_threads = 4;
+  popt.depth = 2;
+  SummaryResult par = ParallelBisimulationSummarize(g, popt);
+  EXPECT_EQ(par.stats.num_data_nodes, batch.stats.num_data_nodes);
+  EXPECT_EQ(par.graph.NumTriples(), batch.graph.NumTriples());
+  EXPECT_TRUE(AreSummariesIsomorphic(batch.graph, par.graph));
+  EXPECT_TRUE(CheckHomomorphism(g, par).ok());
+}
+
+TEST(ParallelBisimulationTest, DeterministicSummariesAcrossThreadCounts) {
+  Graph g2 = HeteroGraph(37);
+  Graph g7 = HeteroGraph(37);
+  ParallelBisimulationOptions o2;
+  o2.num_threads = 2;
+  ParallelBisimulationOptions o7;
+  o7.num_threads = 7;
+  SummaryResult r2 = ParallelBisimulationSummarize(g2, o2);
+  SummaryResult r7 = ParallelBisimulationSummarize(g7, o7);
+  EXPECT_EQ(io::NTriplesWriter::ToString(r2.graph),
+            io::NTriplesWriter::ToString(r7.graph));
+}
+
+TEST(ParallelBisimulationTest, EmptyGraph) {
+  Graph g;
+  ParallelBisimulationOptions options;
+  options.num_threads = 5;
+  SummaryResult par = ParallelBisimulationSummarize(g, options);
+  EXPECT_TRUE(par.graph.Empty());
+}
+
+TEST(ParallelBisimulationTest, RecordMembers) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  ParallelBisimulationOptions options;
+  options.record_members = true;
+  options.num_threads = 3;
+  SummaryResult par = ParallelBisimulationSummarize(ex.graph, options);
+  size_t total = 0;
+  for (const auto& [h, members] : par.members) total += members.size();
+  EXPECT_EQ(total, par.node_map.size());
 }
 
 }  // namespace

@@ -138,7 +138,8 @@ TEST_F(EvalFixture, TypePatternAfterSaturation) {
       "SELECT ?x WHERE { ?x a b:Publication }");
   BgpEvaluator explicit_only(ex_.graph);
   EXPECT_FALSE(explicit_only.ExistsMatch(q));
-  BgpEvaluator saturated(reasoner::Saturate(ex_.graph));
+  Graph sat = reasoner::Saturate(ex_.graph);
+  BgpEvaluator saturated(sat);
   EXPECT_TRUE(saturated.ExistsMatch(q));
 }
 

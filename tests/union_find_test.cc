@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "summary/union_find.h"
+#include "util/parallel_for.h"
 
 namespace rdfsum::summary {
 namespace {
@@ -61,6 +66,69 @@ TEST(UnionFindTest, ManyInterleavedUnions) {
   EXPECT_EQ(uf.NumSets(), 500u);
   for (uint32_t i = 0; i + 3 < 1000; i += 4) uf.Union(i, i + 2);
   EXPECT_EQ(uf.NumSets(), 250u);
+}
+
+// ---- AtomicUnionFind -------------------------------------------------------
+
+TEST(AtomicUnionFindTest, SingletonsInitially) {
+  AtomicUnionFind uf(5);
+  EXPECT_EQ(uf.size(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(AtomicUnionFindTest, TransitiveUnions) {
+  AtomicUnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(3));
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(AtomicUnionFindTest, RootIsMinimumElementOfSet) {
+  // Hooking always points the larger root at the smaller, so after the
+  // unions settle every set's root is its minimum element id.
+  AtomicUnionFind uf(100);
+  for (uint32_t i = 99; i >= 51; --i) uf.Union(i, i - 1);
+  for (uint32_t i = 50; i < 100; ++i) EXPECT_EQ(uf.Find(i), 50u);
+  for (uint32_t i = 0; i < 50; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(AtomicUnionFindTest, ConcurrentUnionsMatchSequential) {
+  // Many threads race the same union workload; the resulting partition must
+  // equal the sequential UnionFind closure. Also the TSan exercise for the
+  // lock-free hook/compress paths.
+  constexpr uint32_t kNodes = 4096;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  for (uint32_t i = 0; i + 1 < kNodes; i += 2) edges.emplace_back(i, i + 1);
+  for (uint32_t i = 0; i + 4 < kNodes; i += 16) edges.emplace_back(i, i + 4);
+  for (uint32_t i = 0; i + 64 < kNodes; i += 64) edges.emplace_back(i + 64, i);
+  edges.emplace_back(kNodes - 1, 0);
+
+  UnionFind seq(kNodes);
+  for (const auto& [a, b] : edges) seq.Union(a, b);
+
+  AtomicUnionFind par(kNodes);
+  util::ParallelForRanges(
+      8, edges.size(), [&](uint32_t, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          par.Union(edges[i].first, edges[i].second);
+        }
+      });
+  // Concurrent compress pass, then compare the partitions.
+  std::vector<uint32_t> root(kNodes);
+  util::ParallelForRanges(8, kNodes,
+                          [&](uint32_t, uint64_t begin, uint64_t end) {
+                            for (uint64_t i = begin; i < end; ++i) {
+                              root[i] = par.Find(static_cast<uint32_t>(i));
+                            }
+                          });
+  for (uint32_t i = 0; i < kNodes; ++i) {
+    for (uint32_t j : {i / 2, i / 3, (i + kNodes / 2) % kNodes}) {
+      EXPECT_EQ(root[i] == root[j], seq.Find(i) == seq.Find(j))
+          << "i=" << i << " j=" << j;
+    }
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 //   rdfsum stats     <file>                       dataset profile
 //   rdfsum summarize <file> [--kind K] [--out P]  build one/all summaries
 //                    [--saturate] [--report] [--strict-typed] [--depth N]
+//                    [--threads N]
 //   rdfsum saturate  <file> [--out out.nt]        materialize G∞
 //   rdfsum convert   <in> <out.nt>                Turtle/N-Triples -> N-Triples
 //   rdfsum query     <file> <sparql...> [--no-prune] [--explicit-only]
@@ -21,6 +22,7 @@
 #include "io/turtle_parser.h"
 #include "query/pruned_evaluator.h"
 #include "query/sparql_parser.h"
+#include "summary/parallel.h"
 #include "rdf/graph.h"
 #include "rdf/graph_stats.h"
 #include "reasoner/saturation.h"
@@ -43,6 +45,8 @@ int Usage() {
       "  rdfsum stats     <file>\n"
       "  rdfsum summarize <file> [--kind W|S|TW|TS|T|BISIM|all] [--out prefix]\n"
       "                   [--saturate] [--report] [--strict-typed] [--depth N]\n"
+      "                   [--threads N]  (N!=1 runs W/BISIM multi-threaded;\n"
+      "                                  0 = all cores)\n"
       "  rdfsum saturate  <file> [--out out.nt]\n"
       "  rdfsum convert   <in.(nt|ttl)> <out.nt>\n"
       "  rdfsum query     <file> <sparql string> [--no-prune] [--explicit-only]\n";
@@ -68,6 +72,20 @@ bool LoadGraph(const std::string& path, Graph* g, std::string* error) {
     return false;
   }
   return true;
+}
+
+/// Strict decimal uint32 parse: rejects junk, trailing characters, and
+/// out-of-range values (std::stoul alone accepts "-1" as ~4e9).
+bool ParseUint32(const std::string& s, uint32_t* out) {
+  try {
+    size_t pos = 0;
+    unsigned long v = std::stoul(s, &pos);
+    if (pos != s.size() || v > 0xFFFFFFFFul) return false;
+    *out = static_cast<uint32_t>(v);
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 bool ParseKind(const std::string& name, summary::SummaryKind* kind) {
@@ -98,11 +116,38 @@ int CmdStats(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Dispatches to the multi-threaded W/BISIM builders when `threads` asks for
+// them (they produce the same partition as the sequential paths); every
+// other kind runs the sequential summarizer.
+summary::SummaryResult RunSummarize(const Graph& g, summary::SummaryKind kind,
+                                    const summary::SummaryOptions& options,
+                                    uint32_t threads) {
+  if (threads != 1) {
+    if (kind == summary::SummaryKind::kWeak) {
+      summary::ParallelWeakOptions popt;
+      popt.num_threads = threads;
+      popt.record_members = options.record_members;
+      return summary::ParallelWeakSummarize(g, popt);
+    }
+    if (kind == summary::SummaryKind::kBisimulation) {
+      summary::ParallelBisimulationOptions popt;
+      popt.num_threads = threads;
+      popt.depth = options.bisimulation_depth;
+      popt.use_types = options.bisimulation_uses_types;
+      popt.direction = options.bisimulation_direction;
+      popt.record_members = options.record_members;
+      return summary::ParallelBisimulationSummarize(g, popt);
+    }
+  }
+  return summary::Summarize(g, kind, options);
+}
+
 int CmdSummarize(const std::vector<std::string>& args) {
   if (args.empty()) return Usage();
   std::string kind_name = "all";
   std::string out_prefix;
   bool saturate = false, report = false;
+  uint32_t threads = 1;
   summary::SummaryOptions options;
   options.record_members = true;
   for (size_t i = 1; i < args.size(); ++i) {
@@ -113,8 +158,13 @@ int CmdSummarize(const std::vector<std::string>& args) {
     else if (args[i] == "--strict-typed") {
       options.typed_mode = summary::TypedSummaryMode::kUntypedDataGraph;
     } else if (args[i] == "--depth" && i + 1 < args.size()) {
-      options.bisimulation_depth =
-          static_cast<uint32_t>(std::stoul(args[++i]));
+      if (!ParseUint32(args[++i], &options.bisimulation_depth)) {
+        return Fail("bad --depth " + args[i]);
+      }
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &threads)) {
+        return Fail("bad --threads " + args[i]);
+      }
     } else {
       return Fail("unknown option " + args[i]);
     }
@@ -137,7 +187,7 @@ int CmdSummarize(const std::vector<std::string>& args) {
 
   for (summary::SummaryKind kind : kinds) {
     Timer timer;
-    summary::SummaryResult r = summary::Summarize(g, kind, options);
+    summary::SummaryResult r = RunSummarize(g, kind, options, threads);
     std::cout << summary::SummaryKindName(kind) << ": " << r.stats.ToString()
               << " (" << timer.ElapsedMillis() << " ms)\n";
     if (report) std::cout << summary::DescribeSummary(r).ToString();
