@@ -1,0 +1,269 @@
+// The cost-based BGP engine measured: naive (frozen textual order) vs.
+// greedy TableStats plans vs. summary-estimated plans over star/chain/
+// snowflake shapes on BSBM and LUBM, plus the planner's estimate error
+// (q-error of the final estimated cardinality vs. the true embedding
+// count). Wall times land in BENCH_query.json (override the path with
+// RDFSUM_BENCH_JSON); q-error records carry a _qerror suffix and are
+// dimensionless despite the file's "seconds" unit label.
+//
+// Query texts are written with the *worst* pattern first, so the naive
+// baseline pays the textual order and the planners have something to win.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "gen/lubm.h"
+#include "query/evaluator.h"
+#include "query/sparql_parser.h"
+#include "summary/cardinality.h"
+#include "summary/summarizer.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace rdfsum {
+namespace {
+
+using bench::BenchScales;
+using bench::CachedBsbm;
+using bench::Num;
+using query::BgpEvaluator;
+using query::BgpQuery;
+using query::PlannerMode;
+using query::PlannerModeName;
+
+/// Best-of-two wall time; the first run doubles as warm-up.
+template <typename Fn>
+double BestOfTwo(Fn&& fn) {
+  Timer t1;
+  fn();
+  double first = t1.ElapsedSeconds();
+  Timer t2;
+  fn();
+  return std::min(first, t2.ElapsedSeconds());
+}
+
+struct ShapeQuery {
+  std::string shape;  // "star", "chain", "snowflake"
+  std::string sparql;
+};
+
+std::vector<ShapeQuery> BsbmQueries() {
+  const std::string p = "PREFIX b: <http://bsbm.example.org/>\n";
+  return {
+      // Star around a product, anchored at one feature. Textually the
+      // unselective label pattern (every entity kind has labels) comes
+      // first; the planners should start at the anchored feature.
+      {"star",
+       p +
+           "SELECT ?p ?l ?pr WHERE { ?p b:label ?l . ?p b:producer ?pr . "
+           "?p b:productFeature <http://bsbm.example.org/feature/Feature0> }"},
+      // Offer -> product -> producer chain written from the fat end.
+      {"chain",
+       p +
+           "SELECT ?o ?d WHERE { ?o b:offerProduct ?p . ?o b:deliveryDays ?d "
+           ". ?p b:producer <http://bsbm.example.org/producer/Producer0> }"},
+      // Snowflake: review star and offer star sharing the product center,
+      // anchored at one producer; textual order starts at the reviews.
+      {"snowflake",
+       p +
+           "SELECT ?r ?price WHERE { ?r b:reviewFor ?p . ?r b:reviewer ?x . "
+           "?x b:country ?c . ?o b:offerProduct ?p . ?o b:price ?price . "
+           "?p b:producer <http://bsbm.example.org/producer/Producer1> }"},
+  };
+}
+
+std::vector<ShapeQuery> LubmQueries() {
+  const std::string p = "PREFIX l: <http://lubm.example.org/>\n";
+  return {
+      // Person star with the ubiquitous name/email patterns first.
+      {"star",
+       p +
+           "SELECT ?x ?n WHERE { ?x l:name ?n . ?x l:emailAddress ?e . "
+           "?x l:worksFor ?d . ?d l:subOrganizationOf ?u }"},
+      // Student -> advisor -> department chain from the fat end (name).
+      {"chain",
+       p +
+           "SELECT ?s ?d WHERE { ?s l:name ?n . ?s l:advisor ?a . "
+           "?a l:headOf ?d . ?d l:subOrganizationOf ?u }"},
+  };
+}
+
+BgpQuery MustParse(const std::string& text) {
+  auto q = query::ParseSparql(text);
+  if (!q.ok()) {
+    std::cerr << "bench query failed to parse: " << q.status().ToString()
+              << "\n";
+    std::abort();
+  }
+  return std::move(q).value();
+}
+
+std::multiset<std::string> CanonicalRows(const std::vector<query::Row>& rows) {
+  std::multiset<std::string> out;
+  for (const query::Row& row : rows) {
+    std::string line;
+    for (const Term& t : row) {
+      line += t.ToNTriples();
+      line += '\t';
+    }
+    out.insert(std::move(line));
+  }
+  return out;
+}
+
+double QError(double estimate, uint64_t actual) {
+  double a = static_cast<double>(actual);
+  if (a < 1.0) a = 1.0;
+  if (estimate < 1.0) estimate = 1.0;
+  return std::max(estimate / a, a / estimate);
+}
+
+const Graph& CachedLubm(uint64_t universities) {
+  static auto* cache = new std::map<uint64_t, Graph>();
+  auto it = cache->find(universities);
+  if (it == cache->end()) {
+    gen::LubmOptions opt;
+    opt.num_universities = universities;
+    it = cache->emplace(universities, gen::GenerateLubm(opt)).first;
+  }
+  return it->second;
+}
+
+/// One workload x scale sweep: evaluates every shape under every planner
+/// mode, asserts result identity (sets *all_equal false on divergence),
+/// and records wall times + q-errors.
+void RunWorkload(bench::BenchJson* json, const std::string& workload,
+                 const Graph& g, const std::vector<ShapeQuery>& queries,
+                 TablePrinter* table, bool* all_equal) {
+  // Setup shared by all modes: table build once, summary + estimator once.
+  Timer setup_timer;
+  summary::SummaryResult s =
+      summary::Summarize(g, summary::SummaryKind::kWeak);
+  summary::CardinalityEstimator estimator(g, s);
+  query::EvaluatorOptions options;
+  options.estimator = &estimator;
+  BgpEvaluator eval(g, options);
+  json->Record(workload + "_setup", g.NumTriples(),
+               setup_timer.ElapsedSeconds());
+
+  for (const ShapeQuery& sq : queries) {
+    BgpQuery q = MustParse(sq.sparql);
+    std::map<PlannerMode, double> secs;
+    std::multiset<std::string> baseline_rows;
+    bool equal = true;
+    std::map<PlannerMode, double> qerr;
+    for (PlannerMode mode : query::kAllPlannerModes) {
+      std::vector<query::Row> rows;
+      secs[mode] = BestOfTwo([&] {
+        auto r = eval.Evaluate(q, SIZE_MAX, mode);
+        rows = std::move(r).value();
+      });
+      json->Record(workload + "_" + sq.shape + "_" + PlannerModeName(mode),
+                   g.NumTriples(), secs[mode]);
+      if (mode == PlannerMode::kNaive) {
+        baseline_rows = CanonicalRows(rows);
+      } else {
+        equal = equal && CanonicalRows(rows) == baseline_rows;
+      }
+      if (mode != PlannerMode::kNaive) {
+        auto ex = eval.Explain(q, mode);
+        double est = ex->plan.steps.empty()
+                         ? 0.0
+                         : ex->plan.steps.back().estimated_rows;
+        qerr[mode] = QError(est, ex->num_embeddings);
+        json->Record(
+            workload + "_" + sq.shape + "_qerror_" + PlannerModeName(mode),
+            g.NumTriples(), qerr[mode]);
+      }
+    }
+    table->AddRow({workload, Num(g.NumTriples()), sq.shape,
+                   FormatDouble(secs[PlannerMode::kNaive] * 1e3, 2),
+                   FormatDouble(secs[PlannerMode::kGreedy] * 1e3, 2),
+                   FormatDouble(secs[PlannerMode::kSummary] * 1e3, 2),
+                   FormatDouble(secs[PlannerMode::kNaive] /
+                                    std::max(1e-9,
+                                             secs[PlannerMode::kGreedy]),
+                                1) +
+                       "x",
+                   FormatDouble(qerr[PlannerMode::kGreedy], 1),
+                   FormatDouble(qerr[PlannerMode::kSummary], 1),
+                   equal ? "yes" : "NO (bug!)"});
+    *all_equal = *all_equal && equal;
+  }
+}
+
+/// Returns false when any planner mode diverged from the naive rows.
+bool PrintQueryBench() {
+  bench::BenchJson json("bench_query");
+  TablePrinter table({"workload", "triples", "shape", "naive (ms)",
+                      "greedy (ms)", "summary (ms)", "speedup",
+                      "qerr greedy", "qerr summary", "equal"});
+  // BSBM scales: query evaluation is per-row work, so cap the sweep at
+  // 250k triples (RDFSUM_BENCH_MAX_TRIPLES lowers it further).
+  bool all_equal = true;
+  for (uint64_t scale : BenchScales()) {
+    if (scale > 250'000) continue;
+    RunWorkload(&json, "bsbm", CachedBsbm(scale), BsbmQueries(), &table,
+                &all_equal);
+  }
+  for (uint64_t universities : {2ull, 10ull}) {
+    RunWorkload(&json, "lubm", CachedLubm(universities), LubmQueries(),
+                &table, &all_equal);
+  }
+  table.Print(std::cout,
+              "Cost-based BGP planning: naive vs. greedy vs. summary "
+              "(q-error = est/actual of final cardinality)");
+  const char* path = std::getenv("RDFSUM_BENCH_JSON");
+  std::string out = path != nullptr ? path : "BENCH_query.json";
+  if (json.WriteFile(out)) {
+    std::cout << "wrote " << out << "\n";
+  } else {
+    std::cerr << "failed to write " << out << "\n";
+  }
+  std::cout.flush();
+  if (!all_equal) {
+    std::cerr << "bench_query: planner modes diverged from the naive result "
+                 "set (see the 'equal' column) — this is a correctness bug\n";
+  }
+  return all_equal;
+}
+
+void BM_PlanAndExecute(benchmark::State& state) {
+  const Graph& g = CachedBsbm(100'000);
+  summary::SummaryResult s =
+      summary::Summarize(g, summary::SummaryKind::kWeak);
+  summary::CardinalityEstimator estimator(g, s);
+  query::EvaluatorOptions options;
+  options.estimator = &estimator;
+  BgpEvaluator eval(g, options);
+  BgpQuery q = MustParse(BsbmQueries()[0].sparql);
+  auto mode = static_cast<PlannerMode>(state.range(0));
+  for (auto _ : state) {
+    auto rows = eval.Evaluate(q, SIZE_MAX, mode);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetLabel(PlannerModeName(mode));
+}
+BENCHMARK(BM_PlanAndExecute)
+    ->Arg(static_cast<int>(PlannerMode::kNaive))
+    ->Arg(static_cast<int>(PlannerMode::kGreedy))
+    ->Arg(static_cast<int>(PlannerMode::kSummary))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rdfsum
+
+int main(int argc, char** argv) {
+  // A divergence fails the run so CI's bench smoke gates on it.
+  if (!rdfsum::PrintQueryBench()) return 1;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

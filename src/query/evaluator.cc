@@ -1,90 +1,99 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
-#include <set>
-#include <unordered_map>
 
 namespace rdfsum::query {
 namespace {
 
-/// Compiled pattern position: variable index (dense) or constant TermId.
-struct SlotC {
-  bool is_var = false;
-  uint32_t var = 0;
-  TermId constant = kInvalidTermId;
-  /// True when the constant does not occur in the graph's dictionary; the
-  /// pattern can never match.
-  bool impossible = false;
-};
-
-struct PatternC {
-  SlotC s, p, o;
-};
-
-struct Compiled {
-  std::vector<PatternC> patterns;
-  std::unordered_map<std::string, uint32_t> var_index;
-  std::vector<std::string> var_names;
-  bool impossible = false;
-};
-
-Compiled Compile(const BgpQuery& q, const Dictionary& dict) {
-  Compiled out;
-  auto slot = [&](const PatternTerm& t) {
-    SlotC s;
-    if (t.is_var) {
-      s.is_var = true;
-      auto [it, inserted] = out.var_index.emplace(
-          t.var, static_cast<uint32_t>(out.var_names.size()));
-      if (inserted) out.var_names.push_back(t.var);
-      s.var = it->second;
-    } else {
-      s.constant = dict.Lookup(t.term);
-      if (s.constant == kInvalidTermId) s.impossible = true;
-    }
-    return s;
-  };
-  for (const TriplePatternQ& t : q.triples) {
-    PatternC pc{slot(t.s), slot(t.p), slot(t.o)};
-    if (pc.s.impossible || pc.p.impossible || pc.o.impossible) {
-      out.impossible = true;
-    }
-    out.patterns.push_back(pc);
-  }
-  return out;
-}
-
 constexpr TermId kUnbound = kInvalidTermId;
 
-class Search {
+/// Deduplicating set of fixed-width projected rows: all rows live packed in
+/// one arena and an open-addressing table stores row ordinals, so the hot
+/// path does one hash probe and no per-row allocation (the std::set of
+/// vectors it replaces allocated per row and compared in O(width log n)).
+class RowSet {
  public:
-  Search(const store::TripleTable& table, const Compiled& query)
-      : table_(table), query_(query) {
-    bindings_.assign(query_.var_names.size(), kUnbound);
-    used_.assign(query_.patterns.size(), false);
+  explicit RowSet(size_t width) : width_(width) { slots_.resize(64, 0); }
+
+  size_t size() const { return count_; }
+  const TermId* row(size_t i) const { return arena_.data() + i * width_; }
+
+  /// Returns true iff the row was newly inserted.
+  bool Insert(const TermId* row_data) {
+    if (width_ == 0) {
+      // Boolean projection: there is only one (empty) row.
+      if (count_ > 0) return false;
+      ++count_;
+      return true;
+    }
+    const uint64_t h = Hash(row_data);
+    const size_t mask = slots_.size() - 1;
+    size_t idx = static_cast<size_t>(h) & mask;
+    while (slots_[idx] != 0) {
+      if (std::equal(row_data, row_data + width_, row(slots_[idx] - 1))) {
+        return false;
+      }
+      idx = (idx + 1) & mask;
+    }
+    arena_.insert(arena_.end(), row_data, row_data + width_);
+    slots_[idx] = static_cast<uint32_t>(++count_);
+    if (count_ * 10 >= slots_.size() * 7) Grow();
+    return true;
+  }
+
+ private:
+  uint64_t Hash(const TermId* row_data) const {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (size_t i = 0; i < width_; ++i) {
+      h ^= row_data[i];
+      h *= 0xBF58476D1CE4E5B9ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
+  void Grow() {
+    std::vector<uint32_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, 0);
+    const size_t mask = slots_.size() - 1;
+    for (size_t r = 0; r < count_; ++r) {
+      size_t idx = static_cast<size_t>(Hash(row(r))) & mask;
+      while (slots_[idx] != 0) idx = (idx + 1) & mask;
+      slots_[idx] = static_cast<uint32_t>(r + 1);
+    }
+  }
+
+  size_t width_;
+  size_t count_ = 0;
+  std::vector<TermId> arena_;    // count_ * width_ packed ids
+  std::vector<uint32_t> slots_;  // open addressing; row ordinal + 1, 0 empty
+};
+
+/// Executes a QueryPlan: follows plan.steps verbatim (the planner already
+/// fixed the order and per-step index), binding variables by backtracking.
+/// Counts the bindings produced at each step for Explain().
+class PlanRunner {
+ public:
+  PlanRunner(const store::TripleTable& table, const QueryPlan& plan)
+      : table_(table), plan_(plan) {
+    bindings_.assign(plan_.compiled.var_names.size(), kUnbound);
+    step_rows_.assign(plan_.steps.size(), 0);
   }
 
   /// Invokes `fn(bindings)` for each embedding; fn returns false to stop.
   template <typename Fn>
   void Enumerate(Fn&& fn) {
-    if (query_.impossible) return;
+    if (plan_.compiled.impossible) return;
     stop_ = false;
     Recurse(0, fn);
   }
 
- private:
-  /// Number of unbound variables in a pattern under current bindings.
-  int Unbound(const PatternC& p) const {
-    int n = 0;
-    for (const SlotC* s : {&p.s, &p.p, &p.o}) {
-      if (s->is_var && bindings_[s->var] == kUnbound) ++n;
-    }
-    return n;
-  }
+  const std::vector<uint64_t>& step_rows() const { return step_rows_; }
 
-  store::TriplePattern Instantiate(const PatternC& p) const {
+ private:
+  store::TriplePattern Instantiate(const CompiledPattern& p) const {
     store::TriplePattern q;
-    auto fill = [&](const SlotC& s) -> std::optional<TermId> {
+    auto fill = [&](const CompiledSlot& s) -> std::optional<TermId> {
       if (!s.is_var) return s.constant;
       TermId b = bindings_[s.var];
       if (b != kUnbound) return b;
@@ -99,34 +108,21 @@ class Search {
   template <typename Fn>
   void Recurse(size_t depth, Fn&& fn) {
     if (stop_) return;
-    if (depth == query_.patterns.size()) {
+    if (depth == plan_.steps.size()) {
       if (!fn(bindings_)) stop_ = true;
       return;
     }
-    // Most-constrained-first: pick the unused pattern with the fewest
-    // unbound variables (cheap selectivity heuristic).
-    size_t best = SIZE_MAX;
-    int best_unbound = 4;
-    for (size_t i = 0; i < query_.patterns.size(); ++i) {
-      if (used_[i]) continue;
-      int u = Unbound(query_.patterns[i]);
-      if (u < best_unbound) {
-        best_unbound = u;
-        best = i;
-      }
-    }
-    used_[best] = true;
-    const PatternC& pat = query_.patterns[best];
-    store::TriplePattern probe = Instantiate(pat);
-    // Visitor scan: no per-pattern match vector is materialized; the scan
-    // stops as soon as an embedding satisfied the caller.
-    table_.Scan(probe, [&](const Triple& m) {
+    const CompiledPattern& pat =
+        plan_.compiled.patterns[plan_.steps[depth].pattern];
+    // Visitor scan over the step's contiguous index range; the scan stops
+    // as soon as an embedding satisfied the caller.
+    table_.Scan(Instantiate(pat), [&](const Triple& m) {
       // Bind the unbound variable slots; a pattern with repeated variables
       // (e.g. ?x p ?x) must bind consistently.
       uint32_t newly[3];
       int num_newly = 0;
       bool ok = true;
-      auto bind = [&](const SlotC& s, TermId value) {
+      auto bind = [&](const CompiledSlot& s, TermId value) {
         if (!s.is_var) return;
         TermId cur = bindings_[s.var];
         if (cur == kUnbound) {
@@ -139,32 +135,43 @@ class Search {
       bind(pat.s, m.s);
       if (ok) bind(pat.p, m.p);
       if (ok) bind(pat.o, m.o);
-      if (ok) Recurse(depth + 1, fn);
+      if (ok) {
+        ++step_rows_[depth];
+        Recurse(depth + 1, fn);
+      }
       for (int i = 0; i < num_newly; ++i) bindings_[newly[i]] = kUnbound;
       return !stop_;
     });
-    used_[best] = false;
   }
 
   const store::TripleTable& table_;
-  const Compiled& query_;
+  const QueryPlan& plan_;
   std::vector<TermId> bindings_;
-  std::vector<bool> used_;
+  std::vector<uint64_t> step_rows_;
   bool stop_ = false;
 };
 
 }  // namespace
 
-BgpEvaluator::BgpEvaluator(const Graph& g) : graph_(g) {
+BgpEvaluator::BgpEvaluator(const Graph& g, EvaluatorOptions options)
+    : graph_(g), options_(options) {
   g.ForEachTriple([&](const Triple& t) { table_.Append(t); });
   table_.Freeze();
 }
 
+QueryPlan BgpEvaluator::Plan(const BgpQuery& q) const {
+  return Plan(q, options_.planner);
+}
+
+QueryPlan BgpEvaluator::Plan(const BgpQuery& q, PlannerMode mode) const {
+  return BuildQueryPlan(q, graph_.dict(), table_, mode, options_.estimator);
+}
+
 bool BgpEvaluator::ExistsMatch(const BgpQuery& q) const {
-  Compiled c = Compile(q, graph_.dict());
+  QueryPlan plan = Plan(q);
   bool found = false;
-  Search search(table_, c);
-  search.Enumerate([&](const std::vector<TermId>&) {
+  PlanRunner runner(table_, plan);
+  runner.Enumerate([&](const std::vector<TermId>&) {
     found = true;
     return false;
   });
@@ -173,46 +180,71 @@ bool BgpEvaluator::ExistsMatch(const BgpQuery& q) const {
 
 StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
                                                   size_t limit) const {
-  Compiled c = Compile(q, graph_.dict());
-  // Head variables must occur in the body.
-  std::vector<uint32_t> head;
-  for (const std::string& v : q.distinguished) {
-    auto it = c.var_index.find(v);
-    if (it == c.var_index.end()) {
-      return Status::InvalidArgument("distinguished variable ?" + v +
-                                     " does not occur in the query body");
-    }
-    head.push_back(it->second);
-  }
-  std::set<std::vector<TermId>> dedup;
-  Search search(table_, c);
-  search.Enumerate([&](const std::vector<TermId>& bindings) {
-    std::vector<TermId> row;
-    row.reserve(head.size());
-    for (uint32_t v : head) row.push_back(bindings[v]);
-    dedup.insert(std::move(row));
-    return dedup.size() < limit;
-  });
+  return Evaluate(q, limit, options_.planner);
+}
+
+StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
+                                                  size_t limit,
+                                                  PlannerMode mode) const {
+  QueryPlan plan = Plan(q, mode);
+  RDFSUM_ASSIGN_OR_RETURN(std::vector<uint32_t> head,
+                          ResolveDistinguished(q, plan.compiled));
   std::vector<Row> rows;
+  if (limit == 0) return rows;
+  RowSet dedup(head.size());
+  std::vector<TermId> scratch(head.size());
+  PlanRunner runner(table_, plan);
+  runner.Enumerate([&](const std::vector<TermId>& bindings) {
+    for (size_t i = 0; i < head.size(); ++i) scratch[i] = bindings[head[i]];
+    if (dedup.Insert(scratch.data()) && dedup.size() >= limit) return false;
+    return true;
+  });
   rows.reserve(dedup.size());
-  for (const auto& encoded : dedup) {
+  for (size_t r = 0; r < dedup.size(); ++r) {
     Row row;
-    row.reserve(encoded.size());
-    for (TermId id : encoded) row.push_back(graph_.dict().Decode(id));
+    row.reserve(head.size());
+    const TermId* encoded = dedup.row(r);
+    for (size_t i = 0; i < head.size(); ++i) {
+      row.push_back(graph_.dict().Decode(encoded[i]));
+    }
     rows.push_back(std::move(row));
   }
   return rows;
 }
 
 uint64_t BgpEvaluator::CountEmbeddings(const BgpQuery& q) const {
-  Compiled c = Compile(q, graph_.dict());
+  QueryPlan plan = Plan(q);
   uint64_t n = 0;
-  Search search(table_, c);
-  search.Enumerate([&](const std::vector<TermId>&) {
+  PlanRunner runner(table_, plan);
+  runner.Enumerate([&](const std::vector<TermId>&) {
     ++n;
     return true;
   });
   return n;
+}
+
+StatusOr<Explanation> BgpEvaluator::Explain(const BgpQuery& q) const {
+  return Explain(q, options_.planner);
+}
+
+StatusOr<Explanation> BgpEvaluator::Explain(const BgpQuery& q,
+                                            PlannerMode mode) const {
+  Explanation out;
+  out.plan = Plan(q, mode);
+  RDFSUM_ASSIGN_OR_RETURN(std::vector<uint32_t> head,
+                          ResolveDistinguished(q, out.plan.compiled));
+  RowSet dedup(head.size());
+  std::vector<TermId> scratch(head.size());
+  PlanRunner runner(table_, out.plan);
+  runner.Enumerate([&](const std::vector<TermId>& bindings) {
+    ++out.num_embeddings;
+    for (size_t i = 0; i < head.size(); ++i) scratch[i] = bindings[head[i]];
+    dedup.Insert(scratch.data());
+    return true;
+  });
+  out.actual_rows = runner.step_rows();
+  out.num_result_rows = dedup.size();
+  return out;
 }
 
 }  // namespace rdfsum::query

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "query/bgp.h"
+#include "query/plan.h"
 #include "rdf/graph.h"
 #include "store/triple_table.h"
 #include "util/statusor.h"
@@ -15,30 +16,63 @@ namespace rdfsum::query {
 /// head order.
 using Row = std::vector<Term>;
 
+struct EvaluatorOptions {
+  /// How Plan()/Evaluate() order the patterns by default; per-call
+  /// overloads can override it.
+  PlannerMode planner = PlannerMode::kGreedy;
+  /// Enables PlannerMode::kSummary refinement. Not owned; must outlive the
+  /// evaluator and estimate over the same graph.
+  const summary::CardinalityEstimator* estimator = nullptr;
+};
+
 /// Evaluates BGP queries against one graph by backtracking join over the
 /// store's pattern indexes. Evaluation sees exactly the triples of the graph
 /// it is given — evaluate against Saturate(g) for complete answers (§2.1).
+///
+/// Each query is planned once (see QueryPlan): the planner fixes the
+/// pattern order and per-step index up front from the table statistics, and
+/// the executor follows the plan without re-scanning the pattern list at
+/// every depth.
 class BgpEvaluator {
  public:
-  explicit BgpEvaluator(const Graph& g);
+  explicit BgpEvaluator(const Graph& g, EvaluatorOptions options = {});
   /// The evaluator only borrows the graph; binding a temporary would
   /// dangle after the constructor returns (ASan caught exactly this).
   explicit BgpEvaluator(Graph&&) = delete;
+  BgpEvaluator(Graph&&, EvaluatorOptions) = delete;
+
+  /// Builds the execution plan for `q` without running it.
+  QueryPlan Plan(const BgpQuery& q) const;
+  QueryPlan Plan(const BgpQuery& q, PlannerMode mode) const;
 
   /// True iff the query has at least one embedding into the graph.
   bool ExistsMatch(const BgpQuery& q) const;
 
   /// Returns up to `limit` distinct answer rows (projections of embeddings
   /// on the distinguished variables; for a boolean query, one empty row if
-  /// the query matches).
+  /// the query matches). `limit` == 0 returns no rows. Rows come back in
+  /// discovery order, which depends on the chosen plan (the old std::set
+  /// dedup sorted them by id as a side effect); callers needing a stable
+  /// cross-plan order must sort.
   StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
                                       size_t limit = SIZE_MAX) const;
+  StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q, size_t limit,
+                                      PlannerMode mode) const;
 
   /// Number of embeddings of the query body (not deduplicated by head).
   uint64_t CountEmbeddings(const BgpQuery& q) const;
 
+  /// Plans and fully executes `q`, returning the plan annotated with the
+  /// actual cardinality observed at every step.
+  StatusOr<Explanation> Explain(const BgpQuery& q) const;
+  StatusOr<Explanation> Explain(const BgpQuery& q, PlannerMode mode) const;
+
+  /// The frozen table the evaluator runs on (statistics, index counts).
+  const store::TripleTable& table() const { return table_; }
+
  private:
   const Graph& graph_;
+  EvaluatorOptions options_;
   store::TripleTable table_;
 };
 

@@ -1,0 +1,257 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "summary/cardinality.h"
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace rdfsum::query {
+
+const char* PlannerModeName(PlannerMode mode) {
+  switch (mode) {
+    case PlannerMode::kNaive:
+      return "naive";
+    case PlannerMode::kGreedy:
+      return "greedy";
+    case PlannerMode::kSummary:
+      return "summary";
+  }
+  return "?";
+}
+
+bool ParsePlannerMode(std::string_view name, PlannerMode* mode) {
+  std::string lower = AsciiToLower(name);
+  if (lower == "naive") *mode = PlannerMode::kNaive;
+  else if (lower == "greedy") *mode = PlannerMode::kGreedy;
+  else if (lower == "summary") *mode = PlannerMode::kSummary;
+  else return false;
+  return true;
+}
+
+CompiledBgp CompileBgp(const BgpQuery& q, const Dictionary& dict) {
+  CompiledBgp out;
+  auto slot = [&](const PatternTerm& t) {
+    CompiledSlot s;
+    if (t.is_var) {
+      s.is_var = true;
+      auto [it, inserted] = out.var_index.emplace(
+          t.var, static_cast<uint32_t>(out.var_names.size()));
+      if (inserted) out.var_names.push_back(t.var);
+      s.var = it->second;
+    } else {
+      s.constant = dict.Lookup(t.term);
+      if (s.constant == kInvalidTermId) s.impossible = true;
+    }
+    return s;
+  };
+  for (const TriplePatternQ& t : q.triples) {
+    CompiledPattern pc{slot(t.s), slot(t.p), slot(t.o)};
+    if (pc.s.impossible || pc.p.impossible || pc.o.impossible) {
+      out.impossible = true;
+    }
+    out.patterns.push_back(pc);
+  }
+  return out;
+}
+
+StatusOr<std::vector<uint32_t>> ResolveDistinguished(const BgpQuery& q,
+                                                     const CompiledBgp& c) {
+  std::vector<uint32_t> head;
+  head.reserve(q.distinguished.size());
+  for (const std::string& v : q.distinguished) {
+    auto it = c.var_index.find(v);
+    if (it == c.var_index.end()) {
+      return Status::InvalidArgument("distinguished variable ?" + v +
+                                     " does not occur in the query body");
+    }
+    head.push_back(it->second);
+  }
+  return head;
+}
+
+namespace {
+
+/// Expected matches of one probe of `pc` when the variables in `var_bound`
+/// already hold values. Constants give an exact index-range count; each
+/// bound variable position divides by the relevant distinct count (the
+/// uniform-fanout independence assumption of a System-R style model).
+double EstimateMatches(const CompiledPattern& pc,
+                       const std::vector<bool>& var_bound,
+                       const store::TripleTable& table) {
+  if (pc.s.impossible || pc.p.impossible || pc.o.impossible) return 0.0;
+  store::TriplePattern known;
+  if (!pc.s.is_var) known.s = pc.s.constant;
+  if (!pc.p.is_var) known.p = pc.p.constant;
+  if (!pc.o.is_var) known.o = pc.o.constant;
+  double est = static_cast<double>(table.Count(known));
+  if (est == 0.0) return 0.0;
+  const store::TableStats& st = table.stats();
+  auto runtime_bound = [&](const CompiledSlot& sl) {
+    return sl.is_var && var_bound[sl.var];
+  };
+  const store::PredicateStats* ps =
+      pc.p.is_var ? nullptr : st.predicate(pc.p.constant);
+  if (runtime_bound(pc.s)) {
+    uint64_t distinct = ps != nullptr ? ps->distinct_subjects : 0;
+    if (distinct == 0) distinct = st.num_distinct_subjects();
+    est /= static_cast<double>(std::max<uint64_t>(1, distinct));
+  }
+  if (runtime_bound(pc.p)) {
+    est /= static_cast<double>(
+        std::max<uint64_t>(1, st.num_distinct_predicates()));
+  }
+  if (runtime_bound(pc.o)) {
+    uint64_t distinct = ps != nullptr ? ps->distinct_objects : 0;
+    if (distinct == 0) distinct = st.num_distinct_objects();
+    est /= static_cast<double>(std::max<uint64_t>(1, distinct));
+  }
+  return est;
+}
+
+int CountUnboundVars(const CompiledPattern& pc,
+                     const std::vector<bool>& var_bound) {
+  int n = 0;
+  for (const CompiledSlot* sl : {&pc.s, &pc.p, &pc.o}) {
+    if (sl->is_var && !var_bound[sl->var]) ++n;
+  }
+  return n;
+}
+
+std::string FormatEstimate(double v) {
+  if (v == 0.0) return "0";
+  if (v >= 1e15) {
+    // Cartesian-ish estimates can exceed uint64 range; casting those would
+    // be UB. Scientific notation is more readable anyway.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+    return buf;
+  }
+  if (v >= 100.0) return FormatWithCommas(static_cast<uint64_t>(v + 0.5));
+  return FormatDouble(v, 2);
+}
+
+}  // namespace
+
+QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
+                         const store::TripleTable& table, PlannerMode mode,
+                         const summary::CardinalityEstimator* estimator) {
+  QueryPlan plan;
+  plan.mode = mode;
+  plan.compiled = CompileBgp(q, dict);
+  const std::vector<CompiledPattern>& patterns = plan.compiled.patterns;
+  const size_t n = patterns.size();
+  std::vector<bool> var_bound(plan.compiled.var_names.size(), false);
+  std::vector<bool> used(n, false);
+  const bool use_estimator =
+      mode == PlannerMode::kSummary && estimator != nullptr;
+  // Patterns of the chosen prefix, maintained for estimator refinement.
+  std::vector<TriplePatternQ> prefix;
+  if (use_estimator) prefix.reserve(n);
+
+  double rows = 1.0;
+  for (size_t step_no = 0; step_no < n; ++step_no) {
+    size_t pick = SIZE_MAX;
+    double pick_matches = 0.0;
+    if (mode == PlannerMode::kNaive) {
+      pick = step_no;  // frozen textual order
+      pick_matches = EstimateMatches(patterns[pick], var_bound, table);
+    } else {
+      // Greedy: cheapest next probe. With an estimator, rank candidate
+      // prefixes by their summary-estimated result size instead, falling
+      // back to the stats estimate as tie-break.
+      double best_metric = 0.0, best_matches = 0.0;
+      int best_unbound = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        double matches = EstimateMatches(patterns[i], var_bound, table);
+        double metric = matches;
+        if (use_estimator) {
+          prefix.push_back(q.triples[i]);
+          metric = estimator->EstimatePatterns(prefix).estimate;
+          prefix.pop_back();
+        }
+        int unbound = CountUnboundVars(patterns[i], var_bound);
+        bool better =
+            pick == SIZE_MAX || metric < best_metric ||
+            (metric == best_metric &&
+             (matches < best_matches ||
+              (matches == best_matches && unbound < best_unbound)));
+        if (better) {
+          pick = i;
+          best_metric = metric;
+          best_matches = matches;
+          best_unbound = unbound;
+        }
+      }
+      pick_matches = best_matches;
+    }
+
+    used[pick] = true;
+    const CompiledPattern& pc = patterns[pick];
+    PlanStep step;
+    step.pattern = static_cast<uint32_t>(pick);
+    step.pattern_text = q.triples[pick].ToString();
+    auto bound_at_run = [&](const CompiledSlot& sl) {
+      return !sl.is_var || var_bound[sl.var];
+    };
+    step.index = store::TripleTable::ChooseIndex(
+        bound_at_run(pc.s), bound_at_run(pc.p), bound_at_run(pc.o));
+    step.estimated_matches = pick_matches;
+    if (use_estimator) {
+      prefix.push_back(q.triples[pick]);
+      step.estimated_rows = estimator->EstimatePatterns(prefix).estimate;
+      rows = step.estimated_rows;
+    } else {
+      rows *= pick_matches;
+      step.estimated_rows = rows;
+    }
+    plan.estimated_cost += step.estimated_rows;
+    for (const CompiledSlot* sl : {&pc.s, &pc.p, &pc.o}) {
+      if (sl->is_var) var_bound[sl->var] = true;
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+std::string QueryPlan::ToString() const {
+  TablePrinter table({"step", "pattern", "index", "est/probe", "est rows"});
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const PlanStep& s = steps[i];
+    table.AddRow({std::to_string(i + 1), s.pattern_text,
+                  store::IndexKindName(s.index),
+                  FormatEstimate(s.estimated_matches),
+                  FormatEstimate(s.estimated_rows)});
+  }
+  std::string out = "plan mode=" + std::string(PlannerModeName(mode)) +
+                    " est_cost=" + FormatEstimate(estimated_cost) + "\n";
+  out += table.ToAscii();
+  return out;
+}
+
+std::string Explanation::ToString() const {
+  TablePrinter table(
+      {"step", "pattern", "index", "est rows", "actual rows"});
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& s = plan.steps[i];
+    uint64_t actual = i < actual_rows.size() ? actual_rows[i] : 0;
+    table.AddRow({std::to_string(i + 1), s.pattern_text,
+                  store::IndexKindName(s.index),
+                  FormatEstimate(s.estimated_rows),
+                  FormatWithCommas(actual)});
+  }
+  std::string out = "plan mode=" + std::string(PlannerModeName(plan.mode)) +
+                    " est_cost=" + FormatEstimate(plan.estimated_cost) + "\n";
+  out += table.ToAscii();
+  out += "embeddings: " + FormatWithCommas(num_embeddings) +
+         ", distinct rows: " + FormatWithCommas(num_result_rows) + "\n";
+  if (pruned_by_summary) {
+    out += "pruned by summary: the graph was never touched\n";
+  }
+  return out;
+}
+
+}  // namespace rdfsum::query

@@ -1,0 +1,132 @@
+#ifndef RDFSUM_QUERY_PLAN_H_
+#define RDFSUM_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "query/bgp.h"
+#include "rdf/dictionary.h"
+#include "store/triple_table.h"
+#include "util/statusor.h"
+
+namespace rdfsum::summary {
+class CardinalityEstimator;
+}  // namespace rdfsum::summary
+
+namespace rdfsum::query {
+
+/// How the pattern order of a QueryPlan is chosen.
+enum class PlannerMode {
+  /// Textual pattern order, no statistics. The frozen baseline the
+  /// differential tests compare every other mode against.
+  kNaive,
+  /// Greedy cost-based order from the store's TableStats: at each step the
+  /// remaining pattern with the fewest estimated matches (exact index-range
+  /// counts for constants, distinct-count fan-out ratios for bound
+  /// variables) runs next.
+  kGreedy,
+  /// Greedy order refined by a summary::CardinalityEstimator: candidate
+  /// prefixes are ranked by their Stefanoni-style estimated result size.
+  /// Falls back to kGreedy when no estimator is supplied.
+  kSummary,
+};
+
+const char* PlannerModeName(PlannerMode mode);  // "naive", "greedy", "summary"
+bool ParsePlannerMode(std::string_view name, PlannerMode* mode);
+
+inline constexpr PlannerMode kAllPlannerModes[] = {
+    PlannerMode::kNaive, PlannerMode::kGreedy, PlannerMode::kSummary};
+
+/// Compiled pattern position: variable index (dense) or constant TermId.
+struct CompiledSlot {
+  bool is_var = false;
+  uint32_t var = 0;
+  TermId constant = kInvalidTermId;
+  /// True when the constant does not occur in the dictionary; the pattern
+  /// can never match.
+  bool impossible = false;
+};
+
+struct CompiledPattern {
+  CompiledSlot s, p, o;
+};
+
+/// A BGP body compiled against one dictionary: variables numbered densely in
+/// first-occurrence order, constants resolved to TermIds.
+struct CompiledBgp {
+  std::vector<CompiledPattern> patterns;
+  std::unordered_map<std::string, uint32_t> var_index;
+  std::vector<std::string> var_names;
+  bool impossible = false;
+};
+
+CompiledBgp CompileBgp(const BgpQuery& q, const Dictionary& dict);
+
+/// Resolves the query head against the compiled body: the dense variable id
+/// of every distinguished variable, in head order. InvalidArgument when a
+/// head variable does not occur in the body — the single validation shared
+/// by every Evaluate/Explain surface, pruned or not.
+StatusOr<std::vector<uint32_t>> ResolveDistinguished(const BgpQuery& q,
+                                                     const CompiledBgp& c);
+
+/// One executed pattern of a plan, in execution order.
+struct PlanStep {
+  /// Index into CompiledBgp::patterns / BgpQuery::triples.
+  uint32_t pattern = 0;
+  /// The store index this step's probes are served from, derived from the
+  /// positions bound when the step runs (constants + earlier steps' vars).
+  store::IndexKind index = store::IndexKind::kSpo;
+  std::string pattern_text;
+  /// Estimated matches per probe when this step runs.
+  double estimated_matches = 0.0;
+  /// Estimated cumulative embeddings after this step.
+  double estimated_rows = 0.0;
+};
+
+/// An ordered, binding-annotated execution plan for one BGP query, built
+/// once per query (compile -> estimate -> order; see src/query/README.md for
+/// the lifecycle). The executor follows steps[] verbatim — there is no
+/// per-depth re-selection at run time.
+struct QueryPlan {
+  PlannerMode mode = PlannerMode::kGreedy;
+  CompiledBgp compiled;
+  std::vector<PlanStep> steps;
+  /// Sum of the per-step estimated cumulative rows — a proxy for total
+  /// probe work, comparable across plans for the same query.
+  double estimated_cost = 0.0;
+
+  /// Renders the plan as an aligned table (step, pattern, index, est).
+  std::string ToString() const;
+};
+
+/// Builds the plan: compiles `q` against `dict`, then orders the patterns
+/// per `mode` using the frozen table's statistics. `estimator` (optional)
+/// enables the kSummary refinement; it must estimate over the same graph
+/// `table` indexes.
+QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
+                         const store::TripleTable& table, PlannerMode mode,
+                         const summary::CardinalityEstimator* estimator =
+                             nullptr);
+
+/// A plan plus the per-step actual cardinalities observed while executing
+/// it — the `query --explain` payload.
+struct Explanation {
+  QueryPlan plan;
+  /// Actual cumulative bindings produced at each step (parallel to
+  /// plan.steps).
+  std::vector<uint64_t> actual_rows;
+  uint64_t num_embeddings = 0;   // total embeddings of the body
+  uint64_t num_result_rows = 0;  // distinct projected rows
+  /// True when a SummaryPrunedEvaluator proved emptiness on the summary and
+  /// the plan was never executed against the graph (all actuals are 0).
+  bool pruned_by_summary = false;
+  /// Renders the per-step table: step, pattern, index, est rows, actual.
+  std::string ToString() const;
+};
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_PLAN_H_

@@ -9,14 +9,28 @@ namespace rdfsum::query {
 SummaryPrunedEvaluator::SummaryPrunedEvaluator(const Graph& g,
                                                const Options& options) {
   summary::SummaryResult h = summary::Summarize(g, options.kind);
+  const bool wants_estimator = options.planner == PlannerMode::kSummary;
   if (options.saturate) {
     graph_ = reasoner::Saturate(g);
     summary_ = reasoner::Saturate(h.graph);
+    if (wants_estimator) {
+      // The estimator must model the graph actually queried: `h` describes
+      // the unsaturated input, so summarize the saturation itself.
+      summary::SummaryResult model =
+          summary::Summarize(graph_, options.kind);
+      estimator_.emplace(graph_, model);
+    }
   } else {
     graph_ = g.Clone();
+    // `h` is a summary of exactly graph_; reuse it before its graph is
+    // moved into the pruning slot.
+    if (wants_estimator) estimator_.emplace(graph_, h);
     summary_ = std::move(h.graph);
   }
-  on_graph_.emplace(graph_);
+  EvaluatorOptions graph_options;
+  graph_options.planner = options.planner;
+  graph_options.estimator = estimator();
+  on_graph_.emplace(graph_, graph_options);
   on_summary_.emplace(summary_);
 }
 
@@ -45,6 +59,24 @@ StatusOr<std::vector<Row>> SummaryPrunedEvaluator::Evaluate(const BgpQuery& q,
   }
   ++stats_.graph_probes;
   return on_graph_->Evaluate(q, limit);
+}
+
+StatusOr<Explanation> SummaryPrunedEvaluator::Explain(const BgpQuery& q) {
+  ++stats_.exists_checks;
+  if (!SummaryAdmits(q)) {
+    ++stats_.pruned_by_summary;
+    Explanation out;
+    out.plan = on_graph_->Plan(q);
+    // Keep the contract data-independent: a malformed head is an error
+    // whether or not the summary happened to prune this query.
+    auto head = ResolveDistinguished(q, out.plan.compiled);
+    if (!head.ok()) return head.status();
+    out.actual_rows.assign(out.plan.steps.size(), 0);
+    out.pruned_by_summary = true;
+    return out;
+  }
+  ++stats_.graph_probes;
+  return on_graph_->Explain(q);
 }
 
 }  // namespace rdfsum::query

@@ -6,6 +6,7 @@
 
 #include "query/evaluator.h"
 #include "rdf/graph.h"
+#include "summary/cardinality.h"
 #include "summary/summary.h"
 
 namespace rdfsum::query {
@@ -19,6 +20,10 @@ namespace rdfsum::query {
 /// Queries outside the RBGP dialect (constants in subject/object positions)
 /// are not covered by Proposition 1; for those the summary check is skipped
 /// and evaluation goes straight to the graph.
+///
+/// Queries that survive the emptiness check run on a cost-based QueryPlan;
+/// with Options::planner == PlannerMode::kSummary the summary additionally
+/// drives the join order through a CardinalityEstimator.
 class SummaryPrunedEvaluator {
  public:
   struct Options {
@@ -26,6 +31,10 @@ class SummaryPrunedEvaluator {
     /// Evaluate against the saturations (complete answers, §2.1). When
     /// false, both sides use the explicit triples only.
     bool saturate = true;
+    /// Join-order planning for the graph-side evaluator. kSummary builds a
+    /// CardinalityEstimator over the queried graph (one extra
+    /// summarization at construction time).
+    PlannerMode planner = PlannerMode::kGreedy;
   };
 
   /// Pruning-effectiveness counters.
@@ -50,15 +59,25 @@ class SummaryPrunedEvaluator {
   StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
                                       size_t limit = SIZE_MAX);
 
+  /// The chosen plan with actual per-step cardinalities; when the summary
+  /// proves emptiness, the plan is returned unexecuted with
+  /// pruned_by_summary set.
+  StatusOr<Explanation> Explain(const BgpQuery& q);
+
   const Stats& stats() const { return stats_; }
   /// The summary used for pruning (an RDF graph).
   const Graph& summary_graph() const { return summary_; }
+  /// The estimator driving kSummary plans; nullptr for other planners.
+  const summary::CardinalityEstimator* estimator() const {
+    return estimator_ ? &*estimator_ : nullptr;
+  }
 
  private:
   bool SummaryAdmits(const BgpQuery& q);
 
   Graph graph_;    // G (or G∞)
   Graph summary_;  // H (or H∞)
+  std::optional<summary::CardinalityEstimator> estimator_;
   std::optional<BgpEvaluator> on_graph_;
   std::optional<BgpEvaluator> on_summary_;
   Stats stats_;

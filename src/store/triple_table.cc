@@ -5,6 +5,27 @@
 
 namespace rdfsum::store {
 
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSpo:
+      return "SPO";
+    case IndexKind::kPos:
+      return "POS";
+    case IndexKind::kOsp:
+      return "OSP";
+  }
+  return "?";
+}
+
+IndexKind TripleTable::ChooseIndex(bool s_bound, bool p_bound, bool o_bound) {
+  if (s_bound && p_bound && o_bound) return IndexKind::kSpo;  // exact row
+  if (s_bound && o_bound) return IndexKind::kOsp;             // (o, s) prefix
+  if (s_bound) return IndexKind::kSpo;                        // (s[, p]) prefix
+  if (p_bound) return IndexKind::kPos;                        // (p[, o]) prefix
+  if (o_bound) return IndexKind::kOsp;                        // (o) prefix
+  return IndexKind::kSpo;                                     // full scan
+}
+
 void TripleTable::Append(const Triple& t) {
   spo_.push_back(t);
   frozen_ = false;
@@ -22,34 +43,23 @@ void TripleTable::Freeze() {
   std::sort(pos_.begin(), pos_.end(), PosLess());
   osp_ = spo_;
   std::sort(osp_.begin(), osp_.end(), OspLess());
+  stats_ = TableStats::Compute(spo_, pos_, osp_);
   frozen_ = true;
 }
 
 std::vector<Triple> TripleTable::Scan(const TriplePattern& pattern) const {
-  std::vector<Triple> out;
-  Scan(pattern, [&](const Triple& t) {
-    out.push_back(t);
-    return true;
-  });
-  return out;
+  auto [begin, end] = EqualRange(pattern);
+  return std::vector<Triple>(begin, end);
 }
 
 bool TripleTable::Matches(const TriplePattern& pattern) const {
-  bool found = false;
-  Scan(pattern, [&](const Triple&) {
-    found = true;
-    return false;
-  });
-  return found;
+  auto [begin, end] = EqualRange(pattern);
+  return begin != end;
 }
 
 size_t TripleTable::Count(const TriplePattern& pattern) const {
-  size_t n = 0;
-  Scan(pattern, [&](const Triple&) {
-    ++n;
-    return true;
-  });
-  return n;
+  auto [begin, end] = EqualRange(pattern);
+  return static_cast<size_t>(end - begin);
 }
 
 bool TripleTable::Contains(const Triple& t) const {

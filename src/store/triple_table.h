@@ -5,9 +5,11 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "rdf/triple.h"
+#include "store/table_stats.h"
 
 namespace rdfsum::store {
 
@@ -17,6 +19,14 @@ struct TriplePattern {
   std::optional<TermId> p;
   std::optional<TermId> o;
 };
+
+/// The three sorted permutations a frozen table maintains. Every subset of
+/// bound positions is a *prefix* of one of them — (s), (s,p) and (s,p,o) of
+/// SPO; (p) and (p,o) of POS; (o) and (o,s) of OSP — so every pattern is
+/// served from one contiguous index range, never a filtered scan.
+enum class IndexKind : uint8_t { kSpo, kPos, kOsp };
+
+const char* IndexKindName(IndexKind kind);  // "SPO", "POS", "OSP"
 
 /// Columnar table of encoded triples with three sorted permutation indexes
 /// (SPO, POS, OSP), playing the role of the paper's PostgreSQL `triples`
@@ -29,7 +39,8 @@ class TripleTable {
   void Append(const Triple& t);
   void AppendAll(const std::vector<Triple>& triples);
 
-  /// Sorts the three permutations and removes duplicate rows.
+  /// Sorts the three permutations, removes duplicate rows, and computes the
+  /// table statistics (see stats()).
   void Freeze();
   bool frozen() const { return frozen_; }
 
@@ -39,10 +50,18 @@ class TripleTable {
   /// Rows in SPO order (frozen) or insertion order (unfrozen).
   const std::vector<Triple>& rows() const { return spo_; }
 
+  /// The index that serves a pattern with the given bound positions.
+  static IndexKind ChooseIndex(bool s_bound, bool p_bound, bool o_bound);
+  static IndexKind ChooseIndex(const TriplePattern& pattern) {
+    return ChooseIndex(pattern.s.has_value(), pattern.p.has_value(),
+                       pattern.o.has_value());
+  }
+
   /// Visits every triple matching `pattern` without materializing results:
   /// invokes `fn(const Triple&)` per match; `fn` returns false to stop the
   /// scan early. Requires frozen(). This is the allocation-free primitive
-  /// the query evaluators build on.
+  /// the query evaluators build on. Matches are emitted straight from the
+  /// contiguous range of the chosen index — no residual filtering.
   template <typename Fn>
   void Scan(const TriplePattern& pattern, Fn&& fn) const;
 
@@ -50,15 +69,25 @@ class TripleTable {
   /// visitor overload on hot paths; this one allocates a vector per call.
   std::vector<Triple> Scan(const TriplePattern& pattern) const;
 
-  /// Returns whether at least one triple matches `pattern`. Requires
-  /// frozen().
+  /// Returns whether at least one triple matches `pattern`. O(log n):
+  /// non-emptiness of the index range, no scan. Requires frozen().
   bool Matches(const TriplePattern& pattern) const;
 
-  /// Number of triples matching `pattern`. Requires frozen().
+  /// Number of triples matching `pattern`. O(log n): index-range length
+  /// arithmetic (lower_bound/upper_bound on the chosen permutation), exact
+  /// for every bound-position combination. Requires frozen(). This is the
+  /// primitive the planner's cost model and TableStats build on.
   size_t Count(const TriplePattern& pattern) const;
 
   /// Exact membership test. Requires frozen().
   bool Contains(const Triple& t) const;
+
+  /// Table-wide statistics (per-predicate counts and distinct
+  /// subject/object counts), computed at Freeze() time. Requires frozen().
+  const TableStats& stats() const {
+    assert(frozen_ && "stats require a frozen table");
+    return stats_;
+  }
 
  private:
   struct PosLess {
@@ -76,58 +105,51 @@ class TripleTable {
     }
   };
 
+  /// The contiguous range of `pattern`'s matches in the index ChooseIndex
+  /// picks. Requires frozen().
+  std::pair<const Triple*, const Triple*> EqualRange(
+      const TriplePattern& pattern) const;
+
   std::vector<Triple> spo_;  // primary storage, SPO-sorted when frozen
   std::vector<Triple> pos_;  // sorted by (p, o, s)
   std::vector<Triple> osp_;  // sorted by (o, s, p)
+  TableStats stats_;         // valid iff frozen_
   bool frozen_ = false;
 };
 
+inline std::pair<const Triple*, const Triple*> TripleTable::EqualRange(
+    const TriplePattern& q) const {
+  assert(frozen_ && "pattern lookups require a frozen table");
+  constexpr TermId kMax = ~TermId{0};
+  // Bound positions pin lo == hi == value; wildcards span [0, kMax]. The
+  // chosen index has the bound positions as a key prefix, so
+  // lower/upper_bound under its comparator yield the exact match range.
+  const Triple lo{q.s.value_or(0), q.p.value_or(0), q.o.value_or(0)};
+  const Triple hi{q.s.value_or(kMax), q.p.value_or(kMax), q.o.value_or(kMax)};
+  auto range = [&](const std::vector<Triple>& index, auto less) {
+    auto begin = std::lower_bound(index.begin(), index.end(), lo, less);
+    auto end = std::upper_bound(begin, index.end(), hi, less);
+    const Triple* base = index.data();
+    return std::make_pair(base + (begin - index.begin()),
+                          base + (end - index.begin()));
+  };
+  switch (ChooseIndex(q)) {
+    case IndexKind::kPos:
+      return range(pos_, PosLess());
+    case IndexKind::kOsp:
+      return range(osp_, OspLess());
+    case IndexKind::kSpo:
+      break;
+  }
+  return range(spo_, std::less<Triple>());
+}
+
 template <typename Fn>
 void TripleTable::Scan(const TriplePattern& q, Fn&& fn) const {
-  assert(frozen_ && "Scan requires a frozen table");
-  auto emit_range = [&](auto begin, auto end) {
-    for (auto it = begin; it != end; ++it) {
-      if (q.s && it->s != *q.s) continue;
-      if (q.p && it->p != *q.p) continue;
-      if (q.o && it->o != *q.o) continue;
-      if (!fn(*it)) return;
-    }
-  };
-
-  if (q.s) {
-    // SPO index: contiguous range for a fixed subject (and property).
-    Triple lo, hi;
-    if (!q.p) {
-      lo = Triple{*q.s, 0, 0};
-      hi = Triple{*q.s, ~TermId{0}, ~TermId{0}};
-    } else if (!q.o) {
-      lo = Triple{*q.s, *q.p, 0};
-      hi = Triple{*q.s, *q.p, ~TermId{0}};
-    } else {
-      lo = hi = Triple{*q.s, *q.p, *q.o};
-    }
-    auto begin = std::lower_bound(spo_.begin(), spo_.end(), lo);
-    auto end = std::upper_bound(spo_.begin(), spo_.end(), hi);
-    emit_range(begin, end);
-    return;
+  auto [begin, end] = EqualRange(q);
+  for (const Triple* it = begin; it != end; ++it) {
+    if (!fn(*it)) return;
   }
-  if (q.p) {
-    Triple lo{0, *q.p, q.o.value_or(0)};
-    Triple hi{~TermId{0}, *q.p, q.o ? *q.o : ~TermId{0}};
-    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
-    auto end = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
-    emit_range(begin, end);
-    return;
-  }
-  if (q.o) {
-    Triple lo{0, 0, *q.o};
-    Triple hi{~TermId{0}, ~TermId{0}, *q.o};
-    auto begin = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
-    auto end = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
-    emit_range(begin, end);
-    return;
-  }
-  emit_range(spo_.begin(), spo_.end());
 }
 
 }  // namespace rdfsum::store

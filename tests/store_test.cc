@@ -114,6 +114,87 @@ TEST(TripleTableTest, EmptyTable) {
   EXPECT_FALSE(t.Matches({}));
 }
 
+TEST(TripleTableTest, ChooseIndexCoversEveryBoundSet) {
+  using store::IndexKind;
+  // Every subset of bound positions must be a key prefix of the chosen
+  // permutation — that is the invariant making Count/Matches O(log n).
+  EXPECT_EQ(TripleTable::ChooseIndex(false, false, false), IndexKind::kSpo);
+  EXPECT_EQ(TripleTable::ChooseIndex(true, false, false), IndexKind::kSpo);
+  EXPECT_EQ(TripleTable::ChooseIndex(true, true, false), IndexKind::kSpo);
+  EXPECT_EQ(TripleTable::ChooseIndex(true, true, true), IndexKind::kSpo);
+  EXPECT_EQ(TripleTable::ChooseIndex(false, true, false), IndexKind::kPos);
+  EXPECT_EQ(TripleTable::ChooseIndex(false, true, true), IndexKind::kPos);
+  EXPECT_EQ(TripleTable::ChooseIndex(false, false, true), IndexKind::kOsp);
+  EXPECT_EQ(TripleTable::ChooseIndex(true, false, true), IndexKind::kOsp);
+}
+
+TEST(TripleTableTest, CountAgreesWithScanOnEveryBoundSet) {
+  gen::BsbmOptions opt;
+  opt.num_products = 30;
+  Graph g = gen::GenerateBsbm(opt);
+  TripleTable t;
+  g.ForEachTriple([&](const Triple& tr) { t.Append(tr); });
+  t.Freeze();
+  // Exhaustively cross-check the O(log n) range count against a counted
+  // scan for all 8 bound-position combinations over sampled triples.
+  size_t sampled = 0;
+  for (const Triple& probe : t.rows()) {
+    if (sampled++ % 97 != 0) continue;
+    for (int mask = 0; mask < 8; ++mask) {
+      TriplePattern q;
+      if (mask & 1) q.s = probe.s;
+      if (mask & 2) q.p = probe.p;
+      if (mask & 4) q.o = probe.o;
+      size_t scanned = 0;
+      t.Scan(q, [&](const Triple& m) {
+        EXPECT_TRUE((!q.s || m.s == *q.s) && (!q.p || m.p == *q.p) &&
+                    (!q.o || m.o == *q.o));
+        ++scanned;
+        return true;
+      });
+      EXPECT_EQ(t.Count(q), scanned) << "mask=" << mask;
+      EXPECT_EQ(t.Matches(q), scanned > 0) << "mask=" << mask;
+      EXPECT_GE(scanned, 1u) << "probe triple must match its own pattern";
+    }
+  }
+  ASSERT_GT(sampled, 0u);
+}
+
+TEST(TableStatsTest, AggregatesMatchManualCounts) {
+  TripleTable t = MakeTable();
+  // MakeTable rows: (1,10,2) (1,10,3) (1,11,2) (2,10,3) (3,12,1).
+  const store::TableStats& st = t.stats();
+  EXPECT_EQ(st.num_triples(), 5u);
+  EXPECT_EQ(st.num_distinct_subjects(), 3u);   // 1, 2, 3
+  EXPECT_EQ(st.num_distinct_predicates(), 3u); // 10, 11, 12
+  EXPECT_EQ(st.num_distinct_objects(), 3u);    // 1, 2, 3
+
+  const store::PredicateStats* p10 = st.predicate(10);
+  ASSERT_NE(p10, nullptr);
+  EXPECT_EQ(p10->count, 3u);
+  EXPECT_EQ(p10->distinct_subjects, 2u);  // 1, 2
+  EXPECT_EQ(p10->distinct_objects, 2u);   // 2, 3
+  EXPECT_DOUBLE_EQ(t.stats().AvgTriplesPerSubject(10), 1.5);
+
+  const store::PredicateStats* p12 = st.predicate(12);
+  ASSERT_NE(p12, nullptr);
+  EXPECT_EQ(p12->count, 1u);
+  EXPECT_EQ(p12->distinct_subjects, 1u);
+  EXPECT_EQ(p12->distinct_objects, 1u);
+
+  EXPECT_EQ(st.predicate(99), nullptr);
+  EXPECT_DOUBLE_EQ(st.AvgTriplesPerSubject(99), 0.0);
+}
+
+TEST(TableStatsTest, RecomputedOnRefreeze) {
+  TripleTable t = MakeTable();
+  t.Append({7, 77, 7});
+  t.Freeze();
+  EXPECT_EQ(t.stats().num_triples(), 6u);
+  ASSERT_NE(t.stats().predicate(77), nullptr);
+  EXPECT_EQ(t.stats().predicate(77)->count, 1u);
+}
+
 // ---------------------------------------------------------------- database
 
 TEST(DatabaseTest, FromGraphKeepsTriples) {

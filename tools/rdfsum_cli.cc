@@ -7,12 +7,14 @@
 //   rdfsum saturate  <file> [--out out.nt]        materialize G∞
 //   rdfsum convert   <in> <out.nt>                Turtle/N-Triples -> N-Triples
 //   rdfsum query     <file> <sparql...> [--no-prune] [--explicit-only]
+//                    [--plan naive|greedy|summary] [--explain] [--limit N]
 //
 // Input format is chosen by extension: .ttl/.turtle uses the Turtle parser,
 // anything else the N-Triples parser.
 
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,7 +51,10 @@ int Usage() {
       "                                  0 = all cores)\n"
       "  rdfsum saturate  <file> [--out out.nt]\n"
       "  rdfsum convert   <in.(nt|ttl)> <out.nt>\n"
-      "  rdfsum query     <file> <sparql string> [--no-prune] [--explicit-only]\n";
+      "  rdfsum query     <file> <sparql string> [--no-prune] [--explicit-only]\n"
+      "                   [--plan naive|greedy|summary] [--explain] [--limit N]\n"
+      "                   (--explain prints the chosen join order per step:\n"
+      "                    pattern, index, estimated vs. actual cardinality)\n";
   return 2;
 }
 
@@ -244,11 +249,33 @@ int CmdQuery(const std::vector<std::string>& args) {
   if (args.size() < 2) return Usage();
   bool prune = true;
   bool saturate = true;
+  bool explain = false;
+  bool limit_set = false;
+  uint32_t limit = 1000;
+  query::PlannerMode planner = query::PlannerMode::kGreedy;
   std::string sparql;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--no-prune") prune = false;
     else if (args[i] == "--explicit-only") saturate = false;
-    else sparql += (sparql.empty() ? "" : " ") + args[i];
+    else if (args[i] == "--explain") explain = true;
+    else if (args[i] == "--plan" && i + 1 < args.size()) {
+      if (!query::ParsePlannerMode(args[++i], &planner)) {
+        return Fail("bad --plan " + args[i] + " (naive|greedy|summary)");
+      }
+    } else if (args[i] == "--limit" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &limit)) {
+        return Fail("bad --limit " + args[i]);
+      }
+      limit_set = true;
+    } else if (StartsWith(args[i], "--")) {
+      return Fail("unknown option " + args[i]);
+    } else {
+      sparql += (sparql.empty() ? "" : " ") + args[i];
+    }
+  }
+  if (explain && limit_set) {
+    std::cerr << "warning: --explain enumerates every embedding to report "
+                 "actual cardinalities; --limit is ignored\n";
   }
   Graph g;
   std::string error;
@@ -256,16 +283,51 @@ int CmdQuery(const std::vector<std::string>& args) {
   auto q = query::ParseSparql(sparql);
   if (!q.ok()) return Fail("query: " + q.status().ToString());
 
-  query::SummaryPrunedEvaluator::Options options;
-  options.saturate = saturate;
-  query::SummaryPrunedEvaluator evaluator(g, options);
+  // --no-prune skips the pruning evaluator entirely (its summary and
+  // second saturation would be wasted work); only the estimator is built
+  // when the summary planner asks for one.
+  std::optional<query::SummaryPrunedEvaluator> pruned;
+  std::optional<Graph> direct_target;
+  std::optional<summary::SummaryResult> model;
+  std::optional<summary::CardinalityEstimator> estimator;
+  std::optional<query::BgpEvaluator> direct;
+  if (prune) {
+    query::SummaryPrunedEvaluator::Options options;
+    options.saturate = saturate;
+    options.planner = planner;
+    pruned.emplace(g, options);
+  } else {
+    direct_target.emplace(saturate ? reasoner::Saturate(g) : g.Clone());
+    query::EvaluatorOptions direct_options;
+    direct_options.planner = planner;
+    if (planner == query::PlannerMode::kSummary) {
+      model.emplace(
+          summary::Summarize(*direct_target, summary::SummaryKind::kWeak));
+      estimator.emplace(*direct_target, *model);
+      direct_options.estimator = &*estimator;
+    }
+    direct.emplace(*direct_target, direct_options);
+  }
+
+  if (explain) {
+    Timer timer;
+    StatusOr<query::Explanation> ex =
+        prune ? pruned->Explain(*q) : direct->Explain(*q);
+    if (!ex.ok()) return Fail(ex.status().ToString());
+    std::cout << ex->ToString();
+    std::cout << "-- explained in " << timer.ElapsedMillis() << " ms\n";
+    if (prune) {
+      const auto& stats = pruned->stats();
+      std::cout << "pruning stats: " << stats.exists_checks << " check(s), "
+                << stats.pruned_by_summary << " pruned, "
+                << stats.graph_probes << " graph probe(s)\n";
+    }
+    return 0;
+  }
+
   Timer timer;
-  StatusOr<std::vector<query::Row>> rows = [&] {
-    if (prune) return evaluator.Evaluate(*q, 1000);
-    Graph target = saturate ? reasoner::Saturate(g) : g.Clone();
-    query::BgpEvaluator direct(target);
-    return direct.Evaluate(*q, 1000);
-  }();
+  StatusOr<std::vector<query::Row>> rows =
+      prune ? pruned->Evaluate(*q, limit) : direct->Evaluate(*q, limit);
   if (!rows.ok()) return Fail(rows.status().ToString());
   for (const query::Row& row : *rows) {
     for (size_t i = 0; i < row.size(); ++i) {
@@ -275,8 +337,8 @@ int CmdQuery(const std::vector<std::string>& args) {
     std::cout << "\n";
   }
   std::cout << "-- " << rows->size() << " row(s) in " << timer.ElapsedMillis()
-            << " ms";
-  if (prune && evaluator.stats().pruned_by_summary > 0) {
+            << " ms (plan=" << query::PlannerModeName(planner) << ")";
+  if (prune && pruned->stats().pruned_by_summary > 0) {
     std::cout << " (pruned by summary without touching the graph)";
   }
   std::cout << "\n";
