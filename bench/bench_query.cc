@@ -8,6 +8,13 @@
 //
 // Query texts are written with the *worst* pattern first, so the naive
 // baseline pays the textual order and the planners have something to win.
+//
+// PR 4 adds two streaming sections at the largest BSBM scale of the sweep:
+// limit pushdown (full materializing Evaluate vs. a cursor drained to 10
+// rows — the stream_* records) and the hash-join pick on planner-flagged
+// fat intermediates (kNever vs. kFromPlan cursors over unanchored joins —
+// the hashjoin_* records). Both re-check result identity against the
+// legacy path and fail the run on divergence, like the planner sweep.
 
 #include <benchmark/benchmark.h>
 
@@ -199,6 +206,156 @@ void RunWorkload(bench::BenchJson* json, const std::string& workload,
   }
 }
 
+std::multiset<std::string> DrainCursorCanonical(const BgpEvaluator& eval,
+                                                const BgpQuery& q,
+                                                query::CursorOptions options,
+                                                uint64_t* out_rows) {
+  auto cursor = eval.Open(q, options);
+  std::multiset<std::string> rows;
+  if (!cursor.ok()) {
+    std::cerr << "bench open failed: " << cursor.status().ToString() << "\n";
+    std::abort();
+  }
+  query::IdRow row;
+  uint64_t n = 0;
+  while ((*cursor)->Next(&row)) {
+    query::Row decoded = eval.Decode(row);
+    std::string line;
+    for (const Term& t : decoded) {
+      line += t.ToNTriples();
+      line += '\t';
+    }
+    rows.insert(std::move(line));
+    ++n;
+  }
+  if (out_rows != nullptr) *out_rows = n;
+  return rows;
+}
+
+/// Wall time of opening a cursor and draining it (decoding every produced
+/// row, like the CLI does).
+double TimeCursorDrain(const BgpEvaluator& eval, const BgpQuery& q,
+                       query::CursorOptions options) {
+  return BestOfTwo([&] {
+    auto cursor = eval.Open(q, options);
+    query::IdRow row;
+    while ((*cursor)->Next(&row)) {
+      query::Row decoded = eval.Decode(row);
+      benchmark::DoNotOptimize(decoded);
+    }
+  });
+}
+
+/// Limit pushdown: the full materializing Evaluate vs. a cursor drained to
+/// its first 10 distinct rows, per shape, on the greedy plan. The cursor
+/// stops scanning once the quota fills, so small limits should beat the
+/// materializing path by orders of magnitude on fat results.
+void RunStreamingBench(bench::BenchJson* json, const Graph& g,
+                       bool* all_equal) {
+  BgpEvaluator eval(g);
+  TablePrinter table({"shape", "rows", "materialize full (ms)",
+                      "cursor full (ms)", "cursor limit 10 (ms)",
+                      "speedup@10", "equal"});
+  std::vector<ShapeQuery> queries = BsbmQueries();
+  // The snowflake without its producer anchor: tens of thousands of result
+  // rows, the workload where pagination without pushdown hurts most.
+  queries.push_back(
+      {"snowflake_free",
+       "PREFIX b: <http://bsbm.example.org/>\n"
+       "SELECT ?r ?price WHERE { ?r b:reviewFor ?p . ?r b:reviewer ?x . "
+       "?x b:country ?c . ?o b:offerProduct ?p . ?o b:price ?price }"});
+  for (const ShapeQuery& sq : queries) {
+    BgpQuery q = MustParse(sq.sparql);
+    std::vector<query::Row> materialized;
+    double full_materialize = BestOfTwo([&] {
+      auto r = eval.Evaluate(q, SIZE_MAX);
+      materialized = std::move(r).value();
+    });
+    uint64_t cursor_rows = 0;
+    std::multiset<std::string> streamed =
+        DrainCursorCanonical(eval, q, {}, &cursor_rows);
+    bool equal = streamed == CanonicalRows(materialized);
+    double full_cursor = TimeCursorDrain(eval, q, {});
+    query::CursorOptions limit10;
+    limit10.limit = 10;
+    double at10 = TimeCursorDrain(eval, q, limit10);
+    json->Record("stream_" + sq.shape + "_materialize_full", g.NumTriples(),
+                 full_materialize);
+    json->Record("stream_" + sq.shape + "_cursor_full", g.NumTriples(),
+                 full_cursor);
+    json->Record("stream_" + sq.shape + "_cursor_limit10", g.NumTriples(),
+                 at10);
+    table.AddRow({sq.shape, Num(cursor_rows),
+                  FormatDouble(full_materialize * 1e3, 3),
+                  FormatDouble(full_cursor * 1e3, 3),
+                  FormatDouble(at10 * 1e3, 3),
+                  FormatDouble(full_materialize / std::max(1e-9, at10), 1) +
+                      "x",
+                  equal ? "yes" : "NO (bug!)"});
+    *all_equal = *all_equal && equal;
+  }
+  table.Print(std::cout,
+              "Streaming cursors: limit pushdown stops the scan after the "
+              "first 10 distinct rows (greedy plans, largest BSBM scale)");
+}
+
+/// Hash joins on planner-flagged fat intermediates: unanchored joins whose
+/// probe side is every offer/review. kFromPlan (the flagged hash picks)
+/// vs. kNever (index nested loops all the way down).
+void RunHashJoinBench(bench::BenchJson* json, const Graph& g,
+                      bool* all_equal) {
+  const std::string p = "PREFIX b: <http://bsbm.example.org/>\n";
+  const std::vector<ShapeQuery> queries = {
+      // Every offer probes its price: the probe side is all offerProduct
+      // triples, the build side all price triples.
+      {"fatchain",
+       p + "SELECT ?o ?price WHERE { ?o b:offerProduct ?p . "
+           "?o b:price ?price }"},
+      // Review x offer join on the shared product, then the price lookup —
+      // two flagged steps, the first keyed on the join variable ?p.
+      {"fatstar",
+       p + "SELECT ?r ?price WHERE { ?r b:reviewFor ?p . "
+           "?o b:offerProduct ?p . ?o b:price ?price }"},
+  };
+  BgpEvaluator eval(g);
+  TablePrinter table({"query", "flagged steps", "rows", "nlj (ms)",
+                      "hash (ms)", "speedup", "equal"});
+  for (const ShapeQuery& sq : queries) {
+    BgpQuery q = MustParse(sq.sparql);
+    query::QueryPlan plan = eval.Plan(q);
+    int flagged = 0;
+    for (const query::PlanStep& step : plan.steps) {
+      if (step.use_hash_join) ++flagged;
+    }
+    query::CursorOptions nlj;
+    nlj.hash_join = query::HashJoinMode::kNever;
+    query::CursorOptions from_plan;  // the planner's flagged picks
+    uint64_t rows_nlj = 0, rows_hash = 0;
+    bool equal = DrainCursorCanonical(eval, q, nlj, &rows_nlj) ==
+                 DrainCursorCanonical(eval, q, from_plan, &rows_hash);
+    equal = equal && rows_nlj == rows_hash;
+    double nlj_secs = TimeCursorDrain(eval, q, nlj);
+    double hash_secs = TimeCursorDrain(eval, q, from_plan);
+    json->Record("hashjoin_" + sq.shape + "_nlj", g.NumTriples(), nlj_secs);
+    json->Record("hashjoin_" + sq.shape + "_hash", g.NumTriples(),
+                 hash_secs);
+    table.AddRow({sq.shape, std::to_string(flagged), Num(rows_nlj),
+                  FormatDouble(nlj_secs * 1e3, 2),
+                  FormatDouble(hash_secs * 1e3, 2),
+                  FormatDouble(nlj_secs / std::max(1e-9, hash_secs), 2) + "x",
+                  equal ? "yes" : "NO (bug!)"});
+    *all_equal = *all_equal && equal;
+    if (flagged == 0) {
+      std::cerr << "warning: planner flagged no hash-join step for "
+                << sq.shape << " at " << g.NumTriples()
+                << " triples (below the probe floor?)\n";
+    }
+  }
+  table.Print(std::cout,
+              "Hash joins on planner-flagged fat intermediates (kFromPlan "
+              "vs. nested loops, largest BSBM scale)");
+}
+
 /// Returns false when any planner mode diverged from the naive rows.
 bool PrintQueryBench() {
   bench::BenchJson json("bench_query");
@@ -220,6 +377,16 @@ bool PrintQueryBench() {
   table.Print(std::cout,
               "Cost-based BGP planning: naive vs. greedy vs. summary "
               "(q-error = est/actual of final cardinality)");
+
+  // Streaming sections at the largest BSBM scale the sweep reached.
+  uint64_t stream_scale = 0;
+  for (uint64_t scale : BenchScales()) {
+    if (scale <= 250'000) stream_scale = scale;
+  }
+  if (stream_scale > 0) {
+    RunStreamingBench(&json, CachedBsbm(stream_scale), &all_equal);
+    RunHashJoinBench(&json, CachedBsbm(stream_scale), &all_equal);
+  }
   const char* path = std::getenv("RDFSUM_BENCH_JSON");
   std::string out = path != nullptr ? path : "BENCH_query.json";
   if (json.WriteFile(out)) {

@@ -1,0 +1,418 @@
+#include "query/cursor.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rdfsum::query {
+namespace {
+
+constexpr TermId kUnbound = kInvalidTermId;
+
+/// Binds `pat`'s variable slots from triple `t` into *row. Returns false on
+/// a repeated-variable mismatch (?x p ?x with differing values); the row is
+/// left partially written, so callers must re-copy their base row per
+/// candidate triple. Positions the scan already pinned (constants, bound
+/// variables instantiated into the pattern) bind as no-op equality checks.
+bool BindTriple(const CompiledPattern& pat, const Triple& t, IdRow* row) {
+  auto bind = [&](const CompiledSlot& s, TermId value) {
+    if (!s.is_var) return true;
+    TermId& slot = (*row)[s.var];
+    if (slot == kUnbound) {
+      slot = value;
+      return true;
+    }
+    return slot == value;
+  };
+  return bind(pat.s, t.s) && bind(pat.p, t.p) && bind(pat.o, t.o);
+}
+
+/// The store pattern for `pat` under the bindings of `row`: constants plus
+/// bound variables pin positions, unbound variables stay wildcards.
+store::TriplePattern Instantiate(const CompiledPattern& pat,
+                                 const IdRow& row) {
+  store::TriplePattern q;
+  auto fill = [&](const CompiledSlot& s) -> std::optional<TermId> {
+    if (!s.is_var) return s.constant;
+    TermId b = row[s.var];
+    if (b != kUnbound) return b;
+    return std::nullopt;
+  };
+  q.s = fill(pat.s);
+  q.p = fill(pat.p);
+  q.o = fill(pat.o);
+  return q;
+}
+
+/// The pattern with only its constants bound — the hash-join build side.
+store::TriplePattern ConstOnly(const CompiledPattern& pat) {
+  store::TriplePattern q;
+  if (!pat.s.is_var) q.s = pat.s.constant;
+  if (!pat.p.is_var) q.p = pat.p.constant;
+  if (!pat.o.is_var) q.o = pat.o.constant;
+  return q;
+}
+
+class EmptyCursor final : public Cursor {
+ public:
+  explicit EmptyCursor(size_t width) : width_(width) {}
+  bool Next(IdRow*) override { return false; }
+  size_t width() const override { return width_; }
+  std::string Describe() const override { return "EmptyResult"; }
+
+ private:
+  size_t width_;
+};
+
+class SingletonCursor final : public Cursor {
+ public:
+  explicit SingletonCursor(size_t width) : width_(width) {}
+  bool Next(IdRow* row) override {
+    if (done_) return false;
+    done_ = true;
+    row->assign(width_, kUnbound);
+    ++rows_produced_;
+    return true;
+  }
+  size_t width() const override { return width_; }
+  std::string Describe() const override { return "SingletonRow"; }
+
+ private:
+  size_t width_;
+  bool done_ = false;
+};
+
+class IndexScanCursor final : public Cursor {
+ public:
+  IndexScanCursor(const store::TripleTable& table, const CompiledPattern& pat,
+                  size_t num_vars, std::string label)
+      : pat_(pat),
+        width_(num_vars),
+        label_(std::move(label)),
+        index_(store::TripleTable::ChooseIndex(ConstOnly(pat))),
+        scan_(table.OpenScan(ConstOnly(pat))) {}
+
+  bool Next(IdRow* row) override {
+    Triple t;
+    while (scan_.Next(&t)) {
+      row->assign(width_, kUnbound);
+      if (BindTriple(pat_, t, row)) {
+        ++rows_produced_;
+        return true;
+      }
+    }
+    return false;
+  }
+  size_t width() const override { return width_; }
+  std::string Describe() const override {
+    return "IndexScan[" + label_ + " @" + store::IndexKindName(index_) + "]";
+  }
+
+ private:
+  CompiledPattern pat_;
+  size_t width_;
+  std::string label_;
+  store::IndexKind index_;
+  store::ScanCursor scan_;
+};
+
+class IndexNestedLoopJoinCursor final : public Cursor {
+ public:
+  IndexNestedLoopJoinCursor(std::unique_ptr<Cursor> input,
+                            const store::TripleTable& table,
+                            const CompiledPattern& pat, std::string label)
+      : input_(std::move(input)),
+        table_(table),
+        pat_(pat),
+        label_(std::move(label)) {}
+
+  bool Next(IdRow* row) override {
+    for (;;) {
+      if (inner_open_) {
+        Triple t;
+        while (scan_.Next(&t)) {
+          *row = current_;
+          if (BindTriple(pat_, t, row)) {
+            ++rows_produced_;
+            return true;
+          }
+        }
+        inner_open_ = false;
+      }
+      if (!input_->Next(&current_)) return false;
+      scan_ = table_.OpenScan(Instantiate(pat_, current_));
+      inner_open_ = true;
+    }
+  }
+  size_t width() const override { return input_->width(); }
+  std::string Describe() const override {
+    return "IndexNestedLoopJoin[" + label_ + "]";
+  }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    out->push_back({depth, Describe(), rows_produced()});
+    input_->CollectOperators(out, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<Cursor> input_;
+  const store::TripleTable& table_;
+  CompiledPattern pat_;
+  std::string label_;
+  IdRow current_;
+  store::ScanCursor scan_;
+  bool inner_open_ = false;
+};
+
+class HashJoinCursor final : public Cursor {
+ public:
+  HashJoinCursor(std::unique_ptr<Cursor> input,
+                 const store::TripleTable& table, const CompiledPattern& pat,
+                 std::vector<uint32_t> key_vars, std::string label)
+      : input_(std::move(input)),
+        table_(table),
+        pat_(pat),
+        key_vars_(std::move(key_vars)),
+        label_(std::move(label)),
+        keys_(key_vars_.size()),
+        key_buf_(key_vars_.size()) {
+    assert(!key_vars_.empty() && "hash join needs at least one join variable");
+    // First position of each key variable in the pattern, for extracting
+    // key values from build-side triples.
+    key_slot_.reserve(key_vars_.size());
+    for (uint32_t v : key_vars_) {
+      int slot = -1;
+      const CompiledSlot* slots[3] = {&pat_.s, &pat_.p, &pat_.o};
+      for (int i = 0; i < 3; ++i) {
+        if (slots[i]->is_var && slots[i]->var == v) {
+          slot = i;
+          break;
+        }
+      }
+      assert(slot >= 0 && "key variable does not occur in the pattern");
+      key_slot_.push_back(slot);
+    }
+  }
+
+  bool Next(IdRow* row) override {
+    if (!built_) Build();
+    for (;;) {
+      while (chain_ != kEnd) {
+        const Triple& t = build_triples_[chain_];
+        chain_ = next_[chain_];
+        *row = current_;
+        if (BindTriple(pat_, t, row)) {
+          ++rows_produced_;
+          return true;
+        }
+      }
+      if (!input_->Next(&current_)) return false;
+      for (size_t i = 0; i < key_vars_.size(); ++i) {
+        key_buf_[i] = current_[key_vars_[i]];
+      }
+      uint32_t ord = keys_.Find(key_buf_.data());
+      chain_ = ord == util::RowSet::kNotFound ? kEnd : heads_[ord];
+    }
+  }
+  size_t width() const override { return input_->width(); }
+  std::string Describe() const override {
+    return "HashJoin[" + label_ + "]";
+  }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    out->push_back({depth, Describe(), rows_produced()});
+    input_->CollectOperators(out, depth + 1);
+  }
+
+ private:
+  static constexpr uint32_t kEnd = UINT32_MAX;
+
+  void Build() {
+    built_ = true;
+    table_.Scan(ConstOnly(pat_), [&](const Triple& t) {
+      const TermId values[3] = {t.s, t.p, t.o};
+      for (size_t i = 0; i < key_slot_.size(); ++i) {
+        key_buf_[i] = values[key_slot_[i]];
+      }
+      auto [ord, inserted] = keys_.InsertOrFind(key_buf_.data());
+      if (inserted) {
+        heads_.push_back(kEnd);
+        tails_.push_back(kEnd);
+      }
+      const uint32_t idx = static_cast<uint32_t>(build_triples_.size());
+      build_triples_.push_back(t);
+      next_.push_back(kEnd);
+      // Append to the chain tail so probes replay matches in build (index)
+      // order — the stream stays deterministic run to run.
+      if (heads_[ord] == kEnd) {
+        heads_[ord] = idx;
+      } else {
+        next_[tails_[ord]] = idx;
+      }
+      tails_[ord] = idx;
+      return true;
+    });
+  }
+
+  std::unique_ptr<Cursor> input_;
+  const store::TripleTable& table_;
+  CompiledPattern pat_;
+  std::vector<uint32_t> key_vars_;
+  std::string label_;
+  std::vector<int> key_slot_;  // position (0=s,1=p,2=o) per key var
+
+  bool built_ = false;
+  util::RowSet keys_;                  // distinct key directory -> ordinal
+  std::vector<uint32_t> heads_, tails_;  // per key ordinal: chain bounds
+  std::vector<Triple> build_triples_;
+  std::vector<uint32_t> next_;         // chain links, parallel to triples
+
+  IdRow current_;
+  IdRow key_buf_;
+  uint32_t chain_ = kEnd;
+};
+
+class ProjectCursor final : public Cursor {
+ public:
+  ProjectCursor(std::unique_ptr<Cursor> input, std::vector<uint32_t> head,
+                std::string label)
+      : input_(std::move(input)),
+        head_(std::move(head)),
+        label_(std::move(label)) {}
+
+  bool Next(IdRow* row) override {
+    if (!input_->Next(&full_)) return false;
+    row->resize(head_.size());
+    for (size_t i = 0; i < head_.size(); ++i) (*row)[i] = full_[head_[i]];
+    ++rows_produced_;
+    return true;
+  }
+  size_t width() const override { return head_.size(); }
+  std::string Describe() const override { return "Project[" + label_ + "]"; }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    out->push_back({depth, Describe(), rows_produced()});
+    input_->CollectOperators(out, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<Cursor> input_;
+  std::vector<uint32_t> head_;
+  std::string label_;
+  IdRow full_;
+};
+
+class DistinctCursor final : public Cursor {
+ public:
+  explicit DistinctCursor(std::unique_ptr<Cursor> input)
+      : input_(std::move(input)), seen_(input_->width()) {}
+
+  bool Next(IdRow* row) override {
+    while (input_->Next(row)) {
+      if (seen_.Insert(row->data())) {
+        ++rows_produced_;
+        return true;
+      }
+    }
+    return false;
+  }
+  size_t width() const override { return input_->width(); }
+  std::string Describe() const override { return "Distinct"; }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    out->push_back({depth, Describe(), rows_produced()});
+    input_->CollectOperators(out, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<Cursor> input_;
+  util::RowSet seen_;
+};
+
+class LimitOffsetCursor final : public Cursor {
+ public:
+  LimitOffsetCursor(std::unique_ptr<Cursor> input, size_t limit,
+                    size_t offset)
+      : input_(std::move(input)), limit_(limit), offset_(offset) {}
+
+  bool Next(IdRow* row) override {
+    if (emitted_ >= limit_) return false;  // stop pulling: early exit
+    while (skipped_ < offset_) {
+      if (!input_->Next(row)) return false;
+      ++skipped_;
+    }
+    if (!input_->Next(row)) return false;
+    ++emitted_;
+    ++rows_produced_;
+    return true;
+  }
+  size_t width() const override { return input_->width(); }
+  std::string Describe() const override {
+    std::string out = "LimitOffset[";
+    out += limit_ == SIZE_MAX ? "limit=∞" : "limit=" + std::to_string(limit_);
+    out += " offset=" + std::to_string(offset_) + "]";
+    return out;
+  }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    out->push_back({depth, Describe(), rows_produced()});
+    input_->CollectOperators(out, depth + 1);
+  }
+
+ private:
+  std::unique_ptr<Cursor> input_;
+  size_t limit_, offset_;
+  size_t emitted_ = 0, skipped_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Cursor> MakeEmptyCursor(size_t width) {
+  return std::make_unique<EmptyCursor>(width);
+}
+
+std::unique_ptr<Cursor> MakeSingletonCursor(size_t width) {
+  return std::make_unique<SingletonCursor>(width);
+}
+
+std::unique_ptr<Cursor> MakeIndexScanCursor(const store::TripleTable& table,
+                                            const CompiledPattern& pat,
+                                            size_t num_vars,
+                                            std::string label) {
+  return std::make_unique<IndexScanCursor>(table, pat, num_vars,
+                                           std::move(label));
+}
+
+std::unique_ptr<Cursor> MakeIndexNestedLoopJoinCursor(
+    std::unique_ptr<Cursor> input, const store::TripleTable& table,
+    const CompiledPattern& pat, std::string label) {
+  return std::make_unique<IndexNestedLoopJoinCursor>(std::move(input), table,
+                                                     pat, std::move(label));
+}
+
+std::unique_ptr<Cursor> MakeHashJoinCursor(std::unique_ptr<Cursor> input,
+                                           const store::TripleTable& table,
+                                           const CompiledPattern& pat,
+                                           std::vector<uint32_t> key_vars,
+                                           std::string label) {
+  return std::make_unique<HashJoinCursor>(std::move(input), table, pat,
+                                          std::move(key_vars),
+                                          std::move(label));
+}
+
+std::unique_ptr<Cursor> MakeProjectCursor(std::unique_ptr<Cursor> input,
+                                          std::vector<uint32_t> head,
+                                          std::string label) {
+  return std::make_unique<ProjectCursor>(std::move(input), std::move(head),
+                                         std::move(label));
+}
+
+std::unique_ptr<Cursor> MakeDistinctCursor(std::unique_ptr<Cursor> input) {
+  return std::make_unique<DistinctCursor>(std::move(input));
+}
+
+std::unique_ptr<Cursor> MakeLimitOffsetCursor(std::unique_ptr<Cursor> input,
+                                              size_t limit, size_t offset) {
+  return std::make_unique<LimitOffsetCursor>(std::move(input), limit, offset);
+}
+
+}  // namespace rdfsum::query

@@ -1,0 +1,116 @@
+#ifndef RDFSUM_QUERY_CURSOR_H_
+#define RDFSUM_QUERY_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/plan.h"
+#include "store/triple_table.h"
+#include "util/row_set.h"
+
+namespace rdfsum::query {
+
+/// A binding row flowing through the operator tree: TermIds indexed by the
+/// plan's dense variable ids (or by head position downstream of Project).
+/// kInvalidTermId marks a not-yet-bound slot.
+using IdRow = std::vector<TermId>;
+
+/// Volcano-style pull operator: Next() produces one row at a time, so a
+/// caller that stops pulling (LIMIT, pagination, first-match existence
+/// checks) stops the whole tree — no intermediate result is ever
+/// materialized except the explicit stateful operators (a hash join's build
+/// side, Distinct's seen-set).
+///
+/// Lifecycle: Open (construction) -> Next until it returns false ->
+/// destruction. Exhaustion is stable: once Next returns false it keeps
+/// returning false. Cursors borrow the TripleTable they scan (it must stay
+/// frozen and outlive them) but own everything else, including copies of
+/// the compiled patterns — the QueryPlan they were compiled from may die.
+///
+/// Every operator counts the rows it produced; Explain reads the counters
+/// off the drained tree (CollectOperators) instead of threading callbacks
+/// through the executor.
+class Cursor {
+ public:
+  virtual ~Cursor() = default;
+
+  /// Writes the next row into *row (resized to width()) and returns true,
+  /// or returns false when the operator is exhausted.
+  virtual bool Next(IdRow* row) = 0;
+
+  /// Width of the rows this operator produces.
+  virtual size_t width() const = 0;
+
+  /// Operator label for Explain, e.g. "HashJoin[?o b:price ?price @SPO]".
+  virtual std::string Describe() const = 0;
+
+  /// Rows this operator has produced so far.
+  uint64_t rows_produced() const { return rows_produced_; }
+
+  /// Appends this operator and its inputs to *out, root-first, with depth
+  /// increasing toward the leaves.
+  virtual void CollectOperators(std::vector<OperatorStats>* out,
+                                int depth = 0) const {
+    out->push_back({depth, Describe(), rows_produced()});
+  }
+
+ protected:
+  uint64_t rows_produced_ = 0;
+};
+
+/// Produces nothing. Stands in for provably-empty queries (impossible
+/// constants, summary-pruned requests).
+std::unique_ptr<Cursor> MakeEmptyCursor(size_t width);
+
+/// Produces exactly one all-unbound row — the unit of the join: a BGP with
+/// no patterns has one (empty) embedding.
+std::unique_ptr<Cursor> MakeSingletonCursor(size_t width);
+
+/// Leaf scan: emits one binding row of width `num_vars` per triple matching
+/// `pat`'s constants, serving matches from a resumable store::ScanCursor
+/// (one binary search at open, pointer bumps per pull). Handles repeated
+/// variables (?x p ?x binds consistently or skips). `label` is the pattern
+/// text for Describe.
+std::unique_ptr<Cursor> MakeIndexScanCursor(const store::TripleTable& table,
+                                            const CompiledPattern& pat,
+                                            size_t num_vars,
+                                            std::string label = "");
+
+/// Index nested-loop join: for each input row, instantiates `pat` with the
+/// row's bindings and extends the row with every match (a fresh index range
+/// per probe — O(log n) binary search each).
+std::unique_ptr<Cursor> MakeIndexNestedLoopJoinCursor(
+    std::unique_ptr<Cursor> input, const store::TripleTable& table,
+    const CompiledPattern& pat, std::string label = "");
+
+/// Hash join: on first pull, builds a hash table over every triple matching
+/// `pat`'s constants, keyed on the values at `key_vars`' positions
+/// (variables of `pat` the input already binds; must be non-empty). Each
+/// input row then probes in O(1) instead of binary-searching the index.
+/// Chains preserve build (index) order, so the output is deterministic.
+std::unique_ptr<Cursor> MakeHashJoinCursor(std::unique_ptr<Cursor> input,
+                                           const store::TripleTable& table,
+                                           const CompiledPattern& pat,
+                                           std::vector<uint32_t> key_vars,
+                                           std::string label = "");
+
+/// Narrows full-width binding rows to the head columns, in head order.
+std::unique_ptr<Cursor> MakeProjectCursor(std::unique_ptr<Cursor> input,
+                                          std::vector<uint32_t> head,
+                                          std::string label = "");
+
+/// Deduplicates rows (util::RowSet seen-set); first occurrence wins, order
+/// otherwise preserved.
+std::unique_ptr<Cursor> MakeDistinctCursor(std::unique_ptr<Cursor> input);
+
+/// Skips the first `offset` rows, then emits up to `limit` more. Once the
+/// quota is reached it stops pulling from its input entirely — this is the
+/// operator that makes `--limit k` cost k rows, not the full result.
+std::unique_ptr<Cursor> MakeLimitOffsetCursor(std::unique_ptr<Cursor> input,
+                                              size_t limit, size_t offset);
+
+}  // namespace rdfsum::query
+
+#endif  // RDFSUM_QUERY_CURSOR_H_

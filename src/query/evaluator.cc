@@ -1,157 +1,8 @@
 #include "query/evaluator.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace rdfsum::query {
-namespace {
-
-constexpr TermId kUnbound = kInvalidTermId;
-
-/// Deduplicating set of fixed-width projected rows: all rows live packed in
-/// one arena and an open-addressing table stores row ordinals, so the hot
-/// path does one hash probe and no per-row allocation (the std::set of
-/// vectors it replaces allocated per row and compared in O(width log n)).
-class RowSet {
- public:
-  explicit RowSet(size_t width) : width_(width) { slots_.resize(64, 0); }
-
-  size_t size() const { return count_; }
-  const TermId* row(size_t i) const { return arena_.data() + i * width_; }
-
-  /// Returns true iff the row was newly inserted.
-  bool Insert(const TermId* row_data) {
-    if (width_ == 0) {
-      // Boolean projection: there is only one (empty) row.
-      if (count_ > 0) return false;
-      ++count_;
-      return true;
-    }
-    const uint64_t h = Hash(row_data);
-    const size_t mask = slots_.size() - 1;
-    size_t idx = static_cast<size_t>(h) & mask;
-    while (slots_[idx] != 0) {
-      if (std::equal(row_data, row_data + width_, row(slots_[idx] - 1))) {
-        return false;
-      }
-      idx = (idx + 1) & mask;
-    }
-    arena_.insert(arena_.end(), row_data, row_data + width_);
-    slots_[idx] = static_cast<uint32_t>(++count_);
-    if (count_ * 10 >= slots_.size() * 7) Grow();
-    return true;
-  }
-
- private:
-  uint64_t Hash(const TermId* row_data) const {
-    uint64_t h = 0x9E3779B97F4A7C15ULL;
-    for (size_t i = 0; i < width_; ++i) {
-      h ^= row_data[i];
-      h *= 0xBF58476D1CE4E5B9ULL;
-      h ^= h >> 29;
-    }
-    return h;
-  }
-
-  void Grow() {
-    std::vector<uint32_t> old = std::move(slots_);
-    slots_.assign(old.size() * 2, 0);
-    const size_t mask = slots_.size() - 1;
-    for (size_t r = 0; r < count_; ++r) {
-      size_t idx = static_cast<size_t>(Hash(row(r))) & mask;
-      while (slots_[idx] != 0) idx = (idx + 1) & mask;
-      slots_[idx] = static_cast<uint32_t>(r + 1);
-    }
-  }
-
-  size_t width_;
-  size_t count_ = 0;
-  std::vector<TermId> arena_;    // count_ * width_ packed ids
-  std::vector<uint32_t> slots_;  // open addressing; row ordinal + 1, 0 empty
-};
-
-/// Executes a QueryPlan: follows plan.steps verbatim (the planner already
-/// fixed the order and per-step index), binding variables by backtracking.
-/// Counts the bindings produced at each step for Explain().
-class PlanRunner {
- public:
-  PlanRunner(const store::TripleTable& table, const QueryPlan& plan)
-      : table_(table), plan_(plan) {
-    bindings_.assign(plan_.compiled.var_names.size(), kUnbound);
-    step_rows_.assign(plan_.steps.size(), 0);
-  }
-
-  /// Invokes `fn(bindings)` for each embedding; fn returns false to stop.
-  template <typename Fn>
-  void Enumerate(Fn&& fn) {
-    if (plan_.compiled.impossible) return;
-    stop_ = false;
-    Recurse(0, fn);
-  }
-
-  const std::vector<uint64_t>& step_rows() const { return step_rows_; }
-
- private:
-  store::TriplePattern Instantiate(const CompiledPattern& p) const {
-    store::TriplePattern q;
-    auto fill = [&](const CompiledSlot& s) -> std::optional<TermId> {
-      if (!s.is_var) return s.constant;
-      TermId b = bindings_[s.var];
-      if (b != kUnbound) return b;
-      return std::nullopt;
-    };
-    q.s = fill(p.s);
-    q.p = fill(p.p);
-    q.o = fill(p.o);
-    return q;
-  }
-
-  template <typename Fn>
-  void Recurse(size_t depth, Fn&& fn) {
-    if (stop_) return;
-    if (depth == plan_.steps.size()) {
-      if (!fn(bindings_)) stop_ = true;
-      return;
-    }
-    const CompiledPattern& pat =
-        plan_.compiled.patterns[plan_.steps[depth].pattern];
-    // Visitor scan over the step's contiguous index range; the scan stops
-    // as soon as an embedding satisfied the caller.
-    table_.Scan(Instantiate(pat), [&](const Triple& m) {
-      // Bind the unbound variable slots; a pattern with repeated variables
-      // (e.g. ?x p ?x) must bind consistently.
-      uint32_t newly[3];
-      int num_newly = 0;
-      bool ok = true;
-      auto bind = [&](const CompiledSlot& s, TermId value) {
-        if (!s.is_var) return;
-        TermId cur = bindings_[s.var];
-        if (cur == kUnbound) {
-          bindings_[s.var] = value;
-          newly[num_newly++] = s.var;
-        } else if (cur != value) {
-          ok = false;
-        }
-      };
-      bind(pat.s, m.s);
-      if (ok) bind(pat.p, m.p);
-      if (ok) bind(pat.o, m.o);
-      if (ok) {
-        ++step_rows_[depth];
-        Recurse(depth + 1, fn);
-      }
-      for (int i = 0; i < num_newly; ++i) bindings_[newly[i]] = kUnbound;
-      return !stop_;
-    });
-  }
-
-  const store::TripleTable& table_;
-  const QueryPlan& plan_;
-  std::vector<TermId> bindings_;
-  std::vector<uint64_t> step_rows_;
-  bool stop_ = false;
-};
-
-}  // namespace
 
 BgpEvaluator::BgpEvaluator(const Graph& g, EvaluatorOptions options)
     : graph_(g), options_(options) {
@@ -167,15 +18,37 @@ QueryPlan BgpEvaluator::Plan(const BgpQuery& q, PlannerMode mode) const {
   return BuildQueryPlan(q, graph_.dict(), table_, mode, options_.estimator);
 }
 
+StatusOr<std::unique_ptr<Cursor>> BgpEvaluator::Open(
+    const BgpQuery& q, CursorOptions options) const {
+  return Open(q, options_.planner, options);
+}
+
+StatusOr<std::unique_ptr<Cursor>> BgpEvaluator::Open(
+    const BgpQuery& q, PlannerMode mode, CursorOptions options) const {
+  return Open(q, Plan(q, mode), options);
+}
+
+StatusOr<std::unique_ptr<Cursor>> BgpEvaluator::Open(
+    const BgpQuery& q, const QueryPlan& plan, CursorOptions options) const {
+  RDFSUM_ASSIGN_OR_RETURN(std::vector<uint32_t> head,
+                          ResolveDistinguished(q, plan.compiled));
+  return CompileQueryTree(table_, plan, head, options).root;
+}
+
+Row BgpEvaluator::Decode(const IdRow& row) const {
+  Row out;
+  out.reserve(row.size());
+  for (TermId id : row) out.push_back(graph_.dict().Decode(id));
+  return out;
+}
+
 bool BgpEvaluator::ExistsMatch(const BgpQuery& q) const {
-  QueryPlan plan = Plan(q);
-  bool found = false;
-  PlanRunner runner(table_, plan);
-  runner.Enumerate([&](const std::vector<TermId>&) {
-    found = true;
-    return false;
-  });
-  return found;
+  // First-match semantics: never pay a hash build for a single pull — a
+  // nested-loop probe finds the first embedding in O(log n).
+  CursorTree tree =
+      CompileEmbeddingTree(table_, Plan(q), HashJoinMode::kNever);
+  IdRow row;
+  return tree.root->Next(&row);
 }
 
 StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
@@ -186,41 +59,22 @@ StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
 StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
                                                   size_t limit,
                                                   PlannerMode mode) const {
-  QueryPlan plan = Plan(q, mode);
-  RDFSUM_ASSIGN_OR_RETURN(std::vector<uint32_t> head,
-                          ResolveDistinguished(q, plan.compiled));
+  CursorOptions options;
+  options.limit = limit;
+  RDFSUM_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
+                          Open(q, mode, options));
   std::vector<Row> rows;
-  if (limit == 0) return rows;
-  RowSet dedup(head.size());
-  std::vector<TermId> scratch(head.size());
-  PlanRunner runner(table_, plan);
-  runner.Enumerate([&](const std::vector<TermId>& bindings) {
-    for (size_t i = 0; i < head.size(); ++i) scratch[i] = bindings[head[i]];
-    if (dedup.Insert(scratch.data()) && dedup.size() >= limit) return false;
-    return true;
-  });
-  rows.reserve(dedup.size());
-  for (size_t r = 0; r < dedup.size(); ++r) {
-    Row row;
-    row.reserve(head.size());
-    const TermId* encoded = dedup.row(r);
-    for (size_t i = 0; i < head.size(); ++i) {
-      row.push_back(graph_.dict().Decode(encoded[i]));
-    }
-    rows.push_back(std::move(row));
-  }
+  IdRow row;
+  while (cursor->Next(&row)) rows.push_back(Decode(row));
   return rows;
 }
 
 uint64_t BgpEvaluator::CountEmbeddings(const BgpQuery& q) const {
-  QueryPlan plan = Plan(q);
-  uint64_t n = 0;
-  PlanRunner runner(table_, plan);
-  runner.Enumerate([&](const std::vector<TermId>&) {
-    ++n;
-    return true;
-  });
-  return n;
+  CursorTree tree = CompileEmbeddingTree(table_, Plan(q));
+  IdRow row;
+  while (tree.root->Next(&row)) {
+  }
+  return tree.root->rows_produced();
 }
 
 StatusOr<Explanation> BgpEvaluator::Explain(const BgpQuery& q) const {
@@ -233,17 +87,18 @@ StatusOr<Explanation> BgpEvaluator::Explain(const BgpQuery& q,
   out.plan = Plan(q, mode);
   RDFSUM_ASSIGN_OR_RETURN(std::vector<uint32_t> head,
                           ResolveDistinguished(q, out.plan.compiled));
-  RowSet dedup(head.size());
-  std::vector<TermId> scratch(head.size());
-  PlanRunner runner(table_, out.plan);
-  runner.Enumerate([&](const std::vector<TermId>& bindings) {
-    ++out.num_embeddings;
-    for (size_t i = 0; i < head.size(); ++i) scratch[i] = bindings[head[i]];
-    dedup.Insert(scratch.data());
-    return true;
-  });
-  out.actual_rows = runner.step_rows();
-  out.num_result_rows = dedup.size();
+  // No limit: Explain reports the true cardinality of every operator.
+  CursorTree tree = CompileQueryTree(table_, out.plan, head);
+  IdRow row;
+  while (tree.root->Next(&row)) {
+  }
+  out.actual_rows.reserve(tree.step_cursors.size());
+  for (const Cursor* step : tree.step_cursors) {
+    out.actual_rows.push_back(step->rows_produced());
+  }
+  out.num_embeddings = tree.embeddings->rows_produced();
+  out.num_result_rows = tree.distinct->rows_produced();
+  tree.root->CollectOperators(&out.operators);
   return out;
 }
 

@@ -2,9 +2,11 @@
 #define RDFSUM_QUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "query/bgp.h"
+#include "query/executor.h"
 #include "query/plan.h"
 #include "rdf/graph.h"
 #include "store/triple_table.h"
@@ -17,7 +19,7 @@ namespace rdfsum::query {
 using Row = std::vector<Term>;
 
 struct EvaluatorOptions {
-  /// How Plan()/Evaluate() order the patterns by default; per-call
+  /// How Plan()/Open()/Evaluate() order the patterns by default; per-call
   /// overloads can override it.
   PlannerMode planner = PlannerMode::kGreedy;
   /// Enables PlannerMode::kSummary refinement. Not owned; must outlive the
@@ -25,14 +27,26 @@ struct EvaluatorOptions {
   const summary::CardinalityEstimator* estimator = nullptr;
 };
 
-/// Evaluates BGP queries against one graph by backtracking join over the
-/// store's pattern indexes. Evaluation sees exactly the triples of the graph
-/// it is given — evaluate against Saturate(g) for complete answers (§2.1).
+/// Per-Open knobs for the streaming API: limit/offset (applied after
+/// dedup; the tree stops pulling once the quota fills) and the hash-join
+/// policy. Exactly the executor's options — aliased so the two can never
+/// drift.
+using CursorOptions = ExecutorOptions;
+
+/// Evaluates BGP queries against one graph through a streaming operator
+/// tree over the store's pattern indexes. Evaluation sees exactly the
+/// triples of the graph it is given — evaluate against Saturate(g) for
+/// complete answers (§2.1).
 ///
 /// Each query is planned once (see QueryPlan): the planner fixes the
-/// pattern order and per-step index up front from the table statistics, and
-/// the executor follows the plan without re-scanning the pattern list at
-/// every depth.
+/// pattern order, per-step index, and join algorithm (nested-loop vs. hash)
+/// up front from the table statistics; the executor compiles the plan into
+/// a pull-based cursor tree (query/cursor.h, query/executor.h).
+///
+/// The primary API is Open(): it returns a Cursor the caller drains at its
+/// own pace — rows are produced on demand, so LIMIT/pagination never pay
+/// for results the caller does not pull. Evaluate()/Explain() are
+/// drain-the-cursor conveniences kept for compatibility.
 class BgpEvaluator {
  public:
   explicit BgpEvaluator(const Graph& g, EvaluatorOptions options = {});
@@ -45,15 +59,35 @@ class BgpEvaluator {
   QueryPlan Plan(const BgpQuery& q) const;
   QueryPlan Plan(const BgpQuery& q, PlannerMode mode) const;
 
-  /// True iff the query has at least one embedding into the graph.
+  /// Opens a streaming cursor over `q`'s distinct answer rows (projected on
+  /// the distinguished variables, deduplicated, deterministic order).
+  /// Decode() turns the produced IdRows into Terms. The cursor borrows the
+  /// evaluator (its table and dictionary) and must not outlive it; the
+  /// plan's lifetime is not tied to the cursor.
+  StatusOr<std::unique_ptr<Cursor>> Open(const BgpQuery& q,
+                                         CursorOptions options = {}) const;
+  StatusOr<std::unique_ptr<Cursor>> Open(const BgpQuery& q, PlannerMode mode,
+                                         CursorOptions options = {}) const;
+  /// Opens a cursor over an already-built plan (the plan may die after).
+  StatusOr<std::unique_ptr<Cursor>> Open(const BgpQuery& q,
+                                         const QueryPlan& plan,
+                                         CursorOptions options = {}) const;
+
+  /// Decodes a cursor-produced row into Terms, in head order.
+  Row Decode(const IdRow& row) const;
+
+  /// True iff the query has at least one embedding into the graph. Pulls a
+  /// single row off the join pipeline — no materialization.
   bool ExistsMatch(const BgpQuery& q) const;
 
   /// Returns up to `limit` distinct answer rows (projections of embeddings
   /// on the distinguished variables; for a boolean query, one empty row if
   /// the query matches). `limit` == 0 returns no rows. Rows come back in
-  /// discovery order, which depends on the chosen plan (the old std::set
-  /// dedup sorted them by id as a side effect); callers needing a stable
-  /// cross-plan order must sort.
+  /// discovery order, which depends on the chosen plan; callers needing a
+  /// stable cross-plan order must sort.
+  ///
+  /// Deprecated as the primary surface: this drains Open()'s cursor into a
+  /// vector. New callers should Open() and pull rows as they need them.
   StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
                                       size_t limit = SIZE_MAX) const;
   StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q, size_t limit,
@@ -63,7 +97,8 @@ class BgpEvaluator {
   uint64_t CountEmbeddings(const BgpQuery& q) const;
 
   /// Plans and fully executes `q`, returning the plan annotated with the
-  /// actual cardinality observed at every step.
+  /// actual cardinality observed at every step plus the per-operator
+  /// rows-produced counters read off the drained cursor tree.
   StatusOr<Explanation> Explain(const BgpQuery& q) const;
   StatusOr<Explanation> Explain(const BgpQuery& q, PlannerMode mode) const;
 

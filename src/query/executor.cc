@@ -1,0 +1,88 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rdfsum::query {
+
+CursorTree CompileEmbeddingTree(const store::TripleTable& table,
+                                const QueryPlan& plan,
+                                HashJoinMode hash_join) {
+  CursorTree tree;
+  const CompiledBgp& c = plan.compiled;
+  const size_t num_vars = c.var_names.size();
+  if (c.impossible) {
+    tree.root = MakeEmptyCursor(num_vars);
+    tree.embeddings = tree.root.get();
+    return tree;
+  }
+  if (plan.steps.empty()) {
+    tree.root = MakeSingletonCursor(num_vars);
+    tree.embeddings = tree.root.get();
+    return tree;
+  }
+
+  std::vector<bool> bound(num_vars, false);
+  std::unique_ptr<Cursor> cur;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const PlanStep& step = plan.steps[i];
+    const CompiledPattern& pat = c.patterns[step.pattern];
+    if (i == 0) {
+      cur = MakeIndexScanCursor(table, pat, num_vars, step.pattern_text);
+    } else {
+      // Join variables: `pat`'s variables an earlier step already bound,
+      // deduplicated in slot order.
+      std::vector<uint32_t> key_vars;
+      for (const CompiledSlot* sl : {&pat.s, &pat.p, &pat.o}) {
+        if (sl->is_var && bound[sl->var] &&
+            std::find(key_vars.begin(), key_vars.end(), sl->var) ==
+                key_vars.end()) {
+          key_vars.push_back(sl->var);
+        }
+      }
+      const bool hash =
+          !key_vars.empty() &&
+          (hash_join == HashJoinMode::kAlways ||
+           (hash_join == HashJoinMode::kFromPlan && step.use_hash_join));
+      if (hash) {
+        cur = MakeHashJoinCursor(std::move(cur), table, pat,
+                                 std::move(key_vars), step.pattern_text);
+      } else {
+        cur = MakeIndexNestedLoopJoinCursor(std::move(cur), table, pat,
+                                            step.pattern_text);
+      }
+    }
+    tree.step_cursors.push_back(cur.get());
+    for (const CompiledSlot* sl : {&pat.s, &pat.p, &pat.o}) {
+      if (sl->is_var) bound[sl->var] = true;
+    }
+  }
+  tree.embeddings = cur.get();
+  tree.root = std::move(cur);
+  return tree;
+}
+
+CursorTree CompileQueryTree(const store::TripleTable& table,
+                            const QueryPlan& plan,
+                            const std::vector<uint32_t>& head,
+                            const ExecutorOptions& options) {
+  CursorTree tree = CompileEmbeddingTree(table, plan, options.hash_join);
+  std::string head_label;
+  for (uint32_t v : head) {
+    if (!head_label.empty()) head_label += ' ';
+    head_label += '?';
+    head_label += plan.compiled.var_names[v];
+  }
+  std::unique_ptr<Cursor> cur =
+      MakeProjectCursor(std::move(tree.root), head, std::move(head_label));
+  cur = MakeDistinctCursor(std::move(cur));
+  tree.distinct = cur.get();
+  if (options.limit != SIZE_MAX || options.offset != 0) {
+    cur = MakeLimitOffsetCursor(std::move(cur), options.limit,
+                                options.offset);
+  }
+  tree.root = std::move(cur);
+  return tree;
+}
+
+}  // namespace rdfsum::query

@@ -153,6 +153,7 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
 
   double rows = 1.0;
   for (size_t step_no = 0; step_no < n; ++step_no) {
+    const double input_rows = rows;  // probe-side estimate for this step
     size_t pick = SIZE_MAX;
     double pick_matches = 0.0;
     if (mode == PlannerMode::kNaive) {
@@ -200,6 +201,23 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
     step.index = store::TripleTable::ChooseIndex(
         bound_at_run(pc.s), bound_at_run(pc.p), bound_at_run(pc.o));
     step.estimated_matches = pick_matches;
+    // Join-pick rule: hash-join a step with at least one already-bound join
+    // variable when the plan predicts a fat probe side and the exact
+    // build-side count fits the budget (kHashJoin* constants, plan.h).
+    const bool has_join_var =
+        (pc.s.is_var && var_bound[pc.s.var]) ||
+        (pc.p.is_var && var_bound[pc.p.var]) ||
+        (pc.o.is_var && var_bound[pc.o.var]);
+    if (step_no > 0 && has_join_var && !plan.compiled.impossible) {
+      store::TriplePattern consts;
+      if (!pc.s.is_var) consts.s = pc.s.constant;
+      if (!pc.p.is_var) consts.p = pc.p.constant;
+      if (!pc.o.is_var) consts.o = pc.o.constant;
+      step.estimated_build_rows = static_cast<double>(table.Count(consts));
+      step.use_hash_join = input_rows >= kHashJoinMinProbeRows &&
+                           step.estimated_build_rows > 0.0 &&
+                           step.estimated_build_rows <= kHashJoinBuildBudget;
+    }
     if (use_estimator) {
       prefix.push_back(q.triples[pick]);
       step.estimated_rows = estimator->EstimatePatterns(prefix).estimate;
@@ -217,12 +235,24 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
   return plan;
 }
 
+namespace {
+
+/// "scan" for the leading step, otherwise the join operator the executor
+/// will pick for the step under the plan's flags.
+const char* StepOperatorName(size_t step_no, const PlanStep& s) {
+  if (step_no == 0) return "scan";
+  return s.use_hash_join ? "hash" : "nlj";
+}
+
+}  // namespace
+
 std::string QueryPlan::ToString() const {
-  TablePrinter table({"step", "pattern", "index", "est/probe", "est rows"});
+  TablePrinter table(
+      {"step", "pattern", "index", "join", "est/probe", "est rows"});
   for (size_t i = 0; i < steps.size(); ++i) {
     const PlanStep& s = steps[i];
     table.AddRow({std::to_string(i + 1), s.pattern_text,
-                  store::IndexKindName(s.index),
+                  store::IndexKindName(s.index), StepOperatorName(i, s),
                   FormatEstimate(s.estimated_matches),
                   FormatEstimate(s.estimated_rows)});
   }
@@ -234,18 +264,25 @@ std::string QueryPlan::ToString() const {
 
 std::string Explanation::ToString() const {
   TablePrinter table(
-      {"step", "pattern", "index", "est rows", "actual rows"});
+      {"step", "pattern", "index", "join", "est rows", "actual rows"});
   for (size_t i = 0; i < plan.steps.size(); ++i) {
     const PlanStep& s = plan.steps[i];
     uint64_t actual = i < actual_rows.size() ? actual_rows[i] : 0;
     table.AddRow({std::to_string(i + 1), s.pattern_text,
-                  store::IndexKindName(s.index),
+                  store::IndexKindName(s.index), StepOperatorName(i, s),
                   FormatEstimate(s.estimated_rows),
                   FormatWithCommas(actual)});
   }
   std::string out = "plan mode=" + std::string(PlannerModeName(plan.mode)) +
                     " est_cost=" + FormatEstimate(plan.estimated_cost) + "\n";
   out += table.ToAscii();
+  if (!operators.empty()) {
+    out += "operators (rows produced):\n";
+    for (const OperatorStats& op : operators) {
+      out += "  " + std::string(static_cast<size_t>(op.depth) * 2, ' ') +
+             op.op + "  " + FormatWithCommas(op.rows_produced) + "\n";
+    }
+  }
   out += "embeddings: " + FormatWithCommas(num_embeddings) +
          ", distinct rows: " + FormatWithCommas(num_result_rows) + "\n";
   if (pruned_by_summary) {

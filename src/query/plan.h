@@ -72,6 +72,17 @@ CompiledBgp CompileBgp(const BgpQuery& q, const Dictionary& dict);
 StatusOr<std::vector<uint32_t>> ResolveDistinguished(const BgpQuery& q,
                                                      const CompiledBgp& c);
 
+/// Join-pick rule (see src/query/README.md): a step is served by a hash
+/// join iff it joins on at least one already-bound variable, the estimated
+/// rows feeding it (the probe side) reach kHashJoinMinProbeRows, and the
+/// exact build-side row count (matches of the pattern with only its
+/// constants bound) fits kHashJoinBuildBudget. Below the probe floor the
+/// per-probe binary search of an index nested-loop join is cheaper than
+/// building a table; above the build budget the table would not fit a
+/// sane memory envelope.
+inline constexpr double kHashJoinMinProbeRows = 4096.0;
+inline constexpr double kHashJoinBuildBudget = 1u << 20;
+
 /// One executed pattern of a plan, in execution order.
 struct PlanStep {
   /// Index into CompiledBgp::patterns / BgpQuery::triples.
@@ -84,6 +95,14 @@ struct PlanStep {
   double estimated_matches = 0.0;
   /// Estimated cumulative embeddings after this step.
   double estimated_rows = 0.0;
+  /// True when the planner flagged a fat intermediate feeding this step and
+  /// the executor should serve it with a HashJoinCursor (join-pick rule
+  /// above). Always false for the first step (nothing to join with yet).
+  bool use_hash_join = false;
+  /// Exact size of the step's would-be hash build side: matches of the
+  /// pattern with only its constants bound. 0 for steps without join
+  /// variables.
+  double estimated_build_rows = 0.0;
 };
 
 /// An ordered, binding-annotated execution plan for one BGP query, built
@@ -111,6 +130,15 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
                          const summary::CardinalityEstimator* estimator =
                              nullptr);
 
+/// One operator of the executed cursor tree with its rows-produced counter,
+/// as reported by the cursors themselves after a full drain. `depth` is the
+/// operator's distance from the tree root (for indented rendering).
+struct OperatorStats {
+  int depth = 0;
+  std::string op;
+  uint64_t rows_produced = 0;
+};
+
 /// A plan plus the per-step actual cardinalities observed while executing
 /// it — the `query --explain` payload.
 struct Explanation {
@@ -118,6 +146,9 @@ struct Explanation {
   /// Actual cumulative bindings produced at each step (parallel to
   /// plan.steps).
   std::vector<uint64_t> actual_rows;
+  /// The executed operator tree (root first) with per-operator rows-produced
+  /// counters; empty when the plan was never executed (pruned_by_summary).
+  std::vector<OperatorStats> operators;
   uint64_t num_embeddings = 0;   // total embeddings of the body
   uint64_t num_result_rows = 0;  // distinct projected rows
   /// True when a SummaryPrunedEvaluator proved emptiness on the summary and

@@ -50,15 +50,36 @@ bool SummaryPrunedEvaluator::ExistsMatch(const BgpQuery& q) {
   return on_graph_->ExistsMatch(q);
 }
 
-StatusOr<std::vector<Row>> SummaryPrunedEvaluator::Evaluate(const BgpQuery& q,
-                                                            size_t limit) {
+StatusOr<std::unique_ptr<Cursor>> SummaryPrunedEvaluator::Open(
+    const BgpQuery& q, CursorOptions options) {
   ++stats_.exists_checks;
   if (!SummaryAdmits(q)) {
     ++stats_.pruned_by_summary;
-    return std::vector<Row>{};
+    // Keep the contract data-independent: a malformed head errors whether
+    // or not the summary happened to prune this query. Compilation alone
+    // resolves the head — no need to run the planner on the fast path.
+    CompiledBgp compiled = CompileBgp(q, graph_.dict());
+    RDFSUM_ASSIGN_OR_RETURN(std::vector<uint32_t> head,
+                            ResolveDistinguished(q, compiled));
+    return MakeEmptyCursor(head.size());
   }
   ++stats_.graph_probes;
-  return on_graph_->Evaluate(q, limit);
+  return on_graph_->Open(q, options);
+}
+
+Row SummaryPrunedEvaluator::Decode(const IdRow& row) const {
+  return on_graph_->Decode(row);
+}
+
+StatusOr<std::vector<Row>> SummaryPrunedEvaluator::Evaluate(const BgpQuery& q,
+                                                            size_t limit) {
+  CursorOptions options;
+  options.limit = limit;
+  RDFSUM_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor, Open(q, options));
+  std::vector<Row> rows;
+  IdRow row;
+  while (cursor->Next(&row)) rows.push_back(Decode(row));
+  return rows;
 }
 
 StatusOr<Explanation> SummaryPrunedEvaluator::Explain(const BgpQuery& q) {

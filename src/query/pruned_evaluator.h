@@ -54,8 +54,18 @@ class SummaryPrunedEvaluator {
   /// summary first.
   bool ExistsMatch(const BgpQuery& q);
 
+  /// Streaming evaluation: opens a pull cursor over the graph-side answers,
+  /// or an empty cursor without ever touching the graph when the summary
+  /// proves emptiness (the head is still validated either way). Decode()
+  /// turns produced IdRows into Terms.
+  StatusOr<std::unique_ptr<Cursor>> Open(const BgpQuery& q,
+                                         CursorOptions options = {});
+  Row Decode(const IdRow& row) const;
+
   /// Full evaluation; returns no rows without touching the graph when the
-  /// summary proves emptiness.
+  /// summary proves emptiness (the head is validated either way, like
+  /// Explain). Deprecated as the primary surface: drains Open()'s cursor
+  /// into a vector.
   StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
                                       size_t limit = SIZE_MAX);
 

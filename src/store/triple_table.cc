@@ -26,14 +26,25 @@ IndexKind TripleTable::ChooseIndex(bool s_bound, bool p_bound, bool o_bound) {
   return IndexKind::kSpo;                                     // full scan
 }
 
-void TripleTable::Append(const Triple& t) {
-  spo_.push_back(t);
+void TripleTable::Unfreeze() {
+  if (!frozen_) return;
   frozen_ = false;
+  // Eagerly invalidate everything derived from the frozen rows. The stats
+  // assert is debug-only; clearing here makes "stale counts after an
+  // Append" structurally unreachable in every build mode.
+  stats_ = TableStats{};
+  pos_.clear();
+  osp_.clear();
+}
+
+void TripleTable::Append(const Triple& t) {
+  Unfreeze();
+  spo_.push_back(t);
 }
 
 void TripleTable::AppendAll(const std::vector<Triple>& triples) {
+  Unfreeze();
   spo_.insert(spo_.end(), triples.begin(), triples.end());
-  frozen_ = false;
 }
 
 void TripleTable::Freeze() {

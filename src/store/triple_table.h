@@ -28,12 +28,41 @@ enum class IndexKind : uint8_t { kSpo, kPos, kOsp };
 
 const char* IndexKindName(IndexKind kind);  // "SPO", "POS", "OSP"
 
+/// A resumable position inside one pattern's contiguous index range: the
+/// binary search happens once at TripleTable::OpenScan and every Next() is a
+/// pointer bump, so a pull-based executor can interleave thousands of scans
+/// without re-searching per pull. Borrows the table's index storage — valid
+/// only while the table stays frozen and unmodified.
+class ScanCursor {
+ public:
+  ScanCursor() = default;
+
+  /// Copies the next matching triple into *t; false when exhausted.
+  bool Next(Triple* t) {
+    if (cur_ == end_) return false;
+    *t = *cur_++;
+    return true;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(end_ - cur_); }
+  bool done() const { return cur_ == end_; }
+
+ private:
+  friend class TripleTable;
+  ScanCursor(const Triple* cur, const Triple* end) : cur_(cur), end_(end) {}
+
+  const Triple* cur_ = nullptr;
+  const Triple* end_ = nullptr;
+};
+
 /// Columnar table of encoded triples with three sorted permutation indexes
 /// (SPO, POS, OSP), playing the role of the paper's PostgreSQL `triples`
 /// table (§6): sequential scans plus indexed pattern lookups.
 ///
 /// Usage: Append() rows, then Freeze() to build the indexes; scans require a
-/// frozen table. Append after Freeze() un-freezes the table.
+/// frozen table. Append after Freeze() un-freezes the table and eagerly
+/// discards the secondary indexes and statistics, so stale counts can never
+/// be served — not even in builds where the asserts compile away.
 class TripleTable {
  public:
   void Append(const Triple& t);
@@ -43,6 +72,12 @@ class TripleTable {
   /// table statistics (see stats()).
   void Freeze();
   bool frozen() const { return frozen_; }
+
+  /// Leaves the frozen state, eagerly dropping the secondary indexes and
+  /// statistics so they can never be served stale (Append/AppendAll call
+  /// this implicitly; it is the enforcement of the staleness invariant in
+  /// builds where the asserts compile away). No-op on an unfrozen table.
+  void Unfreeze();
 
   size_t size() const { return spo_.size(); }
   bool empty() const { return spo_.empty(); }
@@ -64,6 +99,14 @@ class TripleTable {
   /// contiguous range of the chosen index — no residual filtering.
   template <typename Fn>
   void Scan(const TriplePattern& pattern, Fn&& fn) const;
+
+  /// Positions a ScanCursor at the start of `pattern`'s match range: one
+  /// O(log n) binary search, then each Next() is a pointer bump. Requires
+  /// frozen(); the cursor is invalidated by Append/Freeze.
+  ScanCursor OpenScan(const TriplePattern& pattern) const {
+    auto [begin, end] = EqualRange(pattern);
+    return ScanCursor(begin, end);
+  }
 
   /// Returns all triples matching `pattern`. Requires frozen(). Prefer the
   /// visitor overload on hot paths; this one allocates a vector per call.

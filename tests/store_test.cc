@@ -195,6 +195,78 @@ TEST(TableStatsTest, RecomputedOnRefreeze) {
   EXPECT_EQ(t.stats().predicate(77)->count, 1u);
 }
 
+TEST(TableStatsTest, AppendAfterFreezeInvalidatesStatsEagerly) {
+  TripleTable t = MakeTable();
+  const uint64_t frozen_triples = t.stats().num_triples();
+  ASSERT_EQ(frozen_triples, 5u);
+  // The staleness invariant (src/query/README.md): an un-frozen table must
+  // never serve the old counts. Unfreeze() clears the stats in every build
+  // mode, not just where the assert fires — observable via Unfreeze() +
+  // refreeze of an *unchanged* row set, which must still agree, and via
+  // refreeze after a real append, which must reflect the new rows.
+  t.Unfreeze();
+  EXPECT_FALSE(t.frozen());
+  t.Freeze();
+  EXPECT_EQ(t.stats().num_triples(), frozen_triples);
+
+  t.Append({42, 43, 44});
+  EXPECT_FALSE(t.frozen());
+  t.Freeze();
+  EXPECT_EQ(t.stats().num_triples(), frozen_triples + 1);
+  ASSERT_NE(t.stats().predicate(43), nullptr);
+  EXPECT_EQ(t.stats().predicate(43)->distinct_subjects, 1u);
+}
+
+// ---------------------------------------------------------------- cursors
+
+TEST(ScanCursorTest, WalksTheMatchRangeAndReportsRemaining) {
+  TripleTable t = MakeTable();
+  store::ScanCursor c = t.OpenScan({1, std::nullopt, std::nullopt});
+  EXPECT_EQ(c.remaining(), 3u);
+  Triple triple;
+  ASSERT_TRUE(c.Next(&triple));
+  EXPECT_EQ(triple, (Triple{1, 10, 2}));
+  EXPECT_EQ(c.remaining(), 2u);
+  ASSERT_TRUE(c.Next(&triple));
+  ASSERT_TRUE(c.Next(&triple));
+  EXPECT_EQ(triple, (Triple{1, 11, 2}));
+  EXPECT_TRUE(c.done());
+  EXPECT_FALSE(c.Next(&triple));  // exhaustion is stable
+  EXPECT_FALSE(c.Next(&triple));
+}
+
+TEST(ScanCursorTest, EmptyRangeAndDefaultCursor) {
+  TripleTable t = MakeTable();
+  store::ScanCursor none = t.OpenScan({99, std::nullopt, std::nullopt});
+  Triple triple;
+  EXPECT_TRUE(none.done());
+  EXPECT_FALSE(none.Next(&triple));
+  store::ScanCursor def;
+  EXPECT_FALSE(def.Next(&triple));
+}
+
+TEST(ScanCursorTest, AgreesWithScanOnEveryBoundSet) {
+  TripleTable t = MakeTable();
+  const TriplePattern patterns[] = {
+      {},
+      {1, std::nullopt, std::nullopt},
+      {std::nullopt, 10, std::nullopt},
+      {std::nullopt, std::nullopt, 3},
+      {1, 10, std::nullopt},
+      {std::nullopt, 10, 3},
+      {1, std::nullopt, 2},
+      {1, 10, 3},
+  };
+  for (const TriplePattern& p : patterns) {
+    std::vector<Triple> expected = t.Scan(p);
+    std::vector<Triple> got;
+    store::ScanCursor c = t.OpenScan(p);
+    Triple triple;
+    while (c.Next(&triple)) got.push_back(triple);
+    EXPECT_EQ(got, expected);
+  }
+}
+
 // ---------------------------------------------------------------- database
 
 TEST(DatabaseTest, FromGraphKeepsTriples) {

@@ -8,12 +8,14 @@
 //   rdfsum convert   <in> <out.nt>                Turtle/N-Triples -> N-Triples
 //   rdfsum query     <file> <sparql...> [--no-prune] [--explicit-only]
 //                    [--plan naive|greedy|summary] [--explain] [--limit N]
+//                    [--offset N | --page N] [--stream]
 //
 // Input format is chosen by extension: .ttl/.turtle uses the Turtle parser,
 // anything else the N-Triples parser.
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,8 +55,11 @@ int Usage() {
       "  rdfsum convert   <in.(nt|ttl)> <out.nt>\n"
       "  rdfsum query     <file> <sparql string> [--no-prune] [--explicit-only]\n"
       "                   [--plan naive|greedy|summary] [--explain] [--limit N]\n"
+      "                   [--offset N | --page N] [--stream]\n"
       "                   (--explain prints the chosen join order per step:\n"
-      "                    pattern, index, estimated vs. actual cardinality)\n";
+      "                    pattern, index, join op, est vs. actual rows;\n"
+      "                    --page N is 1-based and needs --limit as the page\n"
+      "                    size; --stream flushes each row as it is produced)\n";
   return 2;
 }
 
@@ -250,14 +255,18 @@ int CmdQuery(const std::vector<std::string>& args) {
   bool prune = true;
   bool saturate = true;
   bool explain = false;
-  bool limit_set = false;
+  bool stream = false;
+  bool limit_set = false, offset_set = false, page_set = false;
   uint32_t limit = 1000;
+  uint32_t offset = 0;
+  uint32_t page = 0;
   query::PlannerMode planner = query::PlannerMode::kGreedy;
   std::string sparql;
   for (size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--no-prune") prune = false;
     else if (args[i] == "--explicit-only") saturate = false;
     else if (args[i] == "--explain") explain = true;
+    else if (args[i] == "--stream") stream = true;
     else if (args[i] == "--plan" && i + 1 < args.size()) {
       if (!query::ParsePlannerMode(args[++i], &planner)) {
         return Fail("bad --plan " + args[i] + " (naive|greedy|summary)");
@@ -267,15 +276,36 @@ int CmdQuery(const std::vector<std::string>& args) {
         return Fail("bad --limit " + args[i]);
       }
       limit_set = true;
+    } else if (args[i] == "--offset" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &offset)) {
+        return Fail("bad --offset " + args[i]);
+      }
+      offset_set = true;
+    } else if (args[i] == "--page" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &page) || page == 0) {
+        return Fail("bad --page " + args[i] + " (pages are 1-based)");
+      }
+      page_set = true;
     } else if (StartsWith(args[i], "--")) {
       return Fail("unknown option " + args[i]);
     } else {
       sparql += (sparql.empty() ? "" : " ") + args[i];
     }
   }
-  if (explain && limit_set) {
+  if (page_set && offset_set) {
+    return Fail("--page and --offset are mutually exclusive");
+  }
+  if (page_set && !limit_set) {
+    return Fail("--page needs --limit as the page size");
+  }
+  // The cursor skips (page-1)*limit distinct rows, then emits one page.
+  uint64_t skip = page_set
+                      ? static_cast<uint64_t>(page - 1) * limit
+                      : static_cast<uint64_t>(offset);
+  if (explain && (limit_set || offset_set || page_set)) {
     std::cerr << "warning: --explain enumerates every embedding to report "
-                 "actual cardinalities; --limit is ignored\n";
+                 "actual cardinalities; --limit/--offset/--page are "
+                 "ignored\n";
   }
   Graph g;
   std::string error;
@@ -325,19 +355,31 @@ int CmdQuery(const std::vector<std::string>& args) {
     return 0;
   }
 
+  // Streaming drain: rows print as the operator tree produces them, and the
+  // tree stops scanning the moment the limit quota is filled.
   Timer timer;
-  StatusOr<std::vector<query::Row>> rows =
-      prune ? pruned->Evaluate(*q, limit) : direct->Evaluate(*q, limit);
-  if (!rows.ok()) return Fail(rows.status().ToString());
-  for (const query::Row& row : *rows) {
+  query::CursorOptions cursor_options;
+  cursor_options.limit = limit;
+  cursor_options.offset = static_cast<size_t>(skip);
+  StatusOr<std::unique_ptr<query::Cursor>> cursor =
+      prune ? pruned->Open(*q, cursor_options)
+            : direct->Open(*q, cursor_options);
+  if (!cursor.ok()) return Fail(cursor.status().ToString());
+  uint64_t printed = 0;
+  query::IdRow encoded;
+  while ((*cursor)->Next(&encoded)) {
+    query::Row row = prune ? pruned->Decode(encoded) : direct->Decode(encoded);
     for (size_t i = 0; i < row.size(); ++i) {
       if (i > 0) std::cout << "\t";
       std::cout << row[i].ToNTriples();
     }
     std::cout << "\n";
+    if (stream) std::cout.flush();
+    ++printed;
   }
-  std::cout << "-- " << rows->size() << " row(s) in " << timer.ElapsedMillis()
+  std::cout << "-- " << printed << " row(s) in " << timer.ElapsedMillis()
             << " ms (plan=" << query::PlannerModeName(planner) << ")";
+  if (skip > 0) std::cout << " (offset " << skip << ")";
   if (prune && pruned->stats().pruned_by_summary > 0) {
     std::cout << " (pruned by summary without touching the graph)";
   }
