@@ -57,7 +57,21 @@ class BenchJson {
       : bench_name_(std::move(bench_name)) {}
 
   void Record(const std::string& name, uint64_t scale, double seconds) {
-    records_.push_back(Record_{name, scale, seconds});
+    records_.push_back(Record_{name, scale, seconds, -1, -1});
+  }
+
+  /// Thread-sweep record: stores the thread count the row *requested* and
+  /// the count the runtime actually spawned (after ResolveThreadCount
+  /// resolves 0 to hardware_concurrency and clamps against work size and
+  /// kMaxThreads — an explicit request is honored even beyond the core
+  /// count, i.e. oversubscribed). Read next to the top-level
+  /// hardware_concurrency: effective > cores means the row measured
+  /// oversubscription, not scaling.
+  void RecordThreads(const std::string& name, uint64_t scale, double seconds,
+                     uint32_t requested, uint32_t effective) {
+    records_.push_back(Record_{name, scale, seconds,
+                               static_cast<int64_t>(requested),
+                               static_cast<int64_t>(effective)});
   }
 
   /// Adds a top-level integer metadata field (e.g. the producing machine's
@@ -80,12 +94,16 @@ class BenchJson {
     std::fprintf(f, "  \"results\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record_& r = records_[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"scale\": %llu, "
-                   "\"seconds\": %.6f}%s\n",
-                   r.name.c_str(),
-                   static_cast<unsigned long long>(r.scale), r.seconds,
-                   i + 1 < records_.size() ? "," : "");
+      std::fprintf(f, "    {\"name\": \"%s\", \"scale\": %llu, \"seconds\": %.6f",
+                   r.name.c_str(), static_cast<unsigned long long>(r.scale),
+                   r.seconds);
+      if (r.threads_requested >= 0) {
+        std::fprintf(f,
+                     ", \"threads_requested\": %lld, \"threads_effective\": %lld",
+                     static_cast<long long>(r.threads_requested),
+                     static_cast<long long>(r.threads_effective));
+      }
+      std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
@@ -97,6 +115,8 @@ class BenchJson {
     std::string name;
     uint64_t scale;
     double seconds;
+    int64_t threads_requested;  // -1 = not a thread-sweep row
+    int64_t threads_effective;
   };
   std::string bench_name_;
   std::vector<std::pair<std::string, uint64_t>> meta_;

@@ -18,6 +18,7 @@
 #include "summary/parallel.h"
 #include "summary/summarizer.h"
 #include "util/csv.h"
+#include "util/parallel_for.h"
 #include "util/timer.h"
 
 namespace rdfsum {
@@ -34,6 +35,7 @@ using summary::ParallelBisimulationOptions;
 using summary::ParallelBisimulationSummarize;
 using summary::ParallelWeakOptions;
 using summary::ParallelWeakSummarize;
+using summary::QuotientByPartition;
 using summary::Summarize;
 using summary::SummaryKind;
 
@@ -56,46 +58,61 @@ bool SamePartition(const NodePartition& a, const NodePartition& b) {
   return a.num_classes == b.num_classes && a.class_of == b.class_of;
 }
 
+/// One parallel measurement: wall time, whether the result matched the
+/// sequential baseline, and the thread count the runtime actually spawned
+/// for the dominant sharded phase (ResolveThreadCount of the requested
+/// count against that phase's work size; phases over smaller inputs — the
+/// type scan, bisimulation's node ranges — may resolve lower).
+struct ParallelRun {
+  double seconds = 0.0;
+  bool matched = false;
+  uint32_t effective_threads = 0;
+};
+
 // One thread sweep over the bench scales: `sequential(g)` measures the
 // baseline (stashing whatever the equality check needs), then
-// `parallel(g, threads)` runs the sharded path and reports (seconds,
-// matched-baseline). Records land in the JSON as <prefix>_sequential and
-// <prefix>_p<threads>.
+// `parallel(g, threads)` runs the sharded path. Records land in the JSON as
+// <prefix>_sequential and <prefix>_p<threads>, each parallel row carrying
+// its requested and effective thread counts. Any baseline mismatch clears
+// *all_equal (the caller turns that into a non-zero exit).
 template <typename Sequential, typename Parallel>
 void PrintSweep(bench::BenchJson* json, const std::string& prefix,
-                const std::string& title, Sequential&& sequential,
-                Parallel&& parallel) {
+                const std::string& title, bool* all_equal,
+                Sequential&& sequential, Parallel&& parallel) {
   TablePrinter table({"triples", "sequential (ms)", "1t (ms)", "2t (ms)",
                       "4t (ms)", "8t (ms)", "speedup@4", "equal"});
   for (uint64_t scale : BenchScales()) {
     const Graph& g = CachedBsbm(scale);
     g.Dense();  // substrate shared by every run below; build it once up front
     double seq = sequential(g);
-    json->Record(prefix + "_sequential", scale, seq);
+    json->RecordThreads(prefix + "_sequential", scale, seq, 1, 1);
 
     std::vector<std::string> row = {Num(g.NumTriples()),
                                     FormatDouble(seq * 1e3, 1)};
     double at4 = seq;
     bool equal = true;
     for (uint32_t threads : kSweepThreads) {
-      auto [secs, matched] = parallel(g, threads);
-      json->Record(prefix + "_p" + std::to_string(threads), scale, secs);
-      row.push_back(FormatDouble(secs * 1e3, 1));
-      if (threads == 4) at4 = secs;
-      equal = equal && matched;
+      ParallelRun run = parallel(g, threads);
+      json->RecordThreads(prefix + "_p" + std::to_string(threads), scale,
+                          run.seconds, threads, run.effective_threads);
+      row.push_back(FormatDouble(run.seconds * 1e3, 1));
+      if (threads == 4) at4 = run.seconds;
+      equal = equal && run.matched;
     }
     row.push_back(FormatDouble(seq / at4, 2) + "x");
     row.push_back(equal ? "yes" : "NO (bug!)");
+    *all_equal = *all_equal && equal;
     table.AddRow(row);
   }
   table.Print(std::cout, title);
 }
 
-void PrintParallelWeak(bench::BenchJson* json) {
+void PrintParallelWeak(bench::BenchJson* json, bool* all_equal) {
   summary::SummaryResult batch;
   PrintSweep(
       json, "weak",
       "Future work (§9): parallel weak summarization (substrate-sharded)",
+      all_equal,
       [&](const Graph& g) {
         return BestOfTwo([&] { batch = Summarize(g, SummaryKind::kWeak); });
       },
@@ -105,19 +122,18 @@ void PrintParallelWeak(bench::BenchJson* json) {
         summary::SummaryResult r;
         double secs =
             BestOfTwo([&] { r = ParallelWeakSummarize(g, options); });
-        return std::make_pair(
-            secs, summary::AreSummariesIsomorphic(batch.graph, r.graph));
+        return ParallelRun{
+            secs, summary::AreSummariesIsomorphic(batch.graph, r.graph),
+            util::ResolveThreadCount(threads, g.Dense().num_data_edges())};
       });
 }
 
-// Partition construction alone — the phase the sharded scan parallelizes
-// (full ParallelWeakSummarize also pays the sequential quotient, which
-// dilutes the visible speedup).
-void PrintParallelWeakPartitionOnly(bench::BenchJson* json) {
+// Partition construction alone — the phase the sharded scan parallelizes.
+void PrintParallelWeakPartitionOnly(bench::BenchJson* json, bool* all_equal) {
   NodePartition seq_part;
   PrintSweep(
       json, "weak_partition",
-      "Parallel weak partition only (quotient excluded)",
+      "Parallel weak partition only (quotient excluded)", all_equal,
       [&](const Graph& g) {
         return BestOfTwo([&] { seq_part = ComputeWeakPartition(g); });
       },
@@ -125,14 +141,78 @@ void PrintParallelWeakPartitionOnly(bench::BenchJson* json) {
         NodePartition part;
         double secs = BestOfTwo(
             [&] { part = ComputeParallelWeakPartition(g, threads); });
-        return std::make_pair(secs, SamePartition(seq_part, part));
+        return ParallelRun{
+            secs, SamePartition(seq_part, part),
+            util::ResolveThreadCount(threads, g.Dense().num_data_edges())};
       });
 }
 
-void PrintParallelBisimulation(bench::BenchJson* json) {
+// Quotient construction alone over a fixed (sequentially computed) weak
+// partition — the phase this PR shards; before it, QuotientByPartition was
+// the dominant sequential tail of every threaded build.
+void PrintParallelQuotient(bench::BenchJson* json, bool* all_equal) {
+  NodePartition part;
+  summary::SummaryResult batch;
+  PrintSweep(
+      json, "quotient",
+      "Parallel quotient construction (fixed weak partition)", all_equal,
+      [&](const Graph& g) {
+        part = ComputeWeakPartition(g);
+        return BestOfTwo([&] {
+          batch = QuotientByPartition(g, part, SummaryKind::kWeak, {});
+        });
+      },
+      [&](const Graph& g, uint32_t threads) {
+        summary::SummaryOptions options;
+        options.num_threads = threads;
+        summary::SummaryResult r;
+        double secs = BestOfTwo([&] {
+          r = QuotientByPartition(g, part, SummaryKind::kWeak, options);
+        });
+        bool matched =
+            r.graph.NumTriples() == batch.graph.NumTriples() &&
+            r.stats.num_all_nodes == batch.stats.num_all_nodes &&
+            summary::AreSummariesIsomorphic(batch.graph, r.graph);
+        return ParallelRun{
+            secs, matched,
+            util::ResolveThreadCount(threads, g.Dense().num_data_edges())};
+      });
+}
+
+// End-to-end pipeline (partition + quotient) through the Summarize facade
+// with SummaryOptions::num_threads — what `rdfsum summarize --threads N`
+// runs.
+void PrintParallelPipeline(bench::BenchJson* json, bool* all_equal) {
+  summary::SummaryResult batch;
+  PrintSweep(
+      json, "pipeline",
+      "Parallel pipeline: partition + quotient (Summarize, weak)", all_equal,
+      [&](const Graph& g) {
+        summary::SummaryOptions options;
+        options.num_threads = 1;
+        return BestOfTwo(
+            [&] { batch = Summarize(g, SummaryKind::kWeak, options); });
+      },
+      [&](const Graph& g, uint32_t threads) {
+        summary::SummaryOptions options;
+        options.num_threads = threads;
+        summary::SummaryResult r;
+        double secs =
+            BestOfTwo([&] { r = Summarize(g, SummaryKind::kWeak, options); });
+        bool matched =
+            r.graph.NumTriples() == batch.graph.NumTriples() &&
+            summary::AreSummariesIsomorphic(batch.graph, r.graph);
+        return ParallelRun{
+            secs, matched,
+            util::ResolveThreadCount(threads, g.Dense().num_data_edges())};
+      });
+}
+
+void PrintParallelBisimulation(bench::BenchJson* json, bool* all_equal) {
   NodePartition seq_part;
   PrintSweep(
       json, "bisim", "Parallel bisimulation refinement (depth 2, typed)",
+      all_equal,
       [&](const Graph& g) {
         return BestOfTwo(
             [&] { seq_part = ComputeBisimulationPartition(g, 2, true); });
@@ -144,7 +224,9 @@ void PrintParallelBisimulation(bench::BenchJson* json) {
               g, 2, true, summary::BisimulationDirection::kForwardBackward,
               threads);
         });
-        return std::make_pair(secs, SamePartition(seq_part, part));
+        return ParallelRun{
+            secs, SamePartition(seq_part, part),
+            util::ResolveThreadCount(threads, g.Dense().num_nodes())};
       });
 }
 
@@ -172,23 +254,35 @@ void PrintMaintenance() {
   stream.Print(std::cout, "Streaming maintenance cost (insert-only)");
 }
 
-void PrintParallel() {
+bool PrintParallel() {
   bench::BenchJson json("bench_parallel");
   // Interpretation context: speedups are bounded by the cores of the
-  // machine that produced the file.
+  // machine that produced the file (per-row threads_effective records what
+  // each measurement actually ran with).
   json.MetaInt("hardware_concurrency", std::thread::hardware_concurrency());
-  PrintParallelWeak(&json);
-  PrintParallelWeakPartitionOnly(&json);
-  PrintParallelBisimulation(&json);
+  bool all_equal = true;
+  PrintParallelWeak(&json, &all_equal);
+  PrintParallelWeakPartitionOnly(&json, &all_equal);
+  PrintParallelQuotient(&json, &all_equal);
+  PrintParallelPipeline(&json, &all_equal);
+  PrintParallelBisimulation(&json, &all_equal);
   PrintMaintenance();
   const char* path = std::getenv("RDFSUM_BENCH_JSON");
   std::string out = path != nullptr ? path : "BENCH_parallel.json";
-  if (json.WriteFile(out)) {
+  bool wrote = json.WriteFile(out);
+  if (wrote) {
     std::cout << "wrote " << out << "\n";
   } else {
+    // Failing loudly matters: CI's quotient gate reads this file next and
+    // would otherwise silently validate a stale committed copy.
     std::cerr << "failed to write " << out << "\n";
   }
+  if (!all_equal) {
+    std::cerr << "BUG: a parallel path diverged from its sequential "
+                 "baseline (see the 'equal' columns above)\n";
+  }
   std::cout.flush();
+  return all_equal && wrote;
 }
 
 void BM_ParallelWeak(benchmark::State& state) {
@@ -234,7 +328,9 @@ BENCHMARK(BM_MaintainerInsert)->Unit(benchmark::kMillisecond);
 }  // namespace rdfsum
 
 int main(int argc, char** argv) {
-  rdfsum::PrintParallel();
+  // A parallel/sequential divergence is a correctness bug, not a perf
+  // datapoint: fail the run so CI's bench smoke gates on it.
+  if (!rdfsum::PrintParallel()) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

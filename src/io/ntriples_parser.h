@@ -35,12 +35,15 @@ struct ParseStats {
 /// blank lines are ignored.
 class NTriplesParser {
  public:
-  /// Parses all lines of `text` into `graph`.
+  /// Parses all lines of `text` into `graph`. Pre-sizes the graph's triple
+  /// set and dictionary from the input's line count so bulk loads don't
+  /// rehash the open-addressing index repeatedly.
   static Status ParseString(std::string_view text, Graph* graph,
                             ParseStats* stats = nullptr,
                             const ParseOptions& options = {});
 
-  /// Parses the file at `path` into `graph`.
+  /// Parses the file at `path` into `graph` (buffered through ParseString,
+  /// inheriting its size-based pre-reserve).
   static Status ParseFile(const std::string& path, Graph* graph,
                           ParseStats* stats = nullptr,
                           const ParseOptions& options = {});

@@ -37,7 +37,15 @@ void Graph::AddAll(const Graph& other) {
   other.ForEachTriple([this](const Triple& t) { Add(t); });
 }
 
-void Graph::Reserve(size_t num_triples) { all_.reserve(num_triples); }
+void Graph::Reserve(size_t num_triples) {
+  // Monotonic: unordered_set::reserve may rehash *down* to fit a smaller
+  // request, which would throw away an earlier, larger reservation (e.g. a
+  // bulk pre-reserve followed by a small ParseString).
+  const size_t capacity =
+      static_cast<size_t>(static_cast<double>(all_.bucket_count()) *
+                          all_.max_load_factor());
+  if (num_triples > capacity) all_.reserve(num_triples);
+}
 
 const DenseGraph& Graph::Dense() const {
   if (!dense_ || dense_built_at_ != all_.size()) {

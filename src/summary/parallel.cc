@@ -87,10 +87,13 @@ SummaryResult ParallelWeakSummarize(const Graph& g,
                                     const ParallelWeakOptions& options) {
   Timer timer;
   NodePartition part = ComputeParallelWeakPartition(g, options.num_threads);
+  double partition_seconds = timer.ElapsedSeconds();
   SummaryOptions sum_options;
   sum_options.record_members = options.record_members;
+  sum_options.num_threads = options.num_threads;
   SummaryResult out =
       QuotientByPartition(g, part, SummaryKind::kWeak, sum_options);
+  out.stats.partition_seconds = partition_seconds;
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;
 }
@@ -101,13 +104,16 @@ SummaryResult ParallelBisimulationSummarize(
   NodePartition part = ComputeBisimulationPartition(
       g, options.depth, options.use_types, options.direction,
       options.num_threads);
+  double partition_seconds = timer.ElapsedSeconds();
   SummaryOptions sum_options;
   sum_options.record_members = options.record_members;
+  sum_options.num_threads = options.num_threads;
   sum_options.bisimulation_depth = options.depth;
   sum_options.bisimulation_uses_types = options.use_types;
   sum_options.bisimulation_direction = options.direction;
   SummaryResult out =
       QuotientByPartition(g, part, SummaryKind::kBisimulation, sum_options);
+  out.stats.partition_seconds = partition_seconds;
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;
 }

@@ -31,8 +31,13 @@ struct ParallelWeakOptions {
 ///                         unions — no node_of() lookups anywhere);
 ///   phase C (parallel)  : a sharded compress pass resolves every node to
 ///                         its final root;
-///   phase D (sequential): canonical class numbering and quotient
-///                         construction, identical to the batch path.
+///   phase D (sequential): canonical class numbering, identical to the batch
+///                         path;
+///   phase E (parallel)  : quotient construction — shards classify edge
+///                         ranges into summary edges with private dedup
+///                         tables, merged in shard-index order (see
+///                         QuotientByPartition with
+///                         SummaryOptions::num_threads).
 ///
 /// The result equals Summarize(g, SummaryKind::kWeak) exactly (same
 /// partition and class ids, not merely isomorphic), because weak

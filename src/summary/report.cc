@@ -82,6 +82,7 @@ SummaryReport DescribeSummary(const SummaryResult& summary) {
   const Graph& h = summary.graph;
   SummaryReport report;
   report.kind = summary.kind;
+  report.stats = summary.stats;
 
   auto facts = CollectFacts(h);
 
@@ -128,6 +129,11 @@ std::string SummaryReport::ToString() const {
   std::ostringstream os;
   os << SummaryKindName(kind) << " summary: " << nodes.size()
      << " data nodes\n";
+  if (stats.build_seconds > 0.0) {
+    os << "  built in " << stats.build_seconds << "s (partition="
+       << stats.partition_seconds << "s, quotient=" << stats.quotient_seconds
+       << "s)\n";
+  }
   for (const NodeReport& n : nodes) {
     os << "  " << n.label << "  represents " << n.member_count
        << " resource(s)";

@@ -30,6 +30,10 @@ struct NodeReport {
 struct SummaryReport {
   SummaryKind kind = SummaryKind::kWeak;
   std::vector<NodeReport> nodes;  // sorted by member_count, descending
+  /// Size and per-phase wall-time accounting copied from the summary
+  /// (partition_seconds / quotient_seconds show where a threaded build
+  /// spent its time).
+  SummaryStats stats;
 
   std::string ToString() const;
 };

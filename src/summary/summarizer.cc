@@ -1,9 +1,15 @@
 #include "summary/summarizer.h"
 
+#include <atomic>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "rdf/dense_graph.h"
 #include "reasoner/saturation.h"
+#include "summary/parallel.h"
+#include "util/parallel_for.h"
+#include "util/row_set.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -14,6 +20,11 @@ NodePartition ComputePartition(const Graph& g, SummaryKind kind,
                                const SummaryOptions& options) {
   switch (kind) {
     case SummaryKind::kWeak:
+      // The sharded union-find path is byte-identical to the sequential one
+      // at every thread count, so a threaded request routes through it.
+      if (options.num_threads != 1) {
+        return ComputeParallelWeakPartition(g, options.num_threads);
+      }
       return ComputeWeakPartition(g);
     case SummaryKind::kStrong:
       return ComputeStrongPartition(g);
@@ -24,11 +35,108 @@ NodePartition ComputePartition(const Graph& g, SummaryKind kind,
     case SummaryKind::kTypeBased:
       return ComputeTypePartition(g);
     case SummaryKind::kBisimulation:
-      return ComputeBisimulationPartition(g, options.bisimulation_depth,
-                                          options.bisimulation_uses_types,
-                                          options.bisimulation_direction);
+      return ComputeBisimulationPartition(
+          g, options.bisimulation_depth, options.bisimulation_uses_types,
+          options.bisimulation_direction, options.num_threads);
   }
   return ComputeWeakPartition(g);
+}
+
+/// Parallel construction of the quotient edge set: shards classify contiguous
+/// ranges of the input into summary edges with private dedup tables, then the
+/// shards merge in shard-index order so the summary graph's insertion order —
+/// and with it every downstream canonical numbering — is byte-identical to
+/// the sequential first-occurrence walk. See src/summary/README.md for why
+/// the merge order fixes determinism.
+void ParallelQuotientEdges(const Graph& g, const NodePartition& part,
+                           const std::vector<TermId>& class_node,
+                           uint32_t num_threads, Graph* out) {
+  const DenseGraph& dg = g.Dense();  // built/cached before any worker spawns
+  const uint32_t n = dg.num_nodes();
+
+  // Resolve every dense node to its class id once, instead of one hash
+  // lookup per edge endpoint. Workers flag missing nodes; the throw happens
+  // after the join so the sequential path's out_of_range contract holds.
+  std::vector<uint32_t> class_of_dense(n);
+  std::atomic<bool> missing{false};
+  util::ParallelForRanges(
+      util::ResolveThreadCount(num_threads, n), n,
+      [&](uint32_t, uint64_t begin, uint64_t end) {
+        for (uint64_t i = begin; i < end; ++i) {
+          auto it = part.class_of.find(dg.term_of(static_cast<uint32_t>(i)));
+          if (it == part.class_of.end()) {
+            missing.store(true, std::memory_order_relaxed);
+          } else {
+            class_of_dense[i] = it->second;
+          }
+        }
+      });
+  if (missing.load()) {
+    throw std::out_of_range("partition does not cover every graph node");
+  }
+
+  // Data component: each shard scans a contiguous EdgeRange and dedups the
+  // summary edges (class(s), property, class(o)) it sees, in first-occurrence
+  // order, into a private RowSet.
+  const uint32_t edge_threads =
+      util::ResolveThreadCount(num_threads, dg.num_data_edges());
+  std::vector<util::RowSet> shard_edges(edge_threads, util::RowSet(3));
+  util::ParallelForRanges(
+      edge_threads, dg.num_data_edges(),
+      [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        util::RowSet& set = shard_edges[shard];
+        TermId row[3];
+        for (const DenseGraph::Edge& e : dg.EdgeRange(begin, end)) {
+          row[0] = class_of_dense[e.s];
+          row[1] = e.p;
+          row[2] = class_of_dense[e.o];
+          set.Insert(row);
+        }
+      });
+
+  // Type component: same recipe over g.types() with (class(s), class term)
+  // keys. Type subjects are dense nodes by the substrate's canonical
+  // numbering, so node_of never misses.
+  const std::vector<Triple>& types = g.types();
+  const uint32_t type_threads =
+      util::ResolveThreadCount(num_threads, types.size());
+  std::vector<util::RowSet> shard_types(type_threads, util::RowSet(2));
+  util::ParallelForRanges(
+      type_threads, types.size(),
+      [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        util::RowSet& set = shard_types[shard];
+        TermId row[2];
+        for (uint64_t i = begin; i < end; ++i) {
+          const Triple& t = types[i];
+          row[0] = class_of_dense[dg.node_of(t.s)];
+          row[1] = t.o;
+          set.Insert(row);
+        }
+      });
+
+  // Merge in shard-index order. Shards are contiguous input ranges, so an
+  // edge's first surviving occurrence is in the earliest shard that saw it,
+  // at that shard's first-occurrence position: Graph::Add's cross-shard
+  // dedup reproduces the sequential insertion order exactly.
+  size_t distinct_upper = g.schema().size();
+  for (const util::RowSet& set : shard_edges) distinct_upper += set.size();
+  for (const util::RowSet& set : shard_types) distinct_upper += set.size();
+  out->Reserve(distinct_upper);
+  for (const util::RowSet& set : shard_edges) {
+    for (size_t r = 0; r < set.size(); ++r) {
+      const TermId* row = set.row(r);
+      out->Add(Triple{class_node[row[0]], dg.property_term(row[1]),
+                      class_node[row[2]]});
+    }
+  }
+  const TermId rdf_type = g.vocab().rdf_type;
+  for (const util::RowSet& set : shard_types) {
+    for (size_t r = 0; r < set.size(); ++r) {
+      const TermId* row = set.row(r);
+      out->Add(Triple{class_node[row[0]], rdf_type, row[1]});
+    }
+  }
+  for (const Triple& t : g.schema()) out->Add(t);
 }
 
 }  // namespace
@@ -49,16 +157,22 @@ SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
     class_node[c] = dict.MintNodeUri("node:" + tag);
   }
 
-  auto map_node = [&](TermId n) { return class_node[part.class_of.at(n)]; };
-
-  for (const Triple& t : g.data()) {
-    out.graph.Add(Triple{map_node(t.s), t.p, map_node(t.o)});
+  const uint32_t threads = util::ResolveThreadCount(
+      options.num_threads, g.data().size() + g.types().size());
+  if (threads > 1) {
+    ParallelQuotientEdges(g, part, class_node, options.num_threads,
+                          &out.graph);
+  } else {
+    auto map_node = [&](TermId n) { return class_node[part.class_of.at(n)]; };
+    for (const Triple& t : g.data()) {
+      out.graph.Add(Triple{map_node(t.s), t.p, map_node(t.o)});
+    }
+    const TermId rdf_type = g.vocab().rdf_type;
+    for (const Triple& t : g.types()) {
+      out.graph.Add(Triple{map_node(t.s), rdf_type, t.o});
+    }
+    for (const Triple& t : g.schema()) out.graph.Add(t);
   }
-  const TermId rdf_type = g.vocab().rdf_type;
-  for (const Triple& t : g.types()) {
-    out.graph.Add(Triple{map_node(t.s), rdf_type, t.o});
-  }
-  for (const Triple& t : g.schema()) out.graph.Add(t);
 
   out.node_map.reserve(part.class_of.size());
   for (const auto& [n, c] : part.class_of) {
@@ -70,6 +184,7 @@ SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
     }
   }
   out.stats = ComputeSummaryStats(out.graph, timer.ElapsedSeconds());
+  out.stats.quotient_seconds = out.stats.build_seconds;
   return out;
 }
 
@@ -77,7 +192,9 @@ SummaryResult Summarize(const Graph& g, SummaryKind kind,
                         const SummaryOptions& options) {
   Timer timer;
   NodePartition part = ComputePartition(g, kind, options);
+  double partition_seconds = timer.ElapsedSeconds();
   SummaryResult out = QuotientByPartition(g, part, kind, options);
+  out.stats.partition_seconds = partition_seconds;
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;
 }
@@ -108,6 +225,8 @@ SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
     for (const auto& [n, h] : second.node_map) members[h].push_back(n);
     second.members = std::move(members);
   }
+  second.stats.partition_seconds += first.stats.partition_seconds;
+  second.stats.quotient_seconds += first.stats.quotient_seconds;
   second.stats.build_seconds = timer.ElapsedSeconds();
   return second;
 }

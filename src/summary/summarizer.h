@@ -16,12 +16,27 @@ namespace rdfsum::summary {
 /// The summary shares `g`'s dictionary; summary nodes are freshly minted
 /// urn:rdfsum: URIs (the dictionary is mutated through the shared pointer,
 /// which is why it is held by shared_ptr rather than by value).
+///
+/// `options.num_threads` parallelizes the build end-to-end: the partition
+/// phase for the kinds with sharded partition paths (W, BISIM) and the
+/// quotient phase for every kind. The result is byte-identical to the
+/// sequential build at every thread count; per-phase wall times land in
+/// SummaryResult::stats.
 SummaryResult Summarize(const Graph& g, SummaryKind kind,
                         const SummaryOptions& options = {});
 
 /// Builds the quotient of `g` through an explicit partition (exposed so
 /// callers can experiment with custom equivalence relations; Summarize is
-/// implemented on top of this).
+/// implemented on top of this). The partition must cover every data node and
+/// type-triple subject of `g` (all ComputeXxxPartition results do); a node
+/// it misses raises std::out_of_range.
+///
+/// With `options.num_threads` != 1 the summary edge set is built by sharding
+/// the dense edge list: each shard classifies its contiguous range into
+/// summary edges through per-shard dedup tables, and shards merge in
+/// shard-index order, which reproduces the sequential first-occurrence
+/// insertion order — and therefore minted node ids and serialized output —
+/// byte for byte (see src/summary/README.md).
 SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
                                   SummaryKind kind,
                                   const SummaryOptions& options = {});

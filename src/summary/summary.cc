@@ -43,7 +43,8 @@ std::string SummaryStats::ToString() const {
   os << "data nodes=" << num_data_nodes << ", class nodes=" << num_class_nodes
      << ", all nodes=" << num_all_nodes << ", data edges=" << num_data_edges
      << ", type edges=" << num_type_edges << ", all edges=" << num_all_edges
-     << ", build=" << build_seconds << "s";
+     << ", build=" << build_seconds << "s (partition=" << partition_seconds
+     << "s, quotient=" << quotient_seconds << "s)";
   return os.str();
 }
 

@@ -57,6 +57,12 @@ struct SummaryOptions {
   TypedSummaryMode typed_mode = TypedSummaryMode::kPerPropertyProjection;
   /// Fill SummaryResult::members (the paper's `dr` multimap).
   bool record_members = false;
+  /// Threads for the parallel phases of summarization — the sharded quotient
+  /// construction (every kind) and the parallel partition paths (W and
+  /// BISIM). 1 = fully sequential (default), 0 = all hardware threads. The
+  /// result is byte-identical at every value (see src/summary/README.md for
+  /// the sharding invariants that guarantee it).
+  uint32_t num_threads = 1;
   /// Refinement rounds for SummaryKind::kBisimulation: nodes are equivalent
   /// iff their k-hop labeled neighborhoods are (k = depth). Larger depths
   /// approach full bisimulation, whose size the paper's §8 warns "can be as
@@ -79,6 +85,12 @@ struct SummaryStats {
   uint64_t num_schema_edges = 0;
   uint64_t num_all_edges = 0;  // |H|e
   double build_seconds = 0.0;
+  /// Per-phase wall times of the build: computing the equivalence partition
+  /// and materializing the quotient graph. For the saturation shortcut these
+  /// aggregate over both Summarize passes; they never include saturation
+  /// itself, so they need not sum to build_seconds.
+  double partition_seconds = 0.0;
+  double quotient_seconds = 0.0;
 
   std::string ToString() const;
 };

@@ -1,0 +1,202 @@
+// Differential wall for the parallel quotient construction: with
+// SummaryOptions::num_threads != 1 the summary must be BYTE-identical to the
+// sequential build — same minted urn:rdfsum: ids, same triple insertion
+// order, same serialized N-Triples — for every summary kind, dataset shape,
+// raw/saturated input, and thread count. Minting advances the shared
+// dictionary's counter, so every comparison builds the input graph twice
+// (identical construction => identical TermIds) and summarizes each copy
+// once, exactly like the determinism tests in parallel_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "gen/bsbm.h"
+#include "gen/hetero.h"
+#include "gen/lubm.h"
+#include "gen/paper_example.h"
+#include "io/ntriples_writer.h"
+#include "reasoner/saturation.h"
+#include "summary/node_partition.h"
+#include "summary/property_checks.h"
+#include "summary/summarizer.h"
+
+namespace rdfsum::summary {
+namespace {
+
+// 1 is the sequential baseline; 2/4 split evenly, 7 leaves ragged shard
+// ranges, 8 exceeds the class/type counts of the small datasets, 0 = all
+// hardware threads.
+constexpr uint32_t kThreadCounts[] = {2, 4, 7, 8, 0};
+
+constexpr SummaryKind kAllKinds[] = {
+    SummaryKind::kWeak,         SummaryKind::kStrong,
+    SummaryKind::kTypedWeak,    SummaryKind::kTypedStrong,
+    SummaryKind::kTypeBased,    SummaryKind::kBisimulation,
+};
+
+enum class Dataset { kBsbm, kLubm, kPaper, kHetero };
+
+const char* DatasetName(Dataset d) {
+  switch (d) {
+    case Dataset::kBsbm: return "bsbm";
+    case Dataset::kLubm: return "lubm";
+    case Dataset::kPaper: return "paper";
+    case Dataset::kHetero: return "hetero";
+  }
+  return "?";
+}
+
+/// Deterministic generator: two calls build byte-identical graphs (same
+/// dictionary ids, same triple order).
+Graph MakeGraph(Dataset d, bool saturated) {
+  Graph g;
+  switch (d) {
+    case Dataset::kBsbm: {
+      gen::BsbmOptions opt;
+      opt.num_products = 60;
+      g = gen::GenerateBsbm(opt);
+      break;
+    }
+    case Dataset::kLubm: {
+      gen::LubmOptions opt;
+      opt.num_universities = 1;
+      g = gen::GenerateLubm(opt);
+      break;
+    }
+    case Dataset::kPaper:
+      g = gen::BuildFigure2().graph;
+      break;
+    case Dataset::kHetero: {
+      gen::HeteroOptions opt;
+      opt.seed = 13;
+      opt.num_nodes = 150;
+      opt.num_properties = 11;
+      opt.type_probability = 0.35;
+      g = gen::GenerateHetero(opt);
+      break;
+    }
+  }
+  return saturated ? reasoner::Saturate(g) : g;
+}
+
+class ParallelQuotientWallTest
+    : public ::testing::TestWithParam<std::tuple<Dataset, bool>> {};
+
+TEST_P(ParallelQuotientWallTest, ByteIdenticalAcrossKindsAndThreadCounts) {
+  auto [dataset, saturated] = GetParam();
+  for (SummaryKind kind : kAllKinds) {
+    Graph g_seq = MakeGraph(dataset, saturated);
+    SummaryOptions seq_options;
+    seq_options.num_threads = 1;
+    seq_options.record_members = true;
+    SummaryResult seq = Summarize(g_seq, kind, seq_options);
+    const std::string seq_nt = io::NTriplesWriter::ToString(seq.graph);
+
+    for (uint32_t threads : kThreadCounts) {
+      Graph g_par = MakeGraph(dataset, saturated);
+      SummaryOptions par_options = seq_options;
+      par_options.num_threads = threads;
+      SummaryResult par = Summarize(g_par, kind, par_options);
+      const std::string label = std::string(SummaryKindName(kind)) + " t" +
+                                std::to_string(threads);
+      // Serialized summary (data, type, and schema insertion order plus
+      // minted ids) is the byte-identity contract.
+      EXPECT_EQ(seq_nt, io::NTriplesWriter::ToString(par.graph)) << label;
+      // The representation maps agree id-for-id too.
+      EXPECT_EQ(seq.node_map, par.node_map) << label;
+      EXPECT_EQ(seq.stats.num_all_nodes, par.stats.num_all_nodes) << label;
+      EXPECT_EQ(seq.stats.num_all_edges, par.stats.num_all_edges) << label;
+      EXPECT_TRUE(CheckHomomorphism(g_par, par).ok()) << label;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetsAndSaturation, ParallelQuotientWallTest,
+    ::testing::Combine(::testing::Values(Dataset::kBsbm, Dataset::kLubm,
+                                         Dataset::kPaper, Dataset::kHetero),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return std::string(DatasetName(std::get<0>(info.param))) +
+             (std::get<1>(info.param) ? "_saturated" : "_raw");
+    });
+
+// The explicit-partition entry point shards identically: quotient an
+// externally computed partition at several thread counts against the
+// sequential build.
+TEST(ParallelQuotientTest, ExplicitPartitionByteIdentical) {
+  Graph g_seq = MakeGraph(Dataset::kHetero, /*saturated=*/false);
+  NodePartition part_seq = ComputeWeakPartition(g_seq);
+  SummaryResult seq =
+      QuotientByPartition(g_seq, part_seq, SummaryKind::kWeak, {});
+  const std::string seq_nt = io::NTriplesWriter::ToString(seq.graph);
+  for (uint32_t threads : kThreadCounts) {
+    Graph g_par = MakeGraph(Dataset::kHetero, /*saturated=*/false);
+    NodePartition part_par = ComputeWeakPartition(g_par);
+    SummaryOptions options;
+    options.num_threads = threads;
+    SummaryResult par =
+        QuotientByPartition(g_par, part_par, SummaryKind::kWeak, options);
+    EXPECT_EQ(seq_nt, io::NTriplesWriter::ToString(par.graph))
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelQuotientTest, RecordMembersMatchesSequential) {
+  Graph g_seq = MakeGraph(Dataset::kBsbm, /*saturated=*/false);
+  SummaryOptions seq_options;
+  seq_options.record_members = true;
+  SummaryResult seq = Summarize(g_seq, SummaryKind::kStrong, seq_options);
+
+  Graph g_par = MakeGraph(Dataset::kBsbm, /*saturated=*/false);
+  SummaryOptions par_options = seq_options;
+  par_options.num_threads = 4;
+  SummaryResult par = Summarize(g_par, SummaryKind::kStrong, par_options);
+  ASSERT_EQ(seq.members.size(), par.members.size());
+  for (const auto& [node, members] : seq.members) {
+    auto it = par.members.find(node);
+    ASSERT_NE(it, par.members.end());
+    EXPECT_EQ(members, it->second);
+  }
+}
+
+TEST(ParallelQuotientTest, EmptyGraphAllThreadCounts) {
+  for (uint32_t threads : kThreadCounts) {
+    Graph g;
+    SummaryOptions options;
+    options.num_threads = threads;
+    SummaryResult r = Summarize(g, SummaryKind::kWeak, options);
+    EXPECT_TRUE(r.graph.Empty()) << "threads " << threads;
+  }
+}
+
+TEST(ParallelQuotientTest, MoreThreadsThanTriples) {
+  Graph g;
+  Dictionary& d = g.dict();
+  g.Add({d.EncodeIri("a"), d.EncodeIri("p"), d.EncodeIri("b")});
+  g.Add({d.EncodeIri("a"), g.vocab().rdf_type, d.EncodeIri("C")});
+  SummaryOptions options;
+  options.num_threads = 64;
+  SummaryResult r = Summarize(g, SummaryKind::kWeak, options);
+  EXPECT_EQ(r.stats.num_data_edges, 1u);
+  EXPECT_EQ(r.stats.num_type_edges, 1u);
+}
+
+// A partition that misses graph nodes raises out_of_range on the threaded
+// path just like the sequential map_node's .at() does.
+TEST(ParallelQuotientTest, IncompletePartitionThrows) {
+  Graph g = MakeGraph(Dataset::kPaper, /*saturated=*/false);
+  NodePartition partial;
+  partial.num_classes = 1;  // covers no node at all
+  SummaryOptions options;
+  options.num_threads = 4;
+  EXPECT_THROW(QuotientByPartition(g, partial, SummaryKind::kWeak, options),
+               std::out_of_range);
+  EXPECT_THROW(QuotientByPartition(g, partial, SummaryKind::kWeak, {}),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rdfsum::summary

@@ -26,7 +26,6 @@
 #include "io/turtle_parser.h"
 #include "query/pruned_evaluator.h"
 #include "query/sparql_parser.h"
-#include "summary/parallel.h"
 #include "rdf/graph.h"
 #include "rdf/graph_stats.h"
 #include "reasoner/saturation.h"
@@ -49,8 +48,9 @@ int Usage() {
       "  rdfsum stats     <file>\n"
       "  rdfsum summarize <file> [--kind W|S|TW|TS|T|BISIM|all] [--out prefix]\n"
       "                   [--saturate] [--report] [--strict-typed] [--depth N]\n"
-      "                   [--threads N]  (N!=1 runs W/BISIM multi-threaded;\n"
-      "                                  0 = all cores)\n"
+      "                   [--threads N]  (N!=1 parallelizes partition +\n"
+      "                                  quotient for every kind; 0 = all\n"
+      "                                  cores; output is byte-identical)\n"
       "  rdfsum saturate  <file> [--out out.nt]\n"
       "  rdfsum convert   <in.(nt|ttl)> <out.nt>\n"
       "  rdfsum query     <file> <sparql string> [--no-prune] [--explicit-only]\n"
@@ -126,30 +126,15 @@ int CmdStats(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Dispatches to the multi-threaded W/BISIM builders when `threads` asks for
-// them (they produce the same partition as the sequential paths); every
-// other kind runs the sequential summarizer.
+// `--threads` is parallel end-to-end through SummaryOptions::num_threads:
+// the quotient phase shards for every kind, and W/BISIM additionally run
+// their sharded partition paths. Byte-identical at every thread count.
 summary::SummaryResult RunSummarize(const Graph& g, summary::SummaryKind kind,
                                     const summary::SummaryOptions& options,
                                     uint32_t threads) {
-  if (threads != 1) {
-    if (kind == summary::SummaryKind::kWeak) {
-      summary::ParallelWeakOptions popt;
-      popt.num_threads = threads;
-      popt.record_members = options.record_members;
-      return summary::ParallelWeakSummarize(g, popt);
-    }
-    if (kind == summary::SummaryKind::kBisimulation) {
-      summary::ParallelBisimulationOptions popt;
-      popt.num_threads = threads;
-      popt.depth = options.bisimulation_depth;
-      popt.use_types = options.bisimulation_uses_types;
-      popt.direction = options.bisimulation_direction;
-      popt.record_members = options.record_members;
-      return summary::ParallelBisimulationSummarize(g, popt);
-    }
-  }
-  return summary::Summarize(g, kind, options);
+  summary::SummaryOptions threaded = options;
+  threaded.num_threads = threads;
+  return summary::Summarize(g, kind, threaded);
 }
 
 int CmdSummarize(const std::vector<std::string>& args) {
