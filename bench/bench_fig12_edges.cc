@@ -60,7 +60,7 @@ void BM_QuotientConstruction(benchmark::State& state) {
   const Graph& g = CachedBsbm(100'000);
   summary::NodePartition part = summary::ComputeWeakPartition(g);
   for (auto _ : state) {
-    auto r = summary::QuotientByPartition(g, part, SummaryKind::kWeak);
+    auto r = summary::QuotientByPartition(g, part, SummaryKind::kWeak).value();
     benchmark::DoNotOptimize(r);
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

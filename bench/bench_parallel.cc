@@ -159,7 +159,7 @@ void PrintParallelQuotient(bench::BenchJson* json, bool* all_equal) {
       [&](const Graph& g) {
         part = ComputeWeakPartition(g);
         return BestOfTwo([&] {
-          batch = QuotientByPartition(g, part, SummaryKind::kWeak, {});
+          batch = QuotientByPartition(g, part, SummaryKind::kWeak, {}).value();
         });
       },
       [&](const Graph& g, uint32_t threads) {
@@ -167,7 +167,7 @@ void PrintParallelQuotient(bench::BenchJson* json, bool* all_equal) {
         options.num_threads = threads;
         summary::SummaryResult r;
         double secs = BestOfTwo([&] {
-          r = QuotientByPartition(g, part, SummaryKind::kWeak, options);
+          r = QuotientByPartition(g, part, SummaryKind::kWeak, options).value();
         });
         bool matched =
             r.graph.NumTriples() == batch.graph.NumTriples() &&

@@ -197,17 +197,36 @@ StatusOr<Term> ParseTermAt(std::string_view text, size_t& pos) {
                                  std::string(1, c) + "'");
 }
 
-Status ParseLine(std::string_view line, Graph* graph, ParseStats* stats) {
+/// Enforces ParseOptions::max_term_bytes on a decoded term. The line-level
+/// max_line_bytes guard bounds how much a single term scan can accumulate,
+/// so a post-decode check here is enough.
+Status CheckTermSize(const Term& t, const ParseOptions& options) {
+  if (options.max_term_bytes == 0) return Status::OK();
+  const uint64_t size =
+      t.lexical.size() + t.datatype.size() + t.language.size();
+  if (size > options.max_term_bytes) {
+    return Status::InvalidArgument(
+        "term of " + std::to_string(size) + " bytes exceeds max_term_bytes (" +
+        std::to_string(options.max_term_bytes) + ")");
+  }
+  return Status::OK();
+}
+
+Status ParseLine(std::string_view line, Graph* graph, ParseStats* stats,
+                 const ParseOptions& options) {
   size_t pos = 0;
   auto s = ParseTermAt(line, pos);
   if (!s.ok()) return s.status();
+  RDFSUM_RETURN_IF_ERROR(CheckTermSize(*s, options));
   auto p = ParseTermAt(line, pos);
   if (!p.ok()) return p.status();
   if (!p->is_iri()) {
     return Status::InvalidArgument("property must be an IRI");
   }
+  RDFSUM_RETURN_IF_ERROR(CheckTermSize(*p, options));
   auto o = ParseTermAt(line, pos);
   if (!o.ok()) return o.status();
+  RDFSUM_RETURN_IF_ERROR(CheckTermSize(*o, options));
   if (s->is_literal()) {
     return Status::InvalidArgument("subject must not be a literal");
   }
@@ -263,17 +282,35 @@ Status NTriplesParser::ParseString(std::string_view text, Graph* graph,
                                 ? text.substr(start)
                                 : text.substr(start, end - start);
     ++line_no;
+    if (options.exec != nullptr &&
+        (line_no & (util::ExecContext::kCheckInterval - 1)) == 0) {
+      RDFSUM_RETURN_IF_ERROR(options.exec->Check());
+    }
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
     std::string_view stripped = StripWhitespace(line);
     if (stats != nullptr) ++stats->lines;
     if (!stripped.empty() && stripped[0] != '#') {
-      Status st = ParseLine(stripped, graph, stats);
+      Status st;
+      if (options.max_line_bytes != 0 && line.size() > options.max_line_bytes) {
+        st = Status::InvalidArgument(
+            "line of " + std::to_string(line.size()) +
+            " bytes exceeds max_line_bytes (" +
+            std::to_string(options.max_line_bytes) + ")");
+      } else {
+        st = ParseLine(stripped, graph, stats, options);
+      }
       if (!st.ok()) {
         if (options.strict) {
           return Status::InvalidArgument("line " + std::to_string(line_no) +
                                          ": " + st.message());
         }
-        if (stats != nullptr) ++stats->skipped;
+        if (stats != nullptr) {
+          ++stats->skipped;
+          if (stats->diagnostics.size() < ParseStats::kMaxDiagnostics) {
+            stats->diagnostics.push_back("line " + std::to_string(line_no) +
+                                         ": " + std::string(st.message()));
+          }
+        }
       }
     }
     if (end == std::string_view::npos) break;

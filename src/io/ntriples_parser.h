@@ -4,8 +4,10 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rdf/graph.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -16,14 +18,33 @@ struct ParseOptions {
   /// In strict mode any malformed line aborts with InvalidArgument; otherwise
   /// malformed lines are counted and skipped (useful for crawled data).
   bool strict = true;
+  /// 0 = unlimited. A line longer than this is malformed without being
+  /// parsed — the recovery guard against a corrupt dump whose missing
+  /// newline turns the rest of the file into one multi-gigabyte "line".
+  uint64_t max_line_bytes = 0;
+  /// 0 = unlimited. Cap on one decoded term (lexical + datatype + language
+  /// bytes); an oversized term makes the line malformed.
+  uint64_t max_term_bytes = 0;
+  /// Optional governance: polled between lines; a tripped deadline or
+  /// cancellation aborts the parse with the context's status (partial
+  /// triples already added to the graph stay — callers discard the graph).
+  util::ExecContext* exec = nullptr;
 };
 
 /// Counters filled by the parser.
 struct ParseStats {
+  /// At most this many line-numbered diagnostics are retained per parse;
+  /// the rest only bump `skipped`.
+  static constexpr size_t kMaxDiagnostics = 20;
+
   uint64_t lines = 0;
   uint64_t triples = 0;     // triples successfully added (before dedup)
   uint64_t duplicates = 0;  // triples already present in the graph
   uint64_t skipped = 0;     // malformed lines skipped (strict = false)
+  /// Line-numbered reasons for skipped lines ("line 17: unterminated IRI"),
+  /// capped at kMaxDiagnostics. Strict mode reports the first failure in
+  /// the returned Status instead.
+  std::vector<std::string> diagnostics;
 };
 
 /// A line-oriented N-Triples 1.1 parser (the role raptor/serd/Jena play for

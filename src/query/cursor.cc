@@ -3,10 +3,30 @@
 #include <cassert>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace rdfsum::query {
 namespace {
 
 constexpr TermId kUnbound = kInvalidTermId;
+
+/// Per-cursor governance poll state. Expired() ticks once per candidate
+/// triple and, every ExecContext::kCheckInterval ticks, refreshes *status
+/// from the context; it returns true when the cursor must stop. A null
+/// context never expires and costs one pointer test per candidate.
+struct ExecPoll {
+  util::ExecContext* ctx = nullptr;
+  uint32_t ticks = 0;
+
+  bool Expired(Status* status) {
+    if (ctx == nullptr) return false;
+    if ((++ticks & (util::ExecContext::kCheckInterval - 1)) != 0) return false;
+    Status st = ctx->Check();
+    if (st.ok()) return false;
+    *status = std::move(st);
+    return true;
+  }
+};
 
 /// Binds `pat`'s variable slots from triple `t` into *row. Returns false on
 /// a repeated-variable mismatch (?x p ?x with differing values); the row is
@@ -84,16 +104,21 @@ class SingletonCursor final : public Cursor {
 class IndexScanCursor final : public Cursor {
  public:
   IndexScanCursor(const store::TripleTable& table, const CompiledPattern& pat,
-                  size_t num_vars, std::string label)
+                  size_t num_vars, std::string label,
+                  util::ExecContext* exec)
       : pat_(pat),
         width_(num_vars),
         label_(std::move(label)),
         index_(store::TripleTable::ChooseIndex(ConstOnly(pat))),
-        scan_(table.OpenScan(ConstOnly(pat))) {}
+        scan_(table.OpenScan(ConstOnly(pat))) {
+    poll_.ctx = exec;
+  }
 
   bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
     Triple t;
     while (scan_.Next(&t)) {
+      if (poll_.Expired(&status_)) return false;
       row->assign(width_, kUnbound);
       if (BindTriple(pat_, t, row)) {
         ++rows_produced_;
@@ -113,23 +138,29 @@ class IndexScanCursor final : public Cursor {
   std::string label_;
   store::IndexKind index_;
   store::ScanCursor scan_;
+  ExecPoll poll_;
 };
 
 class IndexNestedLoopJoinCursor final : public Cursor {
  public:
   IndexNestedLoopJoinCursor(std::unique_ptr<Cursor> input,
                             const store::TripleTable& table,
-                            const CompiledPattern& pat, std::string label)
+                            const CompiledPattern& pat, std::string label,
+                            util::ExecContext* exec)
       : input_(std::move(input)),
         table_(table),
         pat_(pat),
-        label_(std::move(label)) {}
+        label_(std::move(label)) {
+    poll_.ctx = exec;
+  }
 
   bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
     for (;;) {
       if (inner_open_) {
         Triple t;
         while (scan_.Next(&t)) {
+          if (poll_.Expired(&status_)) return false;
           *row = current_;
           if (BindTriple(pat_, t, row)) {
             ++rows_produced_;
@@ -138,7 +169,10 @@ class IndexNestedLoopJoinCursor final : public Cursor {
         }
         inner_open_ = false;
       }
-      if (!input_->Next(&current_)) return false;
+      if (!input_->Next(&current_)) {
+        status_ = input_->status();
+        return false;
+      }
       scan_ = table_.OpenScan(Instantiate(pat_, current_));
       inner_open_ = true;
     }
@@ -161,20 +195,31 @@ class IndexNestedLoopJoinCursor final : public Cursor {
   IdRow current_;
   store::ScanCursor scan_;
   bool inner_open_ = false;
+  ExecPoll poll_;
 };
 
+/// Hash join with graceful degradation: Build() charges the ExecContext
+/// memory budget per build-side triple and, if the charge is ever refused
+/// (or a "query:hashjoin-build" failpoint injects kResourceExhausted),
+/// releases everything it charged, drops the partial hash table, and serves
+/// the remaining probes as an index nested-loop join instead. The degraded
+/// stream is byte-identical to the one MakeIndexNestedLoopJoinCursor would
+/// have produced — slower, never wrong, never over budget.
 class HashJoinCursor final : public Cursor {
  public:
   HashJoinCursor(std::unique_ptr<Cursor> input,
                  const store::TripleTable& table, const CompiledPattern& pat,
-                 std::vector<uint32_t> key_vars, std::string label)
+                 std::vector<uint32_t> key_vars, std::string label,
+                 util::ExecContext* exec)
       : input_(std::move(input)),
         table_(table),
         pat_(pat),
         key_vars_(std::move(key_vars)),
         label_(std::move(label)),
+        exec_(exec),
         keys_(key_vars_.size()),
         key_buf_(key_vars_.size()) {
+    poll_.ctx = exec;
     assert(!key_vars_.empty() && "hash join needs at least one join variable");
     // First position of each key variable in the pattern, for extracting
     // key values from build-side triples.
@@ -193,10 +238,22 @@ class HashJoinCursor final : public Cursor {
     }
   }
 
+  ~HashJoinCursor() override {
+    if (exec_ != nullptr && charged_bytes_ > 0) {
+      exec_->ReleaseMemory(charged_bytes_);
+    }
+  }
+
   bool Next(IdRow* row) override {
-    if (!built_) Build();
+    if (!status_.ok()) return false;
+    if (!built_) {
+      Build();
+      if (!status_.ok()) return false;
+    }
+    if (degraded_) return NextDegraded(row);
     for (;;) {
       while (chain_ != kEnd) {
+        if (poll_.Expired(&status_)) return false;
         const Triple& t = build_triples_[chain_];
         chain_ = next_[chain_];
         *row = current_;
@@ -205,7 +262,10 @@ class HashJoinCursor final : public Cursor {
           return true;
         }
       }
-      if (!input_->Next(&current_)) return false;
+      if (!input_->Next(&current_)) {
+        status_ = input_->status();
+        return false;
+      }
       for (size_t i = 0; i < key_vars_.size(); ++i) {
         key_buf_[i] = current_[key_vars_[i]];
       }
@@ -215,7 +275,8 @@ class HashJoinCursor final : public Cursor {
   }
   size_t width() const override { return input_->width(); }
   std::string Describe() const override {
-    return "HashJoin[" + label_ + "]";
+    return degraded_ ? "HashJoin[" + label_ + " degraded=nlj]"
+                     : "HashJoin[" + label_ + "]";
   }
   void CollectOperators(std::vector<OperatorStats>* out,
                         int depth) const override {
@@ -228,7 +289,24 @@ class HashJoinCursor final : public Cursor {
 
   void Build() {
     built_ = true;
+    Status fp = RDFSUM_FAILPOINT_STATUS("query:hashjoin-build");
+    if (fp.IsResourceExhausted()) {
+      Degrade();
+      return;
+    }
+    if (!fp.ok()) {
+      status_ = std::move(fp);
+      return;
+    }
+    bool fits = true;
     table_.Scan(ConstOnly(pat_), [&](const Triple& t) {
+      if (poll_.Expired(&status_)) return false;
+      if (exec_ != nullptr &&
+          !exec_->TryChargeMemory(kHashJoinBuildBytesPerRow)) {
+        fits = false;
+        return false;
+      }
+      charged_bytes_ += kHashJoinBuildBytesPerRow;
       const TermId values[3] = {t.s, t.p, t.o};
       for (size_t i = 0; i < key_slot_.size(); ++i) {
         key_buf_[i] = values[key_slot_[i]];
@@ -251,6 +329,49 @@ class HashJoinCursor final : public Cursor {
       tails_[ord] = idx;
       return true;
     });
+    if (!status_.ok()) return;
+    if (!fits) Degrade();
+  }
+
+  /// Abandons the (possibly partial) hash table: refunds every byte charged
+  /// and frees the build state, then flips to nested-loop probing.
+  void Degrade() {
+    degraded_ = true;
+    if (exec_ != nullptr && charged_bytes_ > 0) {
+      exec_->ReleaseMemory(charged_bytes_);
+    }
+    charged_bytes_ = 0;
+    keys_ = util::RowSet(key_vars_.size());
+    heads_ = {};
+    tails_ = {};
+    build_triples_ = {};
+    next_ = {};
+  }
+
+  /// Probe path after degradation: per input row, one index range over the
+  /// fully instantiated pattern — exactly what IndexNestedLoopJoinCursor
+  /// does, so the output stream is identical.
+  bool NextDegraded(IdRow* row) {
+    for (;;) {
+      if (inner_open_) {
+        Triple t;
+        while (scan_.Next(&t)) {
+          if (poll_.Expired(&status_)) return false;
+          *row = current_;
+          if (BindTriple(pat_, t, row)) {
+            ++rows_produced_;
+            return true;
+          }
+        }
+        inner_open_ = false;
+      }
+      if (!input_->Next(&current_)) {
+        status_ = input_->status();
+        return false;
+      }
+      scan_ = table_.OpenScan(Instantiate(pat_, current_));
+      inner_open_ = true;
+    }
   }
 
   std::unique_ptr<Cursor> input_;
@@ -258,9 +379,12 @@ class HashJoinCursor final : public Cursor {
   CompiledPattern pat_;
   std::vector<uint32_t> key_vars_;
   std::string label_;
+  util::ExecContext* exec_;
   std::vector<int> key_slot_;  // position (0=s,1=p,2=o) per key var
 
   bool built_ = false;
+  bool degraded_ = false;
+  uint64_t charged_bytes_ = 0;  // outstanding ExecContext memory charge
   util::RowSet keys_;                  // distinct key directory -> ordinal
   std::vector<uint32_t> heads_, tails_;  // per key ordinal: chain bounds
   std::vector<Triple> build_triples_;
@@ -269,6 +393,9 @@ class HashJoinCursor final : public Cursor {
   IdRow current_;
   IdRow key_buf_;
   uint32_t chain_ = kEnd;
+  store::ScanCursor scan_;   // degraded-mode inner range
+  bool inner_open_ = false;  // degraded-mode inner range open
+  ExecPoll poll_;
 };
 
 class ProjectCursor final : public Cursor {
@@ -280,7 +407,11 @@ class ProjectCursor final : public Cursor {
         label_(std::move(label)) {}
 
   bool Next(IdRow* row) override {
-    if (!input_->Next(&full_)) return false;
+    if (!status_.ok()) return false;
+    if (!input_->Next(&full_)) {
+      status_ = input_->status();
+      return false;
+    }
     row->resize(head_.size());
     for (size_t i = 0; i < head_.size(); ++i) (*row)[i] = full_[head_[i]];
     ++rows_produced_;
@@ -307,12 +438,14 @@ class DistinctCursor final : public Cursor {
       : input_(std::move(input)), seen_(input_->width()) {}
 
   bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
     while (input_->Next(row)) {
       if (seen_.Insert(row->data())) {
         ++rows_produced_;
         return true;
       }
     }
+    status_ = input_->status();
     return false;
   }
   size_t width() const override { return input_->width(); }
@@ -335,12 +468,19 @@ class LimitOffsetCursor final : public Cursor {
       : input_(std::move(input)), limit_(limit), offset_(offset) {}
 
   bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
     if (emitted_ >= limit_) return false;  // stop pulling: early exit
     while (skipped_ < offset_) {
-      if (!input_->Next(row)) return false;
+      if (!input_->Next(row)) {
+        status_ = input_->status();
+        return false;
+      }
       ++skipped_;
     }
-    if (!input_->Next(row)) return false;
+    if (!input_->Next(row)) {
+      status_ = input_->status();
+      return false;
+    }
     ++emitted_;
     ++rows_produced_;
     return true;
@@ -364,6 +504,43 @@ class LimitOffsetCursor final : public Cursor {
   size_t emitted_ = 0, skipped_ = 0;
 };
 
+/// Root-level governor: charges every produced row against the ExecContext
+/// row budget and polls the deadline/cancellation token between rows — the
+/// backstop that governs even trees whose inner operators carry no context.
+/// Transparent to Explain (forwards CollectOperators without adding itself),
+/// so governed and ungoverned plans render identically.
+class GovernedCursor final : public Cursor {
+ public:
+  GovernedCursor(std::unique_ptr<Cursor> input, util::ExecContext* exec)
+      : input_(std::move(input)), exec_(exec) {
+    poll_.ctx = exec;
+  }
+
+  bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
+    if (poll_.Expired(&status_)) return false;
+    if (!input_->Next(row)) {
+      status_ = input_->status();
+      return false;
+    }
+    status_ = exec_->ChargeRows();
+    if (!status_.ok()) return false;  // the over-budget row is withheld
+    ++rows_produced_;
+    return true;
+  }
+  size_t width() const override { return input_->width(); }
+  std::string Describe() const override { return "Governed"; }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    input_->CollectOperators(out, depth);
+  }
+
+ private:
+  std::unique_ptr<Cursor> input_;
+  util::ExecContext* exec_;
+  ExecPoll poll_;
+};
+
 }  // namespace
 
 std::unique_ptr<Cursor> MakeEmptyCursor(size_t width) {
@@ -377,26 +554,34 @@ std::unique_ptr<Cursor> MakeSingletonCursor(size_t width) {
 std::unique_ptr<Cursor> MakeIndexScanCursor(const store::TripleTable& table,
                                             const CompiledPattern& pat,
                                             size_t num_vars,
-                                            std::string label) {
+                                            std::string label,
+                                            util::ExecContext* exec) {
   return std::make_unique<IndexScanCursor>(table, pat, num_vars,
-                                           std::move(label));
+                                           std::move(label), exec);
 }
 
 std::unique_ptr<Cursor> MakeIndexNestedLoopJoinCursor(
     std::unique_ptr<Cursor> input, const store::TripleTable& table,
-    const CompiledPattern& pat, std::string label) {
-  return std::make_unique<IndexNestedLoopJoinCursor>(std::move(input), table,
-                                                     pat, std::move(label));
+    const CompiledPattern& pat, std::string label, util::ExecContext* exec) {
+  return std::make_unique<IndexNestedLoopJoinCursor>(
+      std::move(input), table, pat, std::move(label), exec);
 }
 
 std::unique_ptr<Cursor> MakeHashJoinCursor(std::unique_ptr<Cursor> input,
                                            const store::TripleTable& table,
                                            const CompiledPattern& pat,
                                            std::vector<uint32_t> key_vars,
-                                           std::string label) {
+                                           std::string label,
+                                           util::ExecContext* exec) {
   return std::make_unique<HashJoinCursor>(std::move(input), table, pat,
                                           std::move(key_vars),
-                                          std::move(label));
+                                          std::move(label), exec);
+}
+
+std::unique_ptr<Cursor> MakeGovernedCursor(std::unique_ptr<Cursor> input,
+                                           util::ExecContext* exec) {
+  assert(exec != nullptr && "governed cursor needs a context");
+  return std::make_unique<GovernedCursor>(std::move(input), exec);
 }
 
 std::unique_ptr<Cursor> MakeProjectCursor(std::unique_ptr<Cursor> input,

@@ -8,7 +8,9 @@
 
 #include "query/plan.h"
 #include "store/triple_table.h"
+#include "util/exec_context.h"
 #include "util/row_set.h"
+#include "util/status.h"
 
 namespace rdfsum::query {
 
@@ -29,6 +31,19 @@ using IdRow = std::vector<TermId>;
 /// frozen and outlive them) but own everything else, including copies of
 /// the compiled patterns — the QueryPlan they were compiled from may die.
 ///
+/// Next() returning false means either exhaustion or failure; status()
+/// distinguishes them: OK after a clean drain, or the governance/failpoint
+/// error (kDeadlineExceeded, kCancelled, kResourceExhausted, injected
+/// faults) that stopped the stream. Errors are stable like exhaustion —
+/// once status() is non-OK every later Next() returns false immediately —
+/// and propagate up the tree, so draining the root and checking its
+/// status() observes any failure anywhere in the pipeline.
+///
+/// Cursors built with an ExecContext poll it every
+/// util::ExecContext::kCheckInterval candidate triples (not produced rows:
+/// a selective scan that filters millions of triples between rows still
+/// honors its deadline). A null context means ungoverned, zero overhead.
+///
 /// Every operator counts the rows it produced; Explain reads the counters
 /// off the drained tree (CollectOperators) instead of threading callbacks
 /// through the executor.
@@ -37,8 +52,13 @@ class Cursor {
   virtual ~Cursor() = default;
 
   /// Writes the next row into *row (resized to width()) and returns true,
-  /// or returns false when the operator is exhausted.
+  /// or returns false when the operator is exhausted or failed (see
+  /// status()).
   virtual bool Next(IdRow* row) = 0;
+
+  /// OK while streaming and after clean exhaustion; the terminating error
+  /// otherwise.
+  const Status& status() const { return status_; }
 
   /// Width of the rows this operator produces.
   virtual size_t width() const = 0;
@@ -58,7 +78,16 @@ class Cursor {
 
  protected:
   uint64_t rows_produced_ = 0;
+  Status status_;
 };
+
+/// Estimated bytes of hash-join build state per build-side triple: the
+/// triple (12), its chain link (4), and its amortized share of the key
+/// directory and chain-head arrays. The executor multiplies this by the
+/// plan's exact build-side count to decide whether a hash join fits the
+/// ExecContext memory budget; HashJoinCursor charges the same rate while
+/// actually building.
+inline constexpr uint64_t kHashJoinBuildBytesPerRow = 48;
 
 /// Produces nothing. Stands in for provably-empty queries (impossible
 /// constants, summary-pruned requests).
@@ -76,25 +105,38 @@ std::unique_ptr<Cursor> MakeSingletonCursor(size_t width);
 std::unique_ptr<Cursor> MakeIndexScanCursor(const store::TripleTable& table,
                                             const CompiledPattern& pat,
                                             size_t num_vars,
-                                            std::string label = "");
+                                            std::string label = "",
+                                            util::ExecContext* exec = nullptr);
 
 /// Index nested-loop join: for each input row, instantiates `pat` with the
 /// row's bindings and extends the row with every match (a fresh index range
 /// per probe — O(log n) binary search each).
 std::unique_ptr<Cursor> MakeIndexNestedLoopJoinCursor(
     std::unique_ptr<Cursor> input, const store::TripleTable& table,
-    const CompiledPattern& pat, std::string label = "");
+    const CompiledPattern& pat, std::string label = "",
+    util::ExecContext* exec = nullptr);
 
 /// Hash join: on first pull, builds a hash table over every triple matching
 /// `pat`'s constants, keyed on the values at `key_vars`' positions
 /// (variables of `pat` the input already binds; must be non-empty). Each
 /// input row then probes in O(1) instead of binary-searching the index.
 /// Chains preserve build (index) order, so the output is deterministic.
+/// With an ExecContext, the build side charges kHashJoinBuildBytesPerRow
+/// per triple against the memory budget; if the charge is refused the
+/// cursor degrades to an index nested-loop join (Describe reports
+/// "degraded=nlj") instead of failing the query.
 std::unique_ptr<Cursor> MakeHashJoinCursor(std::unique_ptr<Cursor> input,
                                            const store::TripleTable& table,
                                            const CompiledPattern& pat,
                                            std::vector<uint32_t> key_vars,
-                                           std::string label = "");
+                                           std::string label = "",
+                                           util::ExecContext* exec = nullptr);
+
+/// Root governor: charges each produced row against `exec`'s row budget and
+/// polls deadline/cancellation between rows. Invisible to Explain (forwards
+/// CollectOperators). `exec` must be non-null and outlive the cursor.
+std::unique_ptr<Cursor> MakeGovernedCursor(std::unique_ptr<Cursor> input,
+                                           util::ExecContext* exec);
 
 /// Narrows full-width binding rows to the head columns, in head order.
 std::unique_ptr<Cursor> MakeProjectCursor(std::unique_ptr<Cursor> input,

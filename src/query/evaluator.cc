@@ -61,11 +61,24 @@ StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
                                                   PlannerMode mode) const {
   CursorOptions options;
   options.limit = limit;
+  return Evaluate(q, options, mode);
+}
+
+StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(
+    const BgpQuery& q, const CursorOptions& options) const {
+  return Evaluate(q, options, options_.planner);
+}
+
+StatusOr<std::vector<Row>> BgpEvaluator::Evaluate(const BgpQuery& q,
+                                                  const CursorOptions& options,
+                                                  PlannerMode mode) const {
   RDFSUM_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
                           Open(q, mode, options));
   std::vector<Row> rows;
   IdRow row;
   while (cursor->Next(&row)) rows.push_back(Decode(row));
+  // A false Next() is exhaustion or failure; the cursor's status says which.
+  RDFSUM_RETURN_IF_ERROR(cursor->status());
   return rows;
 }
 
@@ -92,6 +105,7 @@ StatusOr<Explanation> BgpEvaluator::Explain(const BgpQuery& q,
   IdRow row;
   while (tree.root->Next(&row)) {
   }
+  RDFSUM_RETURN_IF_ERROR(tree.root->status());
   out.actual_rows.reserve(tree.step_cursors.size());
   for (const Cursor* step : tree.step_cursors) {
     out.actual_rows.push_back(step->rows_produced());

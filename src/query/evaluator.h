@@ -92,6 +92,15 @@ class BgpEvaluator {
                                       size_t limit = SIZE_MAX) const;
   StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q, size_t limit,
                                       PlannerMode mode) const;
+  /// Full-options drain, the governed path: options.exec carries the
+  /// deadline/row/memory budgets and any non-OK cursor status (e.g.
+  /// kDeadlineExceeded) comes back as the error instead of a silently
+  /// truncated row set.
+  StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
+                                      const CursorOptions& options) const;
+  StatusOr<std::vector<Row>> Evaluate(const BgpQuery& q,
+                                      const CursorOptions& options,
+                                      PlannerMode mode) const;
 
   /// Number of embeddings of the query body (not deduplicated by head).
   uint64_t CountEmbeddings(const BgpQuery& q) const;

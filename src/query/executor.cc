@@ -7,7 +7,8 @@ namespace rdfsum::query {
 
 CursorTree CompileEmbeddingTree(const store::TripleTable& table,
                                 const QueryPlan& plan,
-                                HashJoinMode hash_join) {
+                                HashJoinMode hash_join,
+                                util::ExecContext* exec) {
   CursorTree tree;
   const CompiledBgp& c = plan.compiled;
   const size_t num_vars = c.var_names.size();
@@ -28,7 +29,8 @@ CursorTree CompileEmbeddingTree(const store::TripleTable& table,
     const PlanStep& step = plan.steps[i];
     const CompiledPattern& pat = c.patterns[step.pattern];
     if (i == 0) {
-      cur = MakeIndexScanCursor(table, pat, num_vars, step.pattern_text);
+      cur = MakeIndexScanCursor(table, pat, num_vars, step.pattern_text,
+                                exec);
     } else {
       // Join variables: `pat`'s variables an earlier step already bound,
       // deduplicated in slot order.
@@ -40,16 +42,25 @@ CursorTree CompileEmbeddingTree(const store::TripleTable& table,
           key_vars.push_back(sl->var);
         }
       }
-      const bool hash =
+      bool hash =
           !key_vars.empty() &&
           (hash_join == HashJoinMode::kAlways ||
            (hash_join == HashJoinMode::kFromPlan && step.use_hash_join));
+      // Compile-time degrade: the plan records the exact build-side size,
+      // so a hash join that cannot fit the memory budget is compiled as a
+      // nested-loop join up front rather than discovering it mid-build.
+      if (hash && exec != nullptr &&
+          exec->WouldExceedMemory(static_cast<uint64_t>(
+              step.estimated_build_rows * kHashJoinBuildBytesPerRow))) {
+        hash = false;
+      }
       if (hash) {
         cur = MakeHashJoinCursor(std::move(cur), table, pat,
-                                 std::move(key_vars), step.pattern_text);
+                                 std::move(key_vars), step.pattern_text,
+                                 exec);
       } else {
         cur = MakeIndexNestedLoopJoinCursor(std::move(cur), table, pat,
-                                            step.pattern_text);
+                                            step.pattern_text, exec);
       }
     }
     tree.step_cursors.push_back(cur.get());
@@ -66,7 +77,8 @@ CursorTree CompileQueryTree(const store::TripleTable& table,
                             const QueryPlan& plan,
                             const std::vector<uint32_t>& head,
                             const ExecutorOptions& options) {
-  CursorTree tree = CompileEmbeddingTree(table, plan, options.hash_join);
+  CursorTree tree =
+      CompileEmbeddingTree(table, plan, options.hash_join, options.exec);
   std::string head_label;
   for (uint32_t v : head) {
     if (!head_label.empty()) head_label += ' ';
@@ -80,6 +92,11 @@ CursorTree CompileQueryTree(const store::TripleTable& table,
   if (options.limit != SIZE_MAX || options.offset != 0) {
     cur = MakeLimitOffsetCursor(std::move(cur), options.limit,
                                 options.offset);
+  }
+  // The governor sits above LimitOffset so the row budget meters answers
+  // actually delivered, not rows consumed by OFFSET.
+  if (options.exec != nullptr) {
+    cur = MakeGovernedCursor(std::move(cur), options.exec);
   }
   tree.root = std::move(cur);
   return tree;

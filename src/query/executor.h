@@ -8,6 +8,7 @@
 #include "query/cursor.h"
 #include "query/plan.h"
 #include "store/triple_table.h"
+#include "util/exec_context.h"
 
 namespace rdfsum::query {
 
@@ -23,6 +24,11 @@ struct ExecutorOptions {
   /// Distinct rows skipped before the first emitted one.
   size_t offset = 0;
   HashJoinMode hash_join = HashJoinMode::kFromPlan;
+  /// Optional governance: deadline, cancellation, row budget, memory
+  /// budget. Borrowed — must outlive the compiled tree. When set, every
+  /// scan/join polls it, the root charges the row budget per answer, and
+  /// hash joins fit themselves into (or degrade under) the memory budget.
+  util::ExecContext* exec = nullptr;
 };
 
 /// The compiled operator tree plus non-owning handles into it, for reading
@@ -43,10 +49,15 @@ struct CursorTree {
 
 /// Compiles `plan` into the join pipeline only (no projection, no dedup):
 /// the root enumerates embeddings of the query body as full-width binding
-/// rows. Backbone of ExistsMatch/CountEmbeddings.
+/// rows. Backbone of ExistsMatch/CountEmbeddings. With `exec`, operators
+/// poll governance, and a plan-chosen hash join whose predicted build state
+/// (estimated_build_rows × kHashJoinBuildBytesPerRow) cannot fit the
+/// remaining memory budget is compiled as a nested-loop join up front —
+/// same rows, no doomed build.
 CursorTree CompileEmbeddingTree(const store::TripleTable& table,
                                 const QueryPlan& plan,
-                                HashJoinMode hash_join = HashJoinMode::kFromPlan);
+                                HashJoinMode hash_join = HashJoinMode::kFromPlan,
+                                util::ExecContext* exec = nullptr);
 
 /// Compiles the full query tree: joins -> Project(head) -> Distinct ->
 /// LimitOffset (the last only when limit/offset are set). The root yields

@@ -135,9 +135,17 @@ std::string FormatEstimate(double v) {
 
 }  // namespace
 
-QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
-                         const store::TripleTable& table, PlannerMode mode,
-                         const summary::CardinalityEstimator* estimator) {
+namespace {
+
+/// One planning attempt. With an estimator, sets *estimator_tripped and
+/// returns a partial plan the moment any prefix estimate comes back
+/// truncated (enumeration budget exhausted) — the ranking metric is no
+/// longer trustworthy, so the caller discards the attempt and re-plans
+/// greedy rather than committing to a half-informed join order.
+QueryPlan BuildQueryPlanAttempt(
+    const BgpQuery& q, const Dictionary& dict,
+    const store::TripleTable& table, PlannerMode mode,
+    const summary::CardinalityEstimator* estimator, bool* estimator_tripped) {
   QueryPlan plan;
   plan.mode = mode;
   plan.compiled = CompileBgp(q, dict);
@@ -171,8 +179,14 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
         double metric = matches;
         if (use_estimator) {
           prefix.push_back(q.triples[i]);
-          metric = estimator->EstimatePatterns(prefix).estimate;
+          summary::CardinalityEstimate est =
+              estimator->EstimatePatterns(prefix);
           prefix.pop_back();
+          if (est.truncated) {
+            *estimator_tripped = true;
+            return plan;  // partial; the caller re-plans greedy
+          }
+          metric = est.estimate;
         }
         int unbound = CountUnboundVars(patterns[i], var_bound);
         bool better =
@@ -220,7 +234,12 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
     }
     if (use_estimator) {
       prefix.push_back(q.triples[pick]);
-      step.estimated_rows = estimator->EstimatePatterns(prefix).estimate;
+      summary::CardinalityEstimate est = estimator->EstimatePatterns(prefix);
+      if (est.truncated) {
+        *estimator_tripped = true;
+        return plan;  // partial; the caller re-plans greedy
+      }
+      step.estimated_rows = est.estimate;
       rows = step.estimated_rows;
     } else {
       rows *= pick_matches;
@@ -232,6 +251,26 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
     }
     plan.steps.push_back(std::move(step));
   }
+  return plan;
+}
+
+}  // namespace
+
+QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
+                         const store::TripleTable& table, PlannerMode mode,
+                         const summary::CardinalityEstimator* estimator) {
+  bool tripped = false;
+  QueryPlan plan =
+      BuildQueryPlanAttempt(q, dict, table, mode, estimator, &tripped);
+  if (!tripped) return plan;
+  // Graceful degradation: the summary estimator ran out of enumeration
+  // budget, so its rankings are partial sums that would mis-order the join.
+  // Fall back to the stats-only greedy order (the exact plan kGreedy would
+  // build — same rows, possibly a worse order) and record the downgrade.
+  plan = BuildQueryPlanAttempt(q, dict, table, PlannerMode::kGreedy, nullptr,
+                               &tripped);
+  plan.mode = mode;
+  plan.summary_fallback = true;
   return plan;
 }
 
@@ -256,8 +295,9 @@ std::string QueryPlan::ToString() const {
                   FormatEstimate(s.estimated_matches),
                   FormatEstimate(s.estimated_rows)});
   }
-  std::string out = "plan mode=" + std::string(PlannerModeName(mode)) +
-                    " est_cost=" + FormatEstimate(estimated_cost) + "\n";
+  std::string out = "plan mode=" + std::string(PlannerModeName(mode));
+  if (summary_fallback) out += " fallback=greedy";
+  out += " est_cost=" + FormatEstimate(estimated_cost) + "\n";
   out += table.ToAscii();
   return out;
 }

@@ -116,6 +116,11 @@ struct QueryPlan {
   /// Sum of the per-step estimated cumulative rows — a proxy for total
   /// probe work, comparable across plans for the same query.
   double estimated_cost = 0.0;
+  /// True when kSummary planning degraded to the stats-only greedy order
+  /// because the estimator's enumeration budget tripped mid-planning (its
+  /// partial estimates would mis-rank joins). The plan is then exactly what
+  /// kGreedy would have built; mode still records what was asked for.
+  bool summary_fallback = false;
 
   /// Renders the plan as an aligned table (step, pattern, index, est).
   std::string ToString() const;

@@ -79,6 +79,7 @@ StatusOr<std::vector<Row>> SummaryPrunedEvaluator::Evaluate(const BgpQuery& q,
   std::vector<Row> rows;
   IdRow row;
   while (cursor->Next(&row)) rows.push_back(Decode(row));
+  RDFSUM_RETURN_IF_ERROR(cursor->status());
   return rows;
 }
 

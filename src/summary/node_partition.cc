@@ -207,7 +207,8 @@ NodePartition ComputeTypedStrongPartition(const Graph& g,
 NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
                                            bool use_types,
                                            BisimulationDirection direction,
-                                           uint32_t num_threads) {
+                                           uint32_t num_threads,
+                                           util::ExecContext* exec) {
   const DenseGraph& dg = g.Dense();
   const uint32_t n = dg.num_nodes();
   const uint32_t threads = util::ResolveThreadCount(num_threads, n);
@@ -240,31 +241,39 @@ NodePartition ComputeBisimulationPartition(const Graph& g, uint32_t depth,
     util::ParallelForRanges(
         threads, n, [&](uint32_t, uint64_t begin, uint64_t end) {
           std::vector<std::tuple<int, uint32_t, uint64_t>> sig;
-          for (uint64_t node = begin; node < end; ++node) {
-            const uint32_t i = static_cast<uint32_t>(node);
-            sig.clear();
-            if (bwd) {
-              for (const DenseGraph::Neighbor& a : dg.InEdges(i)) {
-                sig.emplace_back(0, a.p, color[a.node]);
+          // Workers that observe cancellation stop mid-shard and fall
+          // through to the round barrier; the partial `next` slice is
+          // discarded below.
+          util::CancellableChunks(exec, begin, end, [&](uint64_t cb,
+                                                        uint64_t ce) {
+            for (uint64_t node = cb; node < ce; ++node) {
+              const uint32_t i = static_cast<uint32_t>(node);
+              sig.clear();
+              if (bwd) {
+                for (const DenseGraph::Neighbor& a : dg.InEdges(i)) {
+                  sig.emplace_back(0, a.p, color[a.node]);
+                }
               }
-            }
-            if (fwd) {
-              for (const DenseGraph::Neighbor& a : dg.OutEdges(i)) {
-                sig.emplace_back(1, a.p, color[a.node]);
+              if (fwd) {
+                for (const DenseGraph::Neighbor& a : dg.OutEdges(i)) {
+                  sig.emplace_back(1, a.p, color[a.node]);
+                }
               }
+              std::sort(sig.begin(), sig.end());
+              sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
+              uint64_t h =
+                  color[i] * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL;
+              for (const auto& [dir, p, c] : sig) {
+                h ^= (static_cast<uint64_t>(dir) * 0x2545F4914F6CDD1DULL +
+                      p) +
+                     0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+                h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+              }
+              next[i] = h;
             }
-            std::sort(sig.begin(), sig.end());
-            sig.erase(std::unique(sig.begin(), sig.end()), sig.end());
-            uint64_t h =
-                color[i] * 0xBF58476D1CE4E5B9ULL + 0x94D049BB133111EBULL;
-            for (const auto& [dir, p, c] : sig) {
-              h ^= (static_cast<uint64_t>(dir) * 0x2545F4914F6CDD1DULL + p) +
-                   0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-              h ^= c + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
-            }
-            next[i] = h;
-          }
+          });
         });
+    if (exec != nullptr && !exec->Check().ok()) return NodePartition{};
     color.swap(next);
   }
 

@@ -68,10 +68,15 @@ NodePartition ComputeTypedStrongPartition(const Graph& g,
 /// the re-labeling barrier. Every per-node signature hash is a pure
 /// function of the previous round's colors, so the partition is identical
 /// at every thread count.
+///
+/// `exec` (optional) makes the rounds cancellable: workers poll it between
+/// chunks and fall through to the round barrier, and a tripped context
+/// returns an empty partition the caller must discard after consulting
+/// exec->Check() (governance errors are sticky, so the check replays).
 NodePartition ComputeBisimulationPartition(
     const Graph& g, uint32_t depth, bool use_types,
     BisimulationDirection direction = BisimulationDirection::kForwardBackward,
-    uint32_t num_threads = 1);
+    uint32_t num_threads = 1, util::ExecContext* exec = nullptr);
 
 }  // namespace rdfsum::summary
 

@@ -17,7 +17,8 @@ constexpr uint32_t kNone = DenseGraph::kNone;
 }  // namespace
 
 NodePartition ComputeParallelWeakPartition(const Graph& g,
-                                           uint32_t num_threads) {
+                                           uint32_t num_threads,
+                                           util::ExecContext* exec) {
   // The substrate is built (or fetched from cache) before any thread
   // spawns; workers only ever read it.
   const DenseGraph& dg = g.Dense();
@@ -41,19 +42,25 @@ NodePartition ComputeParallelWeakPartition(const Graph& g,
         std::vector<uint32_t>& tgt = shard_tgt[shard];
         src.assign(num_props, kNone);
         tgt.assign(num_props, kNone);
-        for (const DenseGraph::Edge& e : dg.EdgeRange(begin, end)) {
-          if (src[e.p] == kNone) {
-            src[e.p] = e.s;
-          } else {
-            uf.Union(e.s, src[e.p]);
+        // Cancelled workers stop mid-range and fall through to the join;
+        // the half-built union-find is discarded below.
+        util::CancellableChunks(exec, begin, end, [&](uint64_t cb,
+                                                      uint64_t ce) {
+          for (const DenseGraph::Edge& e : dg.EdgeRange(cb, ce)) {
+            if (src[e.p] == kNone) {
+              src[e.p] = e.s;
+            } else {
+              uf.Union(e.s, src[e.p]);
+            }
+            if (tgt[e.p] == kNone) {
+              tgt[e.p] = e.o;
+            } else {
+              uf.Union(e.o, tgt[e.p]);
+            }
           }
-          if (tgt[e.p] == kNone) {
-            tgt[e.p] = e.o;
-          } else {
-            uf.Union(e.o, tgt[e.p]);
-          }
-        }
+        });
       });
+  if (exec != nullptr && !exec->Check().ok()) return NodePartition{};
 
   // ---- Phase B: cross-shard unification — every shard anchor joins the
   // substrate's global first-seen anchor of its property. threads × P
@@ -72,12 +79,18 @@ NodePartition ComputeParallelWeakPartition(const Graph& g,
   // ---- Phase C: parallel compress — resolve every node to its final root
   // (the structure is frozen now, so Find results are deterministic).
   std::vector<uint32_t> root(n);
-  util::ParallelForRanges(util::ResolveThreadCount(num_threads, n), n,
-                          [&](uint32_t, uint64_t begin, uint64_t end) {
-                            for (uint64_t i = begin; i < end; ++i) {
-                              root[i] = uf.Find(static_cast<uint32_t>(i));
-                            }
-                          });
+  util::ParallelForRanges(
+      util::ResolveThreadCount(num_threads, n), n,
+      [&](uint32_t, uint64_t begin, uint64_t end) {
+        util::CancellableChunks(exec, begin, end,
+                                [&](uint64_t cb, uint64_t ce) {
+                                  for (uint64_t i = cb; i < ce; ++i) {
+                                    root[i] =
+                                        uf.Find(static_cast<uint32_t>(i));
+                                  }
+                                });
+      });
+  if (exec != nullptr && !exec->Check().ok()) return NodePartition{};
 
   // ---- Phase D: canonical class numbering, shared with the batch path.
   return WeakPartitionFromRoots(dg, root);
@@ -91,8 +104,9 @@ SummaryResult ParallelWeakSummarize(const Graph& g,
   SummaryOptions sum_options;
   sum_options.record_members = options.record_members;
   sum_options.num_threads = options.num_threads;
+  // Ungoverned with a complete partition: cannot fail.
   SummaryResult out =
-      QuotientByPartition(g, part, SummaryKind::kWeak, sum_options);
+      QuotientByPartition(g, part, SummaryKind::kWeak, sum_options).value();
   out.stats.partition_seconds = partition_seconds;
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;
@@ -111,8 +125,10 @@ SummaryResult ParallelBisimulationSummarize(
   sum_options.bisimulation_depth = options.depth;
   sum_options.bisimulation_uses_types = options.use_types;
   sum_options.bisimulation_direction = options.direction;
+  // Ungoverned with a complete partition: cannot fail.
   SummaryResult out =
-      QuotientByPartition(g, part, SummaryKind::kBisimulation, sum_options);
+      QuotientByPartition(g, part, SummaryKind::kBisimulation, sum_options)
+          .value();
   out.stats.partition_seconds = partition_seconds;
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;

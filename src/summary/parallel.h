@@ -48,9 +48,13 @@ SummaryResult ParallelWeakSummarize(const Graph& g,
                                     const ParallelWeakOptions& options = {});
 
 /// The parallel weak partition alone (no quotient construction):
-/// byte-identical to ComputeWeakPartition(g) at every thread count.
+/// byte-identical to ComputeWeakPartition(g) at every thread count. `exec`
+/// (optional) makes the sharded phases cancellable: workers fall through to
+/// their join barrier and a tripped context returns an empty partition the
+/// caller must discard after consulting exec->Check().
 NodePartition ComputeParallelWeakPartition(const Graph& g,
-                                           uint32_t num_threads = 0);
+                                           uint32_t num_threads = 0,
+                                           util::ExecContext* exec = nullptr);
 
 /// Options for the multi-threaded bisimulation baseline (all refinement
 /// directions: forward, backward, fb).

@@ -2,14 +2,99 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "util/binary_io.h"
+#include "util/fault_injection.h"
 
 namespace rdfsum::summary {
 namespace {
 
 constexpr char kMagic[9] = {'R', 'D', 'F', 'S', 'U', 'M', 'S', 'U', 'M'};
-constexpr uint32_t kVersion = 1;
+// v2 adds a payload-size + FNV-1a-64 checksum trailer to the header so a
+// single flipped bit anywhere in the payload — including inside string
+// payloads, which the per-field decoding of v1 could not detect — surfaces
+// as kCorruption instead of a silently wrong summary. v1 files are caches,
+// not interchange data; they are simply rebuilt.
+constexpr uint32_t kVersion = 2;
+// magic + version + kind + payload size + checksum.
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 4 + 4 + 8 + 8;
+
+// Minimum serialized footprint of each record kind, used to reject
+// oversized length prefixes before any allocation: a count that could not
+// possibly fit in the remaining payload is corruption, not a reserve() of
+// gigabytes.
+constexpr uint64_t kMinTermBytes = 1 + 3 * 8;  // kind + 3 length prefixes
+constexpr uint64_t kMinTripleBytes = 12;
+constexpr uint64_t kMinMappingBytes = 8;
+constexpr uint64_t kMinMemberListBytes = 4 + 8;  // node + count
+constexpr uint64_t kMinMemberBytes = 4;
+
+constexpr uint64_t kFnvSeed = 1469598103934665603ULL;
+
+uint64_t Fnv1a64(const char* data, size_t size, uint64_t h = kFnvSeed) {
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// The checksum covers version + kind + payload, so a bit flip in the kind
+// field that happens to land on another valid kind is still caught (magic,
+// version, payload-size and checksum flips are caught by their own
+// validation).
+uint64_t Checksum(uint32_t version, uint32_t kind, const std::string& payload) {
+  char meta[8];
+  std::memcpy(meta, &version, 4);
+  std::memcpy(meta + 4, &kind, 4);
+  return Fnv1a64(payload.data(), payload.size(), Fnv1a64(meta, sizeof(meta)));
+}
+
+/// Bounds-checked cursor over the in-memory payload. Every read checks the
+/// remaining byte count first, so a truncated or bit-flipped length prefix
+/// can fail a read but never walk past the buffer.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  uint64_t remaining() const { return size_ - pos_; }
+
+  bool GetByte(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    std::memcpy(v, data_ + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    std::memcpy(v, data_ + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint64_t len = 0;
+    if (!GetU64(&len)) return false;
+    if (len > remaining()) return false;  // oversized prefix: no allocation
+    s->assign(data_ + pos_, static_cast<size_t>(len));
+    pos_ += static_cast<size_t>(len);
+    return true;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
 
 void PutTerm(std::ostream& os, const Term& t) {
   os.put(static_cast<char>(t.kind));
@@ -18,65 +103,85 @@ void PutTerm(std::ostream& os, const Term& t) {
   PutString(os, t.language);
 }
 
-bool GetTerm(std::istream& is, Term* t) {
-  int kind = is.get();
-  if (kind < 0 || kind > 2) return false;
+bool GetTerm(ByteReader& r, Term* t) {
+  uint8_t kind = 0;
+  if (!r.GetByte(&kind) || kind > 2) return false;
   t->kind = static_cast<TermKind>(kind);
-  return GetString(is, &t->lexical) && GetString(is, &t->datatype) &&
-         GetString(is, &t->language);
+  return r.GetString(&t->lexical) && r.GetString(&t->datatype) &&
+         r.GetString(&t->language);
 }
 
 }  // namespace
 
 Status SaveSummary(const SummaryResult& summary, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return Status::IOError("cannot open " + path + " for writing");
-  os.write(kMagic, sizeof(kMagic));
-  PutU32(os, kVersion);
-  PutU32(os, static_cast<uint32_t>(summary.kind));
+  RDFSUM_FAILPOINT("persistence:write");
+  // Serialize the payload in memory first so the header can carry its size
+  // and checksum; summaries are small (that is the point of the paper), so
+  // the extra copy is noise next to the summarization itself.
+  std::ostringstream payload;
 
   // Dictionary slice: every id referenced by the graph, the node map or the
   // members. We simply dump the whole dictionary of the summary graph; it
   // is shared with the base graph's, which keeps this simple and still
   // bounded by the base dictionary size.
   const Dictionary& dict = summary.graph.dict();
-  PutU64(os, dict.size() - 1);
-  for (TermId id = 1; id < dict.size(); ++id) PutTerm(os, dict.Decode(id));
+  PutU64(payload, dict.size() - 1);
+  for (TermId id = 1; id < dict.size(); ++id) {
+    PutTerm(payload, dict.Decode(id));
+  }
 
-  PutU64(os, summary.graph.NumTriples());
+  PutU64(payload, summary.graph.NumTriples());
   summary.graph.ForEachTriple([&](const Triple& t) {
-    PutU32(os, t.s);
-    PutU32(os, t.p);
-    PutU32(os, t.o);
+    PutU32(payload, t.s);
+    PutU32(payload, t.p);
+    PutU32(payload, t.o);
   });
 
-  PutU64(os, summary.node_map.size());
+  PutU64(payload, summary.node_map.size());
   for (const auto& [g_node, h_node] : summary.node_map) {
-    PutU32(os, g_node);
-    PutU32(os, h_node);
+    PutU32(payload, g_node);
+    PutU32(payload, h_node);
   }
 
-  PutU64(os, summary.members.size());
+  PutU64(payload, summary.members.size());
   for (const auto& [h_node, members] : summary.members) {
-    PutU32(os, h_node);
-    PutU64(os, members.size());
-    for (TermId m : members) PutU32(os, m);
+    PutU32(payload, h_node);
+    PutU64(payload, members.size());
+    for (TermId m : members) PutU32(payload, m);
   }
 
+  const std::string bytes = payload.str();
+
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IOError("cannot open " + path + " for writing");
+  os.write(kMagic, sizeof(kMagic));
+  PutU32(os, kVersion);
+  PutU32(os, static_cast<uint32_t>(summary.kind));
+  PutU64(os, bytes.size());
+  PutU64(os, Checksum(kVersion, static_cast<uint32_t>(summary.kind), bytes));
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   os.flush();
   if (!os) return Status::IOError("write failed for " + path);
   return Status::OK();
 }
 
 StatusOr<SummaryResult> LoadSummary(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
+  RDFSUM_FAILPOINT("persistence:read");
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
   if (!is) return Status::IOError("cannot open " + path);
+  const std::streamoff file_size = is.tellg();
+  is.seekg(0);
+  if (file_size < static_cast<std::streamoff>(kHeaderBytes)) {
+    return Status::Corruption("file too small for header: " + path);
+  }
+
   char magic[sizeof(kMagic)];
   is.read(magic, sizeof(magic));
   if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad magic in " + path);
   }
   uint32_t version = 0, kind_raw = 0;
+  uint64_t payload_size = 0, checksum = 0;
   if (!GetU32(is, &version) || version != kVersion) {
     return Status::Corruption("unsupported version");
   }
@@ -84,6 +189,24 @@ StatusOr<SummaryResult> LoadSummary(const std::string& path) {
       kind_raw > static_cast<uint32_t>(SummaryKind::kBisimulation)) {
     return Status::Corruption("bad summary kind");
   }
+  if (!GetU64(is, &payload_size) || !GetU64(is, &checksum)) {
+    return Status::Corruption("truncated header");
+  }
+  // The declared payload size must match the bytes actually on disk — an
+  // oversized prefix would otherwise drive the allocation below; an
+  // undersized one means the file was appended to or the prefix flipped.
+  if (payload_size !=
+      static_cast<uint64_t>(file_size) - static_cast<uint64_t>(kHeaderBytes)) {
+    return Status::Corruption("payload size mismatch in " + path);
+  }
+
+  std::string bytes(static_cast<size_t>(payload_size), '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(payload_size));
+  if (!is) return Status::Corruption("truncated payload in " + path);
+  if (Checksum(version, kind_raw, bytes) != checksum) {
+    return Status::Corruption("checksum mismatch in " + path);
+  }
+  ByteReader r(bytes.data(), bytes.size());
 
   SummaryResult out;
   out.kind = static_cast<SummaryKind>(kind_raw);
@@ -91,13 +214,16 @@ StatusOr<SummaryResult> LoadSummary(const std::string& path) {
   Dictionary& dict = out.graph.dict();
 
   uint64_t num_terms = 0;
-  if (!GetU64(is, &num_terms)) return Status::Corruption("truncated header");
+  if (!r.GetU64(&num_terms)) return Status::Corruption("truncated terms");
+  if (num_terms > r.remaining() / kMinTermBytes) {
+    return Status::Corruption("term count exceeds payload");
+  }
   // Map file ids to ids in the fresh dictionary. The fresh dictionary
   // already interned the RDF/RDFS vocabulary, so ids can differ.
   std::vector<TermId> remap(num_terms + 1, kInvalidTermId);
   for (uint64_t i = 1; i <= num_terms; ++i) {
     Term term;
-    if (!GetTerm(is, &term)) return Status::Corruption("truncated term");
+    if (!GetTerm(r, &term)) return Status::Corruption("truncated term");
     remap[i] = dict.Encode(term);
   }
   auto mapped = [&](uint32_t id) -> TermId {
@@ -105,10 +231,13 @@ StatusOr<SummaryResult> LoadSummary(const std::string& path) {
   };
 
   uint64_t num_triples = 0;
-  if (!GetU64(is, &num_triples)) return Status::Corruption("truncated count");
+  if (!r.GetU64(&num_triples)) return Status::Corruption("truncated count");
+  if (num_triples > r.remaining() / kMinTripleBytes) {
+    return Status::Corruption("triple count exceeds payload");
+  }
   for (uint64_t i = 0; i < num_triples; ++i) {
     uint32_t s, p, o;
-    if (!GetU32(is, &s) || !GetU32(is, &p) || !GetU32(is, &o)) {
+    if (!r.GetU32(&s) || !r.GetU32(&p) || !r.GetU32(&o)) {
       return Status::Corruption("truncated triple");
     }
     TermId ms = mapped(s), mp = mapped(p), mo = mapped(o);
@@ -119,32 +248,44 @@ StatusOr<SummaryResult> LoadSummary(const std::string& path) {
   }
 
   uint64_t num_mappings = 0;
-  if (!GetU64(is, &num_mappings)) return Status::Corruption("truncated map");
+  if (!r.GetU64(&num_mappings)) return Status::Corruption("truncated map");
+  if (num_mappings > r.remaining() / kMinMappingBytes) {
+    return Status::Corruption("node map count exceeds payload");
+  }
   for (uint64_t i = 0; i < num_mappings; ++i) {
     uint32_t g_node, h_node;
-    if (!GetU32(is, &g_node) || !GetU32(is, &h_node)) {
+    if (!r.GetU32(&g_node) || !r.GetU32(&h_node)) {
       return Status::Corruption("truncated node map");
     }
     out.node_map.emplace(mapped(g_node), mapped(h_node));
   }
 
   uint64_t num_member_lists = 0;
-  if (!GetU64(is, &num_member_lists)) {
+  if (!r.GetU64(&num_member_lists)) {
     return Status::Corruption("truncated members");
+  }
+  if (num_member_lists > r.remaining() / kMinMemberListBytes) {
+    return Status::Corruption("member list count exceeds payload");
   }
   for (uint64_t i = 0; i < num_member_lists; ++i) {
     uint32_t h_node;
     uint64_t count;
-    if (!GetU32(is, &h_node) || !GetU64(is, &count)) {
+    if (!r.GetU32(&h_node) || !r.GetU64(&count)) {
       return Status::Corruption("truncated member list");
+    }
+    if (count > r.remaining() / kMinMemberBytes) {
+      return Status::Corruption("member count exceeds payload");
     }
     auto& v = out.members[mapped(h_node)];
     v.reserve(count);
     for (uint64_t j = 0; j < count; ++j) {
       uint32_t m;
-      if (!GetU32(is, &m)) return Status::Corruption("truncated member");
+      if (!r.GetU32(&m)) return Status::Corruption("truncated member");
       v.push_back(mapped(m));
     }
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("trailing bytes after members");
   }
   out.stats = ComputeSummaryStats(out.graph, 0.0);
   return out;

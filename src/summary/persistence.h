@@ -16,6 +16,14 @@ namespace rdfsum::summary {
 /// The file embeds the dictionary entries it needs, so a loaded summary is
 /// self-contained: LoadSummary returns a result whose graph owns a fresh
 /// dictionary.
+///
+/// Format v2 carries a payload-size and FNV-1a-64 checksum in the header:
+/// LoadSummary verifies both before decoding, so truncation, appended junk,
+/// or any single flipped bit anywhere in the payload returns kCorruption —
+/// it never crashes, and every allocation is bounded by the actual file
+/// size (a length prefix larger than the remaining payload is rejected
+/// before reserve/resize). Failpoints: "persistence:write",
+/// "persistence:read".
 Status SaveSummary(const SummaryResult& summary, const std::string& path);
 
 StatusOr<SummaryResult> LoadSummary(const std::string& path);

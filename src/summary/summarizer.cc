@@ -1,13 +1,16 @@
 #include "summary/summarizer.h"
 
 #include <atomic>
-#include <stdexcept>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rdf/dense_graph.h"
 #include "reasoner/saturation.h"
 #include "summary/parallel.h"
+#include "util/fault_injection.h"
 #include "util/parallel_for.h"
 #include "util/row_set.h"
 #include "util/string_util.h"
@@ -23,7 +26,8 @@ NodePartition ComputePartition(const Graph& g, SummaryKind kind,
       // The sharded union-find path is byte-identical to the sequential one
       // at every thread count, so a threaded request routes through it.
       if (options.num_threads != 1) {
-        return ComputeParallelWeakPartition(g, options.num_threads);
+        return ComputeParallelWeakPartition(g, options.num_threads,
+                                            options.exec);
       }
       return ComputeWeakPartition(g);
     case SummaryKind::kStrong:
@@ -37,7 +41,7 @@ NodePartition ComputePartition(const Graph& g, SummaryKind kind,
     case SummaryKind::kBisimulation:
       return ComputeBisimulationPartition(
           g, options.bisimulation_depth, options.bisimulation_uses_types,
-          options.bisimulation_direction, options.num_threads);
+          options.bisimulation_direction, options.num_threads, options.exec);
   }
   return ComputeWeakPartition(g);
 }
@@ -48,51 +52,75 @@ NodePartition ComputePartition(const Graph& g, SummaryKind kind,
 /// and with it every downstream canonical numbering — is byte-identical to
 /// the sequential first-occurrence walk. See src/summary/README.md for why
 /// the merge order fixes determinism.
-void ParallelQuotientEdges(const Graph& g, const NodePartition& part,
-                           const std::vector<TermId>& class_node,
-                           uint32_t num_threads, Graph* out) {
+///
+/// `exec` governs the shard loops (workers stop mid-range on cancellation
+/// and fall through to their join barrier — partial shard output is never
+/// merged), and the "quotient:shard" failpoint injects per-shard failures
+/// at each shard boundary in fault-injection builds.
+Status ParallelQuotientEdges(const Graph& g, const NodePartition& part,
+                             const std::vector<TermId>& class_node,
+                             uint32_t num_threads, util::ExecContext* exec,
+                             Graph* out) {
   const DenseGraph& dg = g.Dense();  // built/cached before any worker spawns
   const uint32_t n = dg.num_nodes();
 
   // Resolve every dense node to its class id once, instead of one hash
-  // lookup per edge endpoint. Workers flag missing nodes; the throw happens
-  // after the join so the sequential path's out_of_range contract holds.
+  // lookup per edge endpoint. Workers flag missing nodes; the Status
+  // materializes after the join so no worker ever blocks on an error.
   std::vector<uint32_t> class_of_dense(n);
   std::atomic<bool> missing{false};
   util::ParallelForRanges(
       util::ResolveThreadCount(num_threads, n), n,
       [&](uint32_t, uint64_t begin, uint64_t end) {
-        for (uint64_t i = begin; i < end; ++i) {
-          auto it = part.class_of.find(dg.term_of(static_cast<uint32_t>(i)));
-          if (it == part.class_of.end()) {
-            missing.store(true, std::memory_order_relaxed);
-          } else {
-            class_of_dense[i] = it->second;
+        util::CancellableChunks(exec, begin, end, [&](uint64_t cb,
+                                                      uint64_t ce) {
+          for (uint64_t i = cb; i < ce; ++i) {
+            auto it =
+                part.class_of.find(dg.term_of(static_cast<uint32_t>(i)));
+            if (it == part.class_of.end()) {
+              missing.store(true, std::memory_order_relaxed);
+            } else {
+              class_of_dense[i] = it->second;
+            }
           }
-        }
+        });
       });
+  if (exec != nullptr) RDFSUM_RETURN_IF_ERROR(exec->Check());
   if (missing.load()) {
-    throw std::out_of_range("partition does not cover every graph node");
+    return Status::InvalidArgument(
+        "partition does not cover every graph node");
   }
 
   // Data component: each shard scans a contiguous EdgeRange and dedups the
   // summary edges (class(s), property, class(o)) it sees, in first-occurrence
-  // order, into a private RowSet.
+  // order, into a private RowSet. Shard failures (injected or governance)
+  // land in per-shard slots and surface after the join.
   const uint32_t edge_threads =
       util::ResolveThreadCount(num_threads, dg.num_data_edges());
   std::vector<util::RowSet> shard_edges(edge_threads, util::RowSet(3));
+  std::vector<Status> shard_status(edge_threads);
   util::ParallelForRanges(
       edge_threads, dg.num_data_edges(),
       [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        Status fp = RDFSUM_FAILPOINT_STATUS("quotient:shard");
+        if (!fp.ok()) {
+          shard_status[shard] = std::move(fp);
+          return;
+        }
         util::RowSet& set = shard_edges[shard];
         TermId row[3];
-        for (const DenseGraph::Edge& e : dg.EdgeRange(begin, end)) {
-          row[0] = class_of_dense[e.s];
-          row[1] = e.p;
-          row[2] = class_of_dense[e.o];
-          set.Insert(row);
-        }
+        shard_status[shard] =
+            util::CancellableChunks(exec, begin, end, [&](uint64_t cb,
+                                                          uint64_t ce) {
+              for (const DenseGraph::Edge& e : dg.EdgeRange(cb, ce)) {
+                row[0] = class_of_dense[e.s];
+                row[1] = e.p;
+                row[2] = class_of_dense[e.o];
+                set.Insert(row);
+              }
+            });
       });
+  for (const Status& st : shard_status) RDFSUM_RETURN_IF_ERROR(st);
 
   // Type component: same recipe over g.types() with (class(s), class term)
   // keys. Type subjects are dense nodes by the substrate's canonical
@@ -101,18 +129,29 @@ void ParallelQuotientEdges(const Graph& g, const NodePartition& part,
   const uint32_t type_threads =
       util::ResolveThreadCount(num_threads, types.size());
   std::vector<util::RowSet> shard_types(type_threads, util::RowSet(2));
+  std::vector<Status> type_status(type_threads);
   util::ParallelForRanges(
       type_threads, types.size(),
       [&](uint32_t shard, uint64_t begin, uint64_t end) {
+        Status fp = RDFSUM_FAILPOINT_STATUS("quotient:shard");
+        if (!fp.ok()) {
+          type_status[shard] = std::move(fp);
+          return;
+        }
         util::RowSet& set = shard_types[shard];
         TermId row[2];
-        for (uint64_t i = begin; i < end; ++i) {
-          const Triple& t = types[i];
-          row[0] = class_of_dense[dg.node_of(t.s)];
-          row[1] = t.o;
-          set.Insert(row);
-        }
+        type_status[shard] =
+            util::CancellableChunks(exec, begin, end, [&](uint64_t cb,
+                                                          uint64_t ce) {
+              for (uint64_t i = cb; i < ce; ++i) {
+                const Triple& t = types[i];
+                row[0] = class_of_dense[dg.node_of(t.s)];
+                row[1] = t.o;
+                set.Insert(row);
+              }
+            });
       });
+  for (const Status& st : type_status) RDFSUM_RETURN_IF_ERROR(st);
 
   // Merge in shard-index order. Shards are contiguous input ranges, so an
   // edge's first surviving occurrence is in the earliest shard that saw it,
@@ -137,14 +176,18 @@ void ParallelQuotientEdges(const Graph& g, const NodePartition& part,
     }
   }
   for (const Triple& t : g.schema()) out->Add(t);
+  return Status::OK();
 }
 
 }  // namespace
 
-SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
-                                  SummaryKind kind,
-                                  const SummaryOptions& options) {
+StatusOr<SummaryResult> QuotientByPartition(const Graph& g,
+                                            const NodePartition& part,
+                                            SummaryKind kind,
+                                            const SummaryOptions& options) {
   Timer timer;
+  util::ExecContext* exec = options.exec;
+  if (exec != nullptr) RDFSUM_RETURN_IF_ERROR(exec->Check());
   SummaryResult out;
   out.kind = kind;
   out.graph = Graph(g.dict_ptr());
@@ -160,16 +203,43 @@ SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
   const uint32_t threads = util::ResolveThreadCount(
       options.num_threads, g.data().size() + g.types().size());
   if (threads > 1) {
-    ParallelQuotientEdges(g, part, class_node, options.num_threads,
-                          &out.graph);
+    RDFSUM_RETURN_IF_ERROR(ParallelQuotientEdges(
+        g, part, class_node, options.num_threads, exec, &out.graph));
   } else {
-    auto map_node = [&](TermId n) { return class_node[part.class_of.at(n)]; };
+    // Sequential walk, polling governance every kCheckInterval triples and
+    // resolving class ids with find() so a non-covering partition is a
+    // returned error, not a crash.
+    TermId mapped[2];
+    uint64_t since_check = 0;
+    auto map_node = [&](TermId n, TermId* slot) {
+      auto it = part.class_of.find(n);
+      if (it == part.class_of.end()) return false;
+      *slot = class_node[it->second];
+      return true;
+    };
+    auto poll = [&]() -> Status {
+      if (exec != nullptr &&
+          (++since_check & (util::ExecContext::kCheckInterval - 1)) == 0) {
+        return exec->Check();
+      }
+      return Status::OK();
+    };
     for (const Triple& t : g.data()) {
-      out.graph.Add(Triple{map_node(t.s), t.p, map_node(t.o)});
+      RDFSUM_RETURN_IF_ERROR(poll());
+      if (!map_node(t.s, &mapped[0]) || !map_node(t.o, &mapped[1])) {
+        return Status::InvalidArgument(
+            "partition does not cover every graph node");
+      }
+      out.graph.Add(Triple{mapped[0], t.p, mapped[1]});
     }
     const TermId rdf_type = g.vocab().rdf_type;
     for (const Triple& t : g.types()) {
-      out.graph.Add(Triple{map_node(t.s), rdf_type, t.o});
+      RDFSUM_RETURN_IF_ERROR(poll());
+      if (!map_node(t.s, &mapped[0])) {
+        return Status::InvalidArgument(
+            "partition does not cover every graph node");
+      }
+      out.graph.Add(Triple{mapped[0], rdf_type, t.o});
     }
     for (const Triple& t : g.schema()) out.graph.Add(t);
   }
@@ -188,30 +258,59 @@ SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
   return out;
 }
 
-SummaryResult Summarize(const Graph& g, SummaryKind kind,
-                        const SummaryOptions& options) {
+StatusOr<SummaryResult> TrySummarize(const Graph& g, SummaryKind kind,
+                                     const SummaryOptions& options) {
   Timer timer;
   NodePartition part = ComputePartition(g, kind, options);
+  // A governed partition phase bails out of its shards early when the
+  // context trips; the partial partition must be discarded, and the sticky
+  // Check() replays the reason.
+  if (options.exec != nullptr) RDFSUM_RETURN_IF_ERROR(options.exec->Check());
   double partition_seconds = timer.ElapsedSeconds();
-  SummaryResult out = QuotientByPartition(g, part, kind, options);
+  RDFSUM_ASSIGN_OR_RETURN(SummaryResult out,
+                          QuotientByPartition(g, part, kind, options));
   out.stats.partition_seconds = partition_seconds;
   out.stats.build_seconds = timer.ElapsedSeconds();
   return out;
 }
 
-SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
-                                            const SummaryOptions& options) {
+namespace {
+
+/// The shared contract of the ungoverned wrappers: they have no error
+/// channel, so a failure (an incomplete partition — a caller bug — or a
+/// context the caller was told not to pass) is fatal.
+SummaryResult ValueOrDie(StatusOr<SummaryResult> result,
+                         const char* function) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "rdfsum: %s cannot fail but did: %s\n", function,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+SummaryResult Summarize(const Graph& g, SummaryKind kind,
+                        const SummaryOptions& options) {
+  return ValueOrDie(TrySummarize(g, kind, options), "Summarize");
+}
+
+StatusOr<SummaryResult> TrySummarizeSaturatedViaShortcut(
+    const Graph& g, SummaryKind kind, const SummaryOptions& options) {
   Timer timer;
   if (kind != SummaryKind::kWeak && kind != SummaryKind::kStrong) {
     // No completeness guarantee (Propositions 7/10): saturate first.
     Graph saturated = reasoner::Saturate(g);
-    SummaryResult out = Summarize(saturated, kind, options);
+    RDFSUM_ASSIGN_OR_RETURN(SummaryResult out,
+                            TrySummarize(saturated, kind, options));
     out.stats.build_seconds = timer.ElapsedSeconds();
     return out;
   }
-  SummaryResult first = Summarize(g, kind, options);
+  RDFSUM_ASSIGN_OR_RETURN(SummaryResult first, TrySummarize(g, kind, options));
   Graph saturated_summary = reasoner::Saturate(first.graph);
-  SummaryResult second = Summarize(saturated_summary, kind, options);
+  RDFSUM_ASSIGN_OR_RETURN(SummaryResult second,
+                          TrySummarize(saturated_summary, kind, options));
   // Compose the node maps so the result still maps G's data nodes.
   std::unordered_map<TermId, TermId> composed;
   composed.reserve(first.node_map.size());
@@ -229,6 +328,12 @@ SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
   second.stats.quotient_seconds += first.stats.quotient_seconds;
   second.stats.build_seconds = timer.ElapsedSeconds();
   return second;
+}
+
+SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
+                                            const SummaryOptions& options) {
+  return ValueOrDie(TrySummarizeSaturatedViaShortcut(g, kind, options),
+                    "SummarizeSaturatedViaShortcut");
 }
 
 }  // namespace rdfsum::summary

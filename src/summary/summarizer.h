@@ -4,6 +4,7 @@
 #include "rdf/graph.h"
 #include "summary/node_partition.h"
 #include "summary/summary.h"
+#include "util/statusor.h"
 
 namespace rdfsum::summary {
 
@@ -22,6 +23,18 @@ namespace rdfsum::summary {
 /// quotient phase for every kind. The result is byte-identical to the
 /// sequential build at every thread count; per-phase wall times land in
 /// SummaryResult::stats.
+///
+/// The governed entry point: options.exec carries a deadline/cancellation
+/// token the sharded phases poll; a tripped context returns kCancelled or
+/// kDeadlineExceeded with all partial output discarded. Returns
+/// kInvalidArgument only via QuotientByPartition's coverage contract.
+StatusOr<SummaryResult> TrySummarize(const Graph& g, SummaryKind kind,
+                                     const SummaryOptions& options = {});
+
+/// Ungoverned convenience wrapper over TrySummarize for the overwhelmingly
+/// common "summarize this graph, it cannot fail" call. Must not be called
+/// with options.exec set — without an error channel, a governance failure
+/// here aborts the process (a usage bug, not a runtime condition).
 SummaryResult Summarize(const Graph& g, SummaryKind kind,
                         const SummaryOptions& options = {});
 
@@ -29,22 +42,30 @@ SummaryResult Summarize(const Graph& g, SummaryKind kind,
 /// callers can experiment with custom equivalence relations; Summarize is
 /// implemented on top of this). The partition must cover every data node and
 /// type-triple subject of `g` (all ComputeXxxPartition results do); a node
-/// it misses raises std::out_of_range.
+/// it misses returns kInvalidArgument (the library does not throw).
 ///
 /// With `options.num_threads` != 1 the summary edge set is built by sharding
 /// the dense edge list: each shard classifies its contiguous range into
 /// summary edges through per-shard dedup tables, and shards merge in
 /// shard-index order, which reproduces the sequential first-occurrence
 /// insertion order — and therefore minted node ids and serialized output —
-/// byte for byte (see src/summary/README.md).
-SummaryResult QuotientByPartition(const Graph& g, const NodePartition& part,
-                                  SummaryKind kind,
-                                  const SummaryOptions& options = {});
+/// byte for byte (see src/summary/README.md). options.exec makes both the
+/// sequential and sharded paths cancellable (kCancelled/kDeadlineExceeded).
+StatusOr<SummaryResult> QuotientByPartition(const Graph& g,
+                                            const NodePartition& part,
+                                            SummaryKind kind,
+                                            const SummaryOptions& options = {});
 
 /// Computes Summary(G∞) via the completeness shortcut of Propositions 5/8:
 /// summarize G, saturate the (small) summary, summarize again. Only sound
 /// for kWeak and kStrong (Propositions 7/10 show TW/TS lack this property);
-/// other kinds fall back to saturating G first.
+/// other kinds fall back to saturating G first. Governed like TrySummarize
+/// (saturation itself is not yet cancellable — the summarization phases
+/// around it are).
+StatusOr<SummaryResult> TrySummarizeSaturatedViaShortcut(
+    const Graph& g, SummaryKind kind, const SummaryOptions& options = {});
+
+/// Ungoverned wrapper; same contract as Summarize (no options.exec).
 SummaryResult SummarizeSaturatedViaShortcut(const Graph& g, SummaryKind kind,
                                             const SummaryOptions& options = {});
 

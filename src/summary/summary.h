@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rdf/graph.h"
+#include "util/exec_context.h"
 
 namespace rdfsum::summary {
 
@@ -73,6 +74,13 @@ struct SummaryOptions {
   /// Which neighborhoods the refinement signatures include.
   BisimulationDirection bisimulation_direction =
       BisimulationDirection::kForwardBackward;
+  /// Optional governance (deadline + cancellation token). Borrowed; must
+  /// outlive the call; nullptr = ungoverned. Shard workers poll it between
+  /// chunks and fall through to their join barrier, and the TrySummarize
+  /// entry points return its kCancelled/kDeadlineExceeded status (partial
+  /// phase output is discarded). Only the Try* entry points may be called
+  /// with a context set — plain Summarize has no error channel.
+  util::ExecContext* exec = nullptr;
 };
 
 /// Sizes of a summary, in the measures reported by Figures 11 and 12.

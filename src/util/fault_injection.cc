@@ -1,0 +1,210 @@
+#include "util/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace rdfsum::util {
+namespace {
+
+struct ArmedPoint {
+  Status status;
+  uint64_t countdown = 1;  // fail on this hit and later ones
+  uint64_t latency_ms = 0;
+  bool latency_only = false;  // sleep, then return OK
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedPoint> points;
+  std::unordered_map<std::string, uint64_t> hits;
+  // random mode: every failpoint fails with `percent`% probability.
+  bool random_mode = false;
+  uint32_t random_percent = 1;
+  uint64_t rng_state = 0;
+  bool env_parsed = false;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+// Any-failpoint-armed fast path, updated under the registry mutex.
+std::atomic<bool> g_armed{false};
+
+bool ParseCode(std::string_view code, Status* out, std::string_view name) {
+  std::string msg = "injected fault at " + std::string(name);
+  if (code == "ioerror") *out = Status::IOError(msg);
+  else if (code == "corruption") *out = Status::Corruption(msg);
+  else if (code == "cancelled") *out = Status::Cancelled(msg);
+  else if (code == "deadline") *out = Status::DeadlineExceeded(msg);
+  else if (code == "resource") *out = Status::ResourceExhausted(msg);
+  else if (code == "internal") *out = Status::Internal(msg);
+  else if (code == "invalid") *out = Status::InvalidArgument(msg);
+  else if (code == "notfound") *out = Status::NotFound(msg);
+  else return false;
+  return true;
+}
+
+// splitmix64: deterministic, seedable, good enough for fault dice.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Parses RDFSUM_FAILPOINTS once; called under the registry mutex.
+void ParseEnvLocked(Registry& r) {
+  if (r.env_parsed) return;
+  r.env_parsed = true;
+  const char* env = std::getenv("RDFSUM_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return;
+  std::string spec = env;
+  if (StartsWith(spec, "random")) {
+    // random[:seed[:percent]]
+    uint64_t seed =
+        static_cast<uint64_t>(std::chrono::steady_clock::now()
+                                  .time_since_epoch()
+                                  .count());
+    uint32_t percent = 1;
+    size_t first = spec.find(':');
+    if (first != std::string::npos) {
+      size_t second = spec.find(':', first + 1);
+      std::string seed_str = spec.substr(
+          first + 1, second == std::string::npos ? std::string::npos
+                                                 : second - first - 1);
+      if (!seed_str.empty()) seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+      if (second != std::string::npos) {
+        percent = static_cast<uint32_t>(
+            std::strtoul(spec.c_str() + second + 1, nullptr, 10));
+      }
+    }
+    r.random_mode = true;
+    r.random_percent = percent == 0 ? 1 : percent;
+    r.rng_state = seed;
+    std::fprintf(stderr,
+                 "rdfsum: fault injection armed (random mode, seed=%llu, "
+                 "p=%u%%)\n",
+                 static_cast<unsigned long long>(seed), r.random_percent);
+    g_armed.store(true, std::memory_order_release);
+    return;
+  }
+  // name=code[;name=code...]  (',' also accepted as separator)
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(";,", pos);
+    std::string entry = spec.substr(
+        pos, end == std::string::npos ? std::string::npos : end - pos);
+    pos = end == std::string::npos ? spec.size() : end + 1;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    std::string name = entry.substr(0, eq);
+    std::string code = entry.substr(eq + 1);
+    ArmedPoint p;
+    if (StartsWith(code, "sleep:")) {
+      p.latency_only = true;
+      p.latency_ms = std::strtoull(code.c_str() + 6, nullptr, 10);
+      p.status = Status::OK();
+    } else if (!ParseCode(code, &p.status, name)) {
+      std::fprintf(stderr, "rdfsum: ignoring bad failpoint spec '%s'\n",
+                   entry.c_str());
+      continue;
+    }
+    r.points[name] = std::move(p);
+  }
+  if (!r.points.empty()) {
+    std::fprintf(stderr, "rdfsum: fault injection armed (%zu failpoint(s))\n",
+                 r.points.size());
+    g_armed.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+bool FaultInjection::enabled() {
+  if (g_armed.load(std::memory_order_acquire)) return true;
+  // The env var may arm points lazily; parse it the first time through.
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ParseEnvLocked(r);
+  return g_armed.load(std::memory_order_acquire);
+}
+
+Status FaultInjection::Hit(std::string_view name) {
+  Registry& r = registry();
+  uint64_t latency_ms = 0;
+  Status result;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    ParseEnvLocked(r);
+    std::string key(name);
+    uint64_t count = ++r.hits[key];
+    if (r.random_mode) {
+      if (NextRandom(&r.rng_state) % 100 < r.random_percent) {
+        result = Status::IOError("injected fault at " + key);
+      }
+    }
+    auto it = r.points.find(key);
+    if (it != r.points.end() && count >= it->second.countdown) {
+      latency_ms = it->second.latency_ms;
+      if (!it->second.latency_only) result = it->second.status;
+    }
+  }
+  if (latency_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+  }
+  return result;
+}
+
+void FaultInjection::Arm(std::string_view name, Status status,
+                         const ArmOptions& options) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_parsed = true;  // explicit arming overrides env lazily-parsed state
+  ArmedPoint p;
+  p.status = std::move(status);
+  p.countdown = options.countdown == 0 ? 1 : options.countdown;
+  p.latency_ms = options.latency_ms;
+  p.latency_only = p.status.ok();
+  r.points[std::string(name)] = std::move(p);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjection::ArmRandom(uint64_t seed, uint32_t percent) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.env_parsed = true;
+  r.random_mode = true;
+  r.random_percent = percent == 0 ? 1 : percent;
+  r.rng_state = seed;
+  g_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjection::Clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  r.hits.clear();
+  r.random_mode = false;
+  r.env_parsed = true;  // a cleared registry stays cleared
+  g_armed.store(false, std::memory_order_release);
+}
+
+uint64_t FaultInjection::HitCount(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(std::string(name));
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+}  // namespace rdfsum::util

@@ -7,6 +7,9 @@
 #include <utility>
 #include <vector>
 
+#include "util/exec_context.h"
+#include "util/status.h"
+
 namespace rdfsum::util {
 
 /// Resolves a requested thread count against the hardware and the amount of
@@ -69,6 +72,36 @@ void ParallelForRanges(uint32_t num_threads, uint64_t total, Body&& body) {
     auto [begin, end] = ShardRange(total, shard, shards);
     body(shard, begin, end);
   });
+}
+
+/// How many items a worker processes between ExecContext polls. Coarser
+/// than ExecContext::kCheckInterval because shard bodies do a few
+/// nanoseconds of work per item; this still bounds cancellation latency to
+/// well under a millisecond of shard work.
+inline constexpr uint64_t kCancelCheckChunk = 8192;
+
+/// Runs body(chunk_begin, chunk_end) over [begin, end) in chunks of
+/// kCancelCheckChunk items, polling `ctx` between chunks. Stops at the first
+/// non-OK poll and returns that status (the remaining items are skipped —
+/// the caller must treat the shard's output as partial and discard it).
+///
+/// This is the worker-side half of cooperative cancellation: a worker that
+/// observes cancellation returns from its body normally and falls through
+/// to ParallelFor's join, so the per-round barriers of the parallel
+/// summarizers can never deadlock on a cancelled run.
+template <typename ChunkBody>
+Status CancellableChunks(const ExecContext* ctx, uint64_t begin, uint64_t end,
+                         ChunkBody&& body) {
+  if (ctx == nullptr) {
+    body(begin, end);
+    return Status();
+  }
+  for (uint64_t pos = begin; pos < end; pos += kCancelCheckChunk) {
+    Status st = ctx->Check();
+    if (!st.ok()) return st;
+    body(pos, std::min(end, pos + kCancelCheckChunk));
+  }
+  return ctx->Check();
 }
 
 }  // namespace rdfsum::util

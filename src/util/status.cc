@@ -21,6 +21,12 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kAlreadyExists:
       return "AlreadyExists";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,14 @@ class Status {
     kNotSupported = 5,
     kInternal = 6,
     kAlreadyExists = 7,
+    // Resource-governance codes (see util/exec_context.h): an ExecContext
+    // deadline expired, the caller cancelled, or a row/memory budget ran
+    // out. kDeadlineExceeded and kResourceExhausted are retryable (the same
+    // request can succeed with a larger budget); kCancelled is not — it
+    // reports caller intent, not resource pressure.
+    kDeadlineExceeded = 8,
+    kCancelled = 9,
+    kResourceExhausted = 10,
   };
 
   /// Creates an OK status. Equivalent to Status::OK().
@@ -49,6 +57,15 @@ class Status {
   static Status AlreadyExists(std::string_view msg) {
     return Status(Code::kAlreadyExists, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(Code::kDeadlineExceeded, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(Code::kCancelled, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(Code::kResourceExhausted, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
@@ -58,6 +75,21 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  /// True for failures that can succeed on a retry with a larger budget or
+  /// at a quieter moment: kDeadlineExceeded, kResourceExhausted, and
+  /// kIOError (transient I/O). kCancelled is deliberate caller intent and
+  /// kCorruption/kInvalidArgument describe the input itself, so retrying
+  /// them verbatim cannot help.
+  bool IsRetryable() const {
+    return code_ == Code::kDeadlineExceeded ||
+           code_ == Code::kResourceExhausted || code_ == Code::kIOError;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

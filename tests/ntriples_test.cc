@@ -263,5 +263,71 @@ TEST(DotWriterTest, LocalNames) {
   EXPECT_EQ(io::IriLocalName("plain"), "plain");
 }
 
+// ---- recovery mode (max line/term caps + line-numbered diagnostics) -----
+
+TEST(NTriplesRecoveryTest, OversizedLineIsSkippedWithDiagnostic) {
+  std::string text = "<http://x/a> <http://x/p> <http://x/b> .\n";
+  text += "<http://x/a> <http://x/p> \"" + std::string(4000, 'x') + "\" .\n";
+  text += "<http://x/c> <http://x/p> <http://x/d> .\n";
+  io::ParseOptions options;
+  options.strict = false;
+  options.max_line_bytes = 200;
+  ParseStats stats;
+  Graph g;
+  ASSERT_TRUE(
+      io::NTriplesParser::ParseString(text, &g, &stats, options).ok());
+  EXPECT_EQ(stats.triples, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+  ASSERT_EQ(stats.diagnostics.size(), 1u);
+  EXPECT_NE(stats.diagnostics[0].find("line 2"), std::string::npos)
+      << stats.diagnostics[0];
+  EXPECT_NE(stats.diagnostics[0].find("max_line_bytes"), std::string::npos);
+}
+
+TEST(NTriplesRecoveryTest, OversizedLineFailsStrictWithLineNumber) {
+  std::string text = "<http://x/a> <http://x/p> <http://x/b> .\n";
+  text += "<http://x/a> <http://x/p> \"" + std::string(4000, 'x') + "\" .\n";
+  io::ParseOptions options;
+  options.max_line_bytes = 200;
+  Graph g;
+  Status st = io::NTriplesParser::ParseString(text, &g, nullptr, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.ToString().find("line 2"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(NTriplesRecoveryTest, OversizedTermIsRejected) {
+  // The line fits the line cap but one decoded term exceeds the term cap.
+  std::string text =
+      "<http://x/a> <http://x/p> \"" + std::string(300, 'y') + "\" .\n";
+  io::ParseOptions options;
+  options.strict = false;
+  options.max_term_bytes = 100;
+  ParseStats stats;
+  Graph g;
+  ASSERT_TRUE(
+      io::NTriplesParser::ParseString(text, &g, &stats, options).ok());
+  EXPECT_EQ(stats.triples, 0u);
+  EXPECT_EQ(stats.skipped, 1u);
+  ASSERT_EQ(stats.diagnostics.size(), 1u);
+  EXPECT_NE(stats.diagnostics[0].find("max_term_bytes"), std::string::npos);
+}
+
+TEST(NTriplesRecoveryTest, DiagnosticsAreCappedButCountingContinues) {
+  std::string text;
+  for (int i = 0; i < 40; ++i) text += "garbage line\n";
+  io::ParseOptions options;
+  options.strict = false;
+  ParseStats stats;
+  Graph g;
+  ASSERT_TRUE(
+      io::NTriplesParser::ParseString(text, &g, &stats, options).ok());
+  EXPECT_EQ(stats.skipped, 40u);
+  EXPECT_EQ(stats.diagnostics.size(), ParseStats::kMaxDiagnostics);
+  // Each retained diagnostic names its line.
+  EXPECT_NE(stats.diagnostics[0].find("line 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rdfsum

@@ -130,7 +130,7 @@ TEST(ParallelQuotientTest, ExplicitPartitionByteIdentical) {
   Graph g_seq = MakeGraph(Dataset::kHetero, /*saturated=*/false);
   NodePartition part_seq = ComputeWeakPartition(g_seq);
   SummaryResult seq =
-      QuotientByPartition(g_seq, part_seq, SummaryKind::kWeak, {});
+      QuotientByPartition(g_seq, part_seq, SummaryKind::kWeak, {}).value();
   const std::string seq_nt = io::NTriplesWriter::ToString(seq.graph);
   for (uint32_t threads : kThreadCounts) {
     Graph g_par = MakeGraph(Dataset::kHetero, /*saturated=*/false);
@@ -138,7 +138,8 @@ TEST(ParallelQuotientTest, ExplicitPartitionByteIdentical) {
     SummaryOptions options;
     options.num_threads = threads;
     SummaryResult par =
-        QuotientByPartition(g_par, part_par, SummaryKind::kWeak, options);
+        QuotientByPartition(g_par, part_par, SummaryKind::kWeak, options)
+            .value();
     EXPECT_EQ(seq_nt, io::NTriplesWriter::ToString(par.graph))
         << "threads " << threads;
   }
@@ -184,18 +185,20 @@ TEST(ParallelQuotientTest, MoreThreadsThanTriples) {
   EXPECT_EQ(r.stats.num_type_edges, 1u);
 }
 
-// A partition that misses graph nodes raises out_of_range on the threaded
-// path just like the sequential map_node's .at() does.
-TEST(ParallelQuotientTest, IncompletePartitionThrows) {
+// A partition that misses graph nodes returns kInvalidArgument on both the
+// threaded and sequential paths (the library does not throw).
+TEST(ParallelQuotientTest, IncompletePartitionReturnsInvalidArgument) {
   Graph g = MakeGraph(Dataset::kPaper, /*saturated=*/false);
   NodePartition partial;
   partial.num_classes = 1;  // covers no node at all
   SummaryOptions options;
   options.num_threads = 4;
-  EXPECT_THROW(QuotientByPartition(g, partial, SummaryKind::kWeak, options),
-               std::out_of_range);
-  EXPECT_THROW(QuotientByPartition(g, partial, SummaryKind::kWeak, {}),
-               std::out_of_range);
+  auto par = QuotientByPartition(g, partial, SummaryKind::kWeak, options);
+  ASSERT_FALSE(par.ok());
+  EXPECT_TRUE(par.status().IsInvalidArgument()) << par.status().ToString();
+  auto seq = QuotientByPartition(g, partial, SummaryKind::kWeak, {});
+  ASSERT_FALSE(seq.ok());
+  EXPECT_TRUE(seq.status().IsInvalidArgument()) << seq.status().ToString();
 }
 
 }  // namespace

@@ -31,15 +31,40 @@
 #include "reasoner/saturation.h"
 #include "summary/report.h"
 #include "summary/summarizer.h"
+#include "util/exec_context.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace rdfsum {
 namespace {
 
+// Exit-code classes (documented in Usage()): 0 success, 1 other failure,
+// 2 usage error, 3 bad input data (parse/corruption/missing file),
+// 4 governance trip (deadline/cancellation/budget).
+constexpr int kExitUsage = 2;
+constexpr int kExitData = 3;
+constexpr int kExitBudget = 4;
+
+int ExitCodeFor(const Status& st) {
+  if (st.ok()) return 0;
+  if (st.IsDeadlineExceeded() || st.IsCancelled() || st.IsResourceExhausted()) {
+    return kExitBudget;
+  }
+  if (st.IsInvalidArgument() || st.IsCorruption() || st.IsIOError() ||
+      st.IsNotFound()) {
+    return kExitData;
+  }
+  return 1;
+}
+
+int FailStatus(const Status& st) {
+  std::cerr << "rdfsum: " << st.ToString() << "\n";
+  return ExitCodeFor(st);
+}
+
 int Fail(const std::string& msg) {
   std::cerr << "rdfsum: " << msg << "\n";
-  return 1;
+  return kExitUsage;
 }
 
 int Usage() {
@@ -59,29 +84,41 @@ int Usage() {
       "                   (--explain prints the chosen join order per step:\n"
       "                    pattern, index, join op, est vs. actual rows;\n"
       "                    --page N is 1-based and needs --limit as the page\n"
-      "                    size; --stream flushes each row as it is produced)\n";
-  return 2;
+      "                    size; --stream flushes each row as it is produced)\n"
+      "\n"
+      "global resource-governance flags (any command; 0 = unlimited):\n"
+      "  --timeout-ms N     wall-clock budget; exceeding it aborts with\n"
+      "                     DeadlineExceeded\n"
+      "  --max-rows N       query answer-row budget (ResourceExhausted)\n"
+      "  --mem-budget-mb N  operator-state budget; hash joins degrade to\n"
+      "                     nested-loop instead of exceeding it\n"
+      "\n"
+      "exit codes: 0 ok; 1 other failure; 2 usage; 3 bad input data\n"
+      "  (parse error, corrupt summary file, missing file); 4 resource\n"
+      "  governance trip (timeout, cancellation, row/memory budget)\n";
+  return kExitUsage;
 }
 
-bool LoadGraph(const std::string& path, Graph* g, std::string* error) {
+Status LoadGraph(const std::string& path, Graph* g,
+                 util::ExecContext* exec = nullptr) {
   Status st;
   if (EndsWith(path, ".ttl") || EndsWith(path, ".turtle")) {
     st = io::TurtleParser::ParseFile(path, g);
   } else {
     io::ParseOptions options;
     options.strict = false;
+    options.exec = exec;
     io::ParseStats stats;
     st = io::NTriplesParser::ParseFile(path, g, &stats, options);
     if (st.ok() && stats.skipped > 0) {
       std::cerr << "warning: skipped " << stats.skipped
                 << " malformed line(s)\n";
+      for (const std::string& d : stats.diagnostics) {
+        std::cerr << "  " << d << "\n";
+      }
     }
   }
-  if (!st.ok()) {
-    *error = st.ToString();
-    return false;
-  }
-  return true;
+  return st;
 }
 
 /// Strict decimal uint32 parse: rejects junk, trailing characters, and
@@ -111,12 +148,12 @@ bool ParseKind(const std::string& name, summary::SummaryKind* kind) {
   return true;
 }
 
-int CmdStats(const std::vector<std::string>& args) {
+int CmdStats(const std::vector<std::string>& args, util::ExecContext* exec) {
   if (args.empty()) return Usage();
   Graph g;
-  std::string error;
   Timer timer;
-  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  Status load = LoadGraph(args[0], &g, exec);
+  if (!load.ok()) return FailStatus(load);
   GraphStats stats = ComputeGraphStats(g);
   std::cout << "loaded " << args[0] << " in " << timer.ElapsedMillis()
             << " ms\n"
@@ -129,15 +166,18 @@ int CmdStats(const std::vector<std::string>& args) {
 // `--threads` is parallel end-to-end through SummaryOptions::num_threads:
 // the quotient phase shards for every kind, and W/BISIM additionally run
 // their sharded partition paths. Byte-identical at every thread count.
-summary::SummaryResult RunSummarize(const Graph& g, summary::SummaryKind kind,
-                                    const summary::SummaryOptions& options,
-                                    uint32_t threads) {
+StatusOr<summary::SummaryResult> RunSummarize(
+    const Graph& g, summary::SummaryKind kind,
+    const summary::SummaryOptions& options, uint32_t threads,
+    util::ExecContext* exec) {
   summary::SummaryOptions threaded = options;
   threaded.num_threads = threads;
-  return summary::Summarize(g, kind, threaded);
+  threaded.exec = exec;
+  return summary::TrySummarize(g, kind, threaded);
 }
 
-int CmdSummarize(const std::vector<std::string>& args) {
+int CmdSummarize(const std::vector<std::string>& args,
+                 util::ExecContext* exec) {
   if (args.empty()) return Usage();
   std::string kind_name = "all";
   std::string out_prefix;
@@ -166,8 +206,8 @@ int CmdSummarize(const std::vector<std::string>& args) {
   }
 
   Graph g;
-  std::string error;
-  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  Status load = LoadGraph(args[0], &g, exec);
+  if (!load.ok()) return FailStatus(load);
   if (saturate) g = reasoner::Saturate(g);
 
   std::vector<summary::SummaryKind> kinds;
@@ -182,23 +222,26 @@ int CmdSummarize(const std::vector<std::string>& args) {
 
   for (summary::SummaryKind kind : kinds) {
     Timer timer;
-    summary::SummaryResult r = RunSummarize(g, kind, options, threads);
-    std::cout << summary::SummaryKindName(kind) << ": " << r.stats.ToString()
+    StatusOr<summary::SummaryResult> r =
+        RunSummarize(g, kind, options, threads, exec);
+    if (!r.ok()) return FailStatus(r.status());
+    std::cout << summary::SummaryKindName(kind) << ": " << r->stats.ToString()
               << " (" << timer.ElapsedMillis() << " ms)\n";
-    if (report) std::cout << summary::DescribeSummary(r).ToString();
+    if (report) std::cout << summary::DescribeSummary(*r).ToString();
     if (!out_prefix.empty()) {
       std::string base =
           out_prefix + "." + summary::SummaryKindName(kind);
-      Status st = io::NTriplesWriter::WriteFile(r.graph, base + ".nt");
-      if (st.ok()) st = summary::WriteSummaryDotFile(r, base + ".dot");
-      if (!st.ok()) return Fail(st.ToString());
+      Status st = io::NTriplesWriter::WriteFile(r->graph, base + ".nt");
+      if (st.ok()) st = summary::WriteSummaryDotFile(*r, base + ".dot");
+      if (!st.ok()) return FailStatus(st);
       std::cout << "  wrote " << base << ".nt / .dot\n";
     }
   }
   return 0;
 }
 
-int CmdSaturate(const std::vector<std::string>& args) {
+int CmdSaturate(const std::vector<std::string>& args,
+                util::ExecContext* exec) {
   if (args.empty()) return Usage();
   std::string out;
   for (size_t i = 1; i < args.size(); ++i) {
@@ -206,8 +249,8 @@ int CmdSaturate(const std::vector<std::string>& args) {
     else return Fail("unknown option " + args[i]);
   }
   Graph g;
-  std::string error;
-  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  Status load = LoadGraph(args[0], &g, exec);
+  if (!load.ok()) return FailStatus(load);
   reasoner::SaturationStats stats;
   Timer timer;
   Graph sat = reasoner::Saturate(g, &stats);
@@ -217,25 +260,26 @@ int CmdSaturate(const std::vector<std::string>& args) {
             << " schema) in " << timer.ElapsedMillis() << " ms\n";
   if (!out.empty()) {
     Status st = io::NTriplesWriter::WriteFile(sat, out);
-    if (!st.ok()) return Fail(st.ToString());
+    if (!st.ok()) return FailStatus(st);
     std::cout << "wrote " << out << "\n";
   }
   return 0;
 }
 
-int CmdConvert(const std::vector<std::string>& args) {
+int CmdConvert(const std::vector<std::string>& args,
+               util::ExecContext* exec) {
   if (args.size() != 2) return Usage();
   Graph g;
-  std::string error;
-  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  Status load = LoadGraph(args[0], &g, exec);
+  if (!load.ok()) return FailStatus(load);
   Status st = io::NTriplesWriter::WriteFile(g, args[1]);
-  if (!st.ok()) return Fail(st.ToString());
+  if (!st.ok()) return FailStatus(st);
   std::cout << "wrote " << g.NumTriples() << " triples to " << args[1]
             << "\n";
   return 0;
 }
 
-int CmdQuery(const std::vector<std::string>& args) {
+int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
   if (args.size() < 2) return Usage();
   bool prune = true;
   bool saturate = true;
@@ -293,10 +337,10 @@ int CmdQuery(const std::vector<std::string>& args) {
                  "ignored\n";
   }
   Graph g;
-  std::string error;
-  if (!LoadGraph(args[0], &g, &error)) return Fail(error);
+  Status load = LoadGraph(args[0], &g, exec);
+  if (!load.ok()) return FailStatus(load);
   auto q = query::ParseSparql(sparql);
-  if (!q.ok()) return Fail("query: " + q.status().ToString());
+  if (!q.ok()) return FailStatus(q.status());
 
   // --no-prune skips the pruning evaluator entirely (its summary and
   // second saturation would be wasted work); only the estimator is built
@@ -328,7 +372,7 @@ int CmdQuery(const std::vector<std::string>& args) {
     Timer timer;
     StatusOr<query::Explanation> ex =
         prune ? pruned->Explain(*q) : direct->Explain(*q);
-    if (!ex.ok()) return Fail(ex.status().ToString());
+    if (!ex.ok()) return FailStatus(ex.status());
     std::cout << ex->ToString();
     std::cout << "-- explained in " << timer.ElapsedMillis() << " ms\n";
     if (prune) {
@@ -346,10 +390,11 @@ int CmdQuery(const std::vector<std::string>& args) {
   query::CursorOptions cursor_options;
   cursor_options.limit = limit;
   cursor_options.offset = static_cast<size_t>(skip);
+  cursor_options.exec = exec;
   StatusOr<std::unique_ptr<query::Cursor>> cursor =
       prune ? pruned->Open(*q, cursor_options)
             : direct->Open(*q, cursor_options);
-  if (!cursor.ok()) return Fail(cursor.status().ToString());
+  if (!cursor.ok()) return FailStatus(cursor.status());
   uint64_t printed = 0;
   query::IdRow encoded;
   while ((*cursor)->Next(&encoded)) {
@@ -362,6 +407,10 @@ int CmdQuery(const std::vector<std::string>& args) {
     if (stream) std::cout.flush();
     ++printed;
   }
+  // Next() returning false means exhaustion or failure; only status() tells
+  // them apart. A governance trip mid-drain still printed the rows that fit
+  // the budget — the non-zero exit is what the caller scripts against.
+  if (!(*cursor)->status().ok()) return FailStatus((*cursor)->status());
   std::cout << "-- " << printed << " row(s) in " << timer.ElapsedMillis()
             << " ms (plan=" << query::PlannerModeName(planner) << ")";
   if (skip > 0) std::cout << " (offset " << skip << ")";
@@ -372,17 +421,51 @@ int CmdQuery(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Strips the global governance flags out of `args` (they are accepted
+// anywhere on the command line), builds one ExecContext per invocation from
+// them, and dispatches. A run with no flag set dispatches ungoverned
+// (exec = nullptr) — zero overhead on the hot paths.
+int Run(const std::string& cmd, const std::vector<std::string>& args) {
+  util::ExecContext::Limits limits;
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < args.size(); ++i) {
+    uint32_t v = 0;
+    if (args[i] == "--timeout-ms" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v)) {
+        return Fail("bad --timeout-ms " + args[i]);
+      }
+      limits.timeout_ms = v;
+    } else if (args[i] == "--max-rows" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v)) {
+        return Fail("bad --max-rows " + args[i]);
+      }
+      limits.max_rows = v;
+    } else if (args[i] == "--mem-budget-mb" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v)) {
+        return Fail("bad --mem-budget-mb " + args[i]);
+      }
+      limits.memory_budget_bytes = static_cast<uint64_t>(v) << 20;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  const bool governed = limits.timeout_ms != 0 || limits.max_rows != 0 ||
+                        limits.memory_budget_bytes != 0;
+  util::ExecContext ctx(limits);
+  util::ExecContext* exec = governed ? &ctx : nullptr;
+  if (cmd == "stats") return CmdStats(rest, exec);
+  if (cmd == "summarize") return CmdSummarize(rest, exec);
+  if (cmd == "saturate") return CmdSaturate(rest, exec);
+  if (cmd == "convert") return CmdConvert(rest, exec);
+  if (cmd == "query") return CmdQuery(rest, exec);
+  return Usage();
+}
+
 }  // namespace
 }  // namespace rdfsum
 
 int main(int argc, char** argv) {
   if (argc < 2) return rdfsum::Usage();
-  std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
-  if (cmd == "stats") return rdfsum::CmdStats(args);
-  if (cmd == "summarize") return rdfsum::CmdSummarize(args);
-  if (cmd == "saturate") return rdfsum::CmdSaturate(args);
-  if (cmd == "convert") return rdfsum::CmdConvert(args);
-  if (cmd == "query") return rdfsum::CmdQuery(args);
-  return rdfsum::Usage();
+  return rdfsum::Run(argv[1], args);
 }
