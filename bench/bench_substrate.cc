@@ -16,6 +16,7 @@
 #include "io/ntriples_parser.h"
 #include "io/ntriples_writer.h"
 #include "rdf/dense_graph.h"
+#include "store/mmap_store.h"
 #include "store/triple_table.h"
 #include "summary/node_partition.h"
 #include "summary/reference_partition.h"
@@ -143,8 +144,7 @@ BENCHMARK(BM_TripleTablePointLookup);
 /// implementations, at every BSBM bench scale. Substrate construction is
 /// timed separately and also folded into the "cold" numbers so the speedup
 /// claim does not hide the build cost.
-void RunPartitionSweep() {
-  bench::BenchJson json("bench_substrate");
+void RunPartitionSweep(bench::BenchJson& json) {
   std::printf(
       "\n%-12s %-12s %-12s %-12s %-12s %-12s %-10s %-10s\n", "scale",
       "ref_weak", "ref_strong", "dense_build", "weak", "strong", "speedupW",
@@ -198,6 +198,77 @@ void RunPartitionSweep() {
         bench::Num(scale).c_str(), ref_weak_s, ref_strong_s, build_s, weak_s,
         strong_s, ref_weak_s / weak_s, ref_strong_s / strong_s);
   }
+}
+
+/// Warm-start sweep (the mmap-store tentpole's headline number): wall time
+/// from a cold file to the first answered pattern count, parse path (.nt ->
+/// Graph -> TripleTable::Freeze) vs store path (MmapStore::Open over a
+/// frozen image, checksums verified). Runs after the partition sweep so
+/// every substrate is already built — freezing reuses it for free.
+void RunWarmstartSweep(bench::BenchJson& json) {
+  const char* tmp_env = std::getenv("TMPDIR");
+  const std::string tmp = tmp_env != nullptr ? tmp_env : "/tmp";
+  std::printf("\n%-12s %-14s %-14s %-10s %-14s\n", "scale", "parse_s",
+              "mmap_s", "speedup", "image_bytes");
+  for (uint64_t scale : bench::BenchScales()) {
+    if (scale != 50'000 && scale != 250'000 && scale != 1'000'000) continue;
+    const Graph& g = bench::CachedBsbm(scale);
+    const std::string base =
+        tmp + "/rdfsum_warmstart_" + std::to_string(scale);
+    if (!io::NTriplesWriter::WriteFile(g, base + ".nt").ok() ||
+        !store::FreezeGraphToFile(g, base + ".rsb").ok()) {
+      std::printf("FAILED to stage warm-start files at scale %llu\n",
+                  static_cast<unsigned long long>(scale));
+      std::exit(1);
+    }
+    const Term probe = g.dict().Decode(g.data().front().p);
+
+    // Parse path: everything between "the process has a file" and "the
+    // first pattern count comes back".
+    Timer t;
+    Graph parsed;
+    if (!io::NTriplesParser::ParseFile(base + ".nt", &parsed).ok()) {
+      std::exit(1);
+    }
+    store::TripleTable table;
+    parsed.ForEachTriple([&](const Triple& tr) { table.Append(tr); });
+    table.Freeze();
+    store::TriplePattern q;
+    q.p = parsed.dict().Lookup(probe);
+    uint64_t parse_count = table.Count(q);
+    benchmark::DoNotOptimize(parse_count);
+    double parse_s = t.ElapsedSeconds();
+
+    // Store path: mmap + corruption wall + the same count, zero-copy.
+    t.Reset();
+    auto store = store::MmapStore::Open(base + ".rsb");
+    if (!store.ok()) std::exit(1);
+    store::TriplePattern q2;
+    q2.p = (*store)->dict().Lookup(probe);
+    uint64_t mmap_count = (*store)->table().Count(q2);
+    benchmark::DoNotOptimize(mmap_count);
+    double mmap_s = t.ElapsedSeconds();
+
+    if (parse_count != mmap_count) {
+      std::printf("MISMATCH: warm-start counts differ at scale %llu\n",
+                  static_cast<unsigned long long>(scale));
+      std::exit(1);
+    }
+
+    json.Record("warmstart_parse", scale, parse_s);
+    json.Record("warmstart_mmap", scale, mmap_s);
+    std::printf("%-12s %-14.4f %-14.4f %-10.1f %-14llu\n",
+                bench::Num(scale).c_str(), parse_s, mmap_s, parse_s / mmap_s,
+                static_cast<unsigned long long>((*store)->image().size()));
+    std::remove((base + ".nt").c_str());
+    std::remove((base + ".rsb").c_str());
+  }
+}
+
+void RunSweeps() {
+  bench::BenchJson json("bench_substrate");
+  RunPartitionSweep(json);
+  RunWarmstartSweep(json);
   const char* path = std::getenv("RDFSUM_BENCH_JSON");
   std::string out = path != nullptr ? path : "BENCH_substrate.json";
   if (json.WriteFile(out)) {
@@ -213,8 +284,9 @@ void RunPartitionSweep() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  // Sweep first: it relies on every cached graph's substrate being cold.
-  rdfsum::RunPartitionSweep();
+  // Sweeps first: the partition sweep relies on every cached graph's
+  // substrate being cold.
+  rdfsum::RunSweeps();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,13 +1,20 @@
 #include "query/evaluator.h"
 
+#include <cassert>
 #include <utility>
 
 namespace rdfsum::query {
 
 BgpEvaluator::BgpEvaluator(const Graph& g, EvaluatorOptions options)
-    : graph_(g), options_(options) {
+    : dict_(&g.dict()), options_(options) {
   g.ForEachTriple([&](const Triple& t) { table_.Append(t); });
   table_.Freeze();
+}
+
+BgpEvaluator::BgpEvaluator(const Dictionary& dict, store::TripleTable table,
+                           EvaluatorOptions options)
+    : dict_(&dict), options_(options), table_(std::move(table)) {
+  assert(table_.frozen() && "store-backed evaluation requires a frozen table");
 }
 
 QueryPlan BgpEvaluator::Plan(const BgpQuery& q) const {
@@ -15,7 +22,7 @@ QueryPlan BgpEvaluator::Plan(const BgpQuery& q) const {
 }
 
 QueryPlan BgpEvaluator::Plan(const BgpQuery& q, PlannerMode mode) const {
-  return BuildQueryPlan(q, graph_.dict(), table_, mode, options_.estimator);
+  return BuildQueryPlan(q, *dict_, table_, mode, options_.estimator);
 }
 
 StatusOr<std::unique_ptr<Cursor>> BgpEvaluator::Open(
@@ -38,7 +45,7 @@ StatusOr<std::unique_ptr<Cursor>> BgpEvaluator::Open(
 Row BgpEvaluator::Decode(const IdRow& row) const {
   Row out;
   out.reserve(row.size());
-  for (TermId id : row) out.push_back(graph_.dict().Decode(id));
+  for (TermId id : row) out.push_back(dict_->Decode(id));
   return out;
 }
 

@@ -55,6 +55,15 @@ class BgpEvaluator {
   explicit BgpEvaluator(Graph&&) = delete;
   BgpEvaluator(Graph&&, EvaluatorOptions) = delete;
 
+  /// Evaluates over an already-built table — the frozen-image path, where
+  /// `table` is a borrow-mode TripleTable over an mmap'd store
+  /// (store::MmapStore) and no Graph ever exists. The evaluator only needs
+  /// the dictionary for planning and Decode, so this is all a store-backed
+  /// query requires; `dict` (and the storage a borrowed table references)
+  /// must outlive the evaluator.
+  BgpEvaluator(const Dictionary& dict, store::TripleTable table,
+               EvaluatorOptions options = {});
+
   /// Builds the execution plan for `q` without running it.
   QueryPlan Plan(const BgpQuery& q) const;
   QueryPlan Plan(const BgpQuery& q, PlannerMode mode) const;
@@ -115,7 +124,7 @@ class BgpEvaluator {
   const store::TripleTable& table() const { return table_; }
 
  private:
-  const Graph& graph_;
+  const Dictionary* dict_;  // never null; borrowed from the graph or store
   EvaluatorOptions options_;
   store::TripleTable table_;
 };

@@ -1,5 +1,7 @@
 #include "rdf/dictionary.h"
 
+#include <cassert>
+#include <cstring>
 #include <string>
 
 #include "util/string_util.h"
@@ -18,6 +20,26 @@ uint64_t HashPiece(uint64_t h, std::string_view s) {
   return h;
 }
 
+/// Decoded record boundaries inside a DictionaryView arena. The view is
+/// pre-validated by FrozenImage::Attach, so lengths are trusted here.
+struct ViewRecord {
+  TermKind kind;
+  std::string_view lexical;
+  std::string_view datatype;
+  std::string_view language;
+};
+
+ViewRecord ReadViewRecord(const DictionaryView& view, uint32_t id) {
+  const char* rec = view.arena.data() + view.term_offsets[id - 1];
+  uint32_t lens[3];
+  std::memcpy(lens, rec + 1, sizeof(lens));
+  const char* bytes = rec + 1 + sizeof(lens);
+  return ViewRecord{static_cast<TermKind>(static_cast<uint8_t>(rec[0])),
+                    std::string_view(bytes, lens[0]),
+                    std::string_view(bytes + lens[0], lens[1]),
+                    std::string_view(bytes + lens[0] + lens[1], lens[2])};
+}
+
 }  // namespace
 
 uint64_t Dictionary::HashTerm(const Term& term) {
@@ -32,13 +54,61 @@ uint64_t Dictionary::HashTerm(const Term& term) {
   return h;
 }
 
+std::shared_ptr<Dictionary> Dictionary::FromView(const DictionaryView& view) {
+  auto dict = std::make_shared<Dictionary>();
+  dict->view_ = view;
+  dict->base_terms_ = static_cast<size_t>(view.num_terms);
+  dict->mint_counter_ = view.mint_counter;
+  dict->view_cache_.resize(dict->base_terms_ + 1);
+  return dict;
+}
+
+bool Dictionary::ViewTermEquals(uint32_t id, const Term& term) const {
+  ViewRecord rec = ReadViewRecord(view_, id);
+  return rec.kind == term.kind && rec.lexical == term.lexical &&
+         rec.datatype == term.datatype && rec.language == term.language;
+}
+
+const Term& Dictionary::DecodeView(uint32_t id) const {
+  assert(id >= 1 && id <= base_terms_);
+  // Double-checked with the lock held on the slow path only: once a cache
+  // entry is published (under the lock) it is never replaced, and readers
+  // that observe it non-null see a fully constructed Term.
+  std::lock_guard<std::mutex> lock(view_cache_mu_);
+  std::unique_ptr<Term>& slot = view_cache_[id];
+  if (!slot) {
+    ViewRecord rec = ReadViewRecord(view_, id);
+    auto t = std::make_unique<Term>();
+    t->kind = rec.kind;
+    t->lexical.assign(rec.lexical);
+    t->datatype.assign(rec.datatype);
+    t->language.assign(rec.language);
+    slot = std::move(t);
+  }
+  return *slot;
+}
+
+TermId Dictionary::ViewLookup(const Term& term, uint64_t h) const {
+  if (view_.slots.empty()) return kInvalidTermId;
+  const size_t mask = view_.slots.size() - 1;
+  size_t i = static_cast<size_t>(h) & mask;
+  while (true) {
+    const DictionaryView::Slot& slot = view_.slots[i];
+    if (slot.id == kInvalidTermId) return kInvalidTermId;
+    if (slot.hash == h && ViewTermEquals(slot.id, term)) return slot.id;
+    i = (i + 1) & mask;
+  }
+}
+
 size_t Dictionary::FindSlot(const Term& term, uint64_t h) const {
   const size_t mask = slots_.size() - 1;
   size_t i = static_cast<size_t>(h) & mask;
   while (true) {
     const Slot& slot = slots_[i];
     if (slot.id == kInvalidTermId) return i;
-    if (slot.hash == h && terms_[slot.id] == term) return i;
+    // Overlay slots store global ids; the local term index subtracts the
+    // view base (a no-op for owned dictionaries, where base_terms_ == 0).
+    if (slot.hash == h && terms_[slot.id - base_terms_] == term) return i;
     i = (i + 1) & mask;
   }
 }
@@ -70,9 +140,12 @@ void Dictionary::Reserve(size_t num_terms) {
 
 TermId Dictionary::Encode(const Term& term) {
   const uint64_t h = HashTerm(term);
+  if (TermId base_id = ViewLookup(term, h); base_id != kInvalidTermId) {
+    return base_id;
+  }
   size_t i = FindSlot(term, h);
   if (slots_[i].id != kInvalidTermId) return slots_[i].id;
-  TermId id = static_cast<TermId>(terms_.size());
+  TermId id = static_cast<TermId>(base_terms_ + terms_.size());
   terms_.push_back(term);
   slots_[i] = Slot{h, id};
   GrowIfNeeded();
@@ -81,6 +154,9 @@ TermId Dictionary::Encode(const Term& term) {
 
 TermId Dictionary::Lookup(const Term& term) const {
   const uint64_t h = HashTerm(term);
+  if (TermId base_id = ViewLookup(term, h); base_id != kInvalidTermId) {
+    return base_id;
+  }
   return slots_[FindSlot(term, h)].id;  // kInvalidTermId when absent
 }
 

@@ -2,6 +2,9 @@
 #define RDFSUM_RDF_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -9,6 +12,34 @@
 #include "rdf/triple.h"
 
 namespace rdfsum {
+
+/// Zero-copy dictionary base: spans over a frozen image's term sections
+/// (rdf/frozen_image.h), handed to Dictionary::FromView. The spans borrow
+/// the mapped file; the view is plain data and copies freely, but it is
+/// valid only while the mapping lives.
+///
+/// `arena` holds one record per term id 1..num_terms, delimited by
+/// `term_offsets` (num_terms + 1 entries, offsets relative to the arena
+/// start): kind byte, three u32 piece lengths, then the lexical / datatype /
+/// language bytes. `slots` is a ready-to-probe open-addressing index over
+/// those records — same hash (Dictionary::HashTerm) and probe sequence as
+/// the in-memory table, so lookups against the image need no rebuild.
+struct DictionaryView {
+  /// On-disk slot layout (kDictSlots section). id 0 marks "empty";
+  /// `reserved` is zero on disk and ignored on read.
+  struct Slot {
+    uint64_t hash;
+    uint32_t id;
+    uint32_t reserved;
+  };
+
+  uint64_t num_terms = 0;  // excluding the reserved id 0
+  uint64_t mint_counter = 0;
+  std::span<const uint64_t> term_offsets;  // num_terms + 1 entries
+  std::span<const char> arena;
+  std::span<const Slot> slots;  // power-of-two size, > num_terms
+};
+static_assert(sizeof(DictionaryView::Slot) == 16);
 
 /// Bidirectional term <-> integer mapping (the paper's Postgres `dictionary`
 /// table, §6). Ids are dense and start at 1; id 0 is reserved.
@@ -22,12 +53,27 @@ namespace rdfsum {
 /// representation functions N(.,.) and C(.) (Definition 11 onwards); minted
 /// URIs use the urn:rdfsum: prefix so they can be recognized as anonymous
 /// when comparing summaries up to isomorphism.
+///
+/// **View mode.** FromView() builds a dictionary whose ids 1..base_terms()
+/// are served zero-copy from a DictionaryView (an mmap'd frozen image):
+/// Lookup probes the on-disk slot table directly and Decode materializes a
+/// Term lazily, caching it for reference stability. New terms — saturation
+/// vocabulary, minted summary nodes — go to a mutable overlay and get ids
+/// above the base, so a view-mode dictionary composes with every existing
+/// consumer. View-mode Decode of a not-yet-cached id takes a lock; owned-
+/// mode behavior and layout are unchanged.
 class Dictionary {
  public:
   Dictionary() {
     terms_.emplace_back();  // id 0 placeholder
     slots_.resize(kInitialSlots);
   }
+
+  /// A dictionary whose base ids are served from `view` (typically
+  /// FrozenImage::dictionary_view()). The caller must keep the viewed bytes
+  /// alive for the dictionary's lifetime. The view must already be
+  /// validated (FrozenImage::Attach does); this constructor trusts it.
+  static std::shared_ptr<Dictionary> FromView(const DictionaryView& view);
 
   /// Interns `term`, returning its id (existing or fresh).
   TermId Encode(const Term& term);
@@ -44,12 +90,22 @@ class Dictionary {
   TermId Lookup(const Term& term) const;
 
   /// Decodes an id; requires 1 <= id < size().
-  const Term& Decode(TermId id) const { return terms_[id]; }
+  const Term& Decode(TermId id) const {
+    if (id <= base_terms_) return DecodeView(static_cast<uint32_t>(id));
+    return terms_[id - base_terms_];
+  }
 
-  bool Contains(TermId id) const { return id >= 1 && id < terms_.size(); }
+  bool Contains(TermId id) const { return id >= 1 && id < size(); }
 
   /// Number of entries including the reserved id 0.
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return base_terms_ + terms_.size(); }
+
+  /// Ids <= base_terms() are view-backed; 0 for an owned dictionary.
+  size_t base_terms() const { return base_terms_; }
+
+  /// Minted-URI counter (see MintNodeUri); persisted in frozen images so a
+  /// reopened store mints the same names the original process would have.
+  uint64_t mint_counter() const { return mint_counter_; }
 
   /// Pre-sizes the term store and index for `num_terms` entries.
   void Reserve(size_t num_terms);
@@ -64,20 +120,35 @@ class Dictionary {
   /// Prefix shared by all minted URIs.
   static constexpr std::string_view kMintedPrefix = "urn:rdfsum:";
 
+  /// The on-disk / in-memory slot hash of a term: seeded FNV-1a over
+  /// kind + lexical + datatype + language with a murmur-style avalanche.
+  /// Deterministic across processes — frozen images serialize slot tables
+  /// keyed by it, so changing this function is a format break.
+  static uint64_t HashTerm(const Term& term);
+
  private:
   static constexpr size_t kInitialSlots = 64;  // power of two
 
-  /// One open-addressing slot: id 0 (kInvalidTermId) marks "empty".
+  /// One open-addressing slot: id 0 (kInvalidTermId) marks "empty". In view
+  /// mode the overlay's slots hold *global* ids (> base_terms_).
   struct Slot {
     uint64_t hash = 0;
     TermId id = kInvalidTermId;
   };
 
-  static uint64_t HashTerm(const Term& term);
-
-  /// Index of the slot holding `term` (hash `h`), or of the empty slot where
-  /// it would be inserted. Requires a non-full table.
+  /// Index of the overlay slot holding `term` (hash `h`), or of the empty
+  /// slot where it would be inserted. Requires a non-full table.
   size_t FindSlot(const Term& term, uint64_t h) const;
+
+  /// Probes the view's on-disk slot table; kInvalidTermId when absent (or
+  /// when there is no view).
+  TermId ViewLookup(const Term& term, uint64_t h) const;
+
+  /// Compares `term` against view record `id` piecewise, no allocation.
+  bool ViewTermEquals(uint32_t id, const Term& term) const;
+
+  /// Materializes (and caches) the Term behind view id `id`.
+  const Term& DecodeView(uint32_t id) const;
 
   void GrowIfNeeded();
   void Rehash(size_t new_slot_count);
@@ -85,6 +156,12 @@ class Dictionary {
   std::vector<Term> terms_;
   std::vector<Slot> slots_;  // size is always a power of two
   uint64_t mint_counter_ = 0;
+
+  // View mode (all empty/zero for an owned dictionary).
+  DictionaryView view_;
+  size_t base_terms_ = 0;  // == view_.num_terms
+  mutable std::vector<std::unique_ptr<Term>> view_cache_;  // [0..base_terms_]
+  mutable std::mutex view_cache_mu_;
 };
 
 }  // namespace rdfsum

@@ -1,0 +1,295 @@
+#ifndef RDFSUM_RDF_FROZEN_IMAGE_H_
+#define RDFSUM_RDF_FROZEN_IMAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdfsum {
+
+class DenseGraph;
+
+/// The frozen-image binary format (".rsb"): a single file whose sections are
+/// 64-byte-aligned flat arrays addressable directly from an mmap'd region —
+/// the dictionary term arena and its open-addressing index, the three sorted
+/// triple permutations with their statistics, and (optionally) the DenseGraph
+/// substrate arrays. `docs/FORMAT.md` is the normative specification; this
+/// header is its executable twin — every constant and struct below is named
+/// there, and the corruption wall (tests/image_corruption_test.cc) is pinned
+/// against both.
+///
+/// Layering: this file owns the *format* — header/section-table plumbing,
+/// checksum and structural validation, and the encode/decode of the
+/// rdf-level sections (dictionary, dense substrate). The store-level
+/// assembly (building a TripleTable over the mapped permutations, the mmap
+/// itself, freezing a Graph to a file) lives in store/mmap_store.{h,cc}.
+
+// ---- Format constants -------------------------------------------------------
+
+inline constexpr char kImageMagic[8] = {'R', 'D', 'F', 'S', 'U', 'M', 'S',
+                                        'B'};
+inline constexpr uint32_t kImageVersionMajor = 1;
+inline constexpr uint32_t kImageVersionMinor = 0;
+/// Every section payload starts at a multiple of this; inter-section padding
+/// bytes MUST be zero (validated — un-checksummed bytes are not a hiding
+/// place for corruption).
+inline constexpr uint64_t kImageAlignment = 64;
+inline constexpr uint32_t kImageMaxSections = 64;
+/// Header flag bit: the DenseGraph substrate sections are present.
+inline constexpr uint32_t kImageFlagDense = 1u << 0;
+
+/// Section identifiers. Ids appear in the section table in strictly
+/// ascending order; ids 1-10 are required, 11-25 are present iff
+/// kImageFlagDense is set. Unknown higher ids (up to kImageMaxSections) are
+/// ignored by readers (minor-version evolution rule, see docs/FORMAT.md §7).
+///
+/// kTypeTriples/kSchemaTriples keep the graph's type and schema components
+/// verbatim in original insertion order — together with kEdges (the data
+/// component in graph order) they let MmapStore::ToGraph() rebuild a Graph
+/// whose component vectors, canonical dense numbering, and minted-URI
+/// counter are byte-identical to the graph that was frozen, which is what
+/// makes summaries computed from an image identical to the parse path.
+enum class SectionId : uint32_t {
+  kMeta = 1,           // ImageMeta
+  kTermOffsets = 2,    // u64[num_terms + 1], offsets into kTermArena
+  kTermArena = 3,      // term records (see kImageTermRecordHeaderBytes)
+  kDictSlots = 4,      // DictionaryView::Slot[num_slots]
+  kSpo = 5,            // Triple[num_triples], sorted (s, p, o)
+  kPos = 6,            // Triple[num_triples], sorted (p, o, s)
+  kOsp = 7,            // Triple[num_triples], sorted (o, s, p)
+  kPredStats = 8,      // ImagePredStat[num_predicates], sorted by p
+  kTypeTriples = 9,    // Triple[num_type_triples], insertion order
+  kSchemaTriples = 10, // Triple[num_schema_triples], insertion order
+  kNodeTerms = 11,     // TermId[num_nodes]
+  kNodeOfTerm = 12,    // u32[node_of_term_len]
+  kHasData = 13,       // u8[num_nodes]
+  kPropTerms = 14,     // TermId[num_props]
+  kPropOfTerm = 15,    // u32[prop_of_term_len]
+  kEdges = 16,         // DenseGraph::Edge[num_data_edges], graph order
+  kOutOffsets = 17,    // u32[num_nodes + 1]
+  kOutEntries = 18,    // DenseGraph::Neighbor[num_out_entries]
+  kInOffsets = 19,     // u32[num_nodes + 1]
+  kInEntries = 20,     // DenseGraph::Neighbor[num_in_entries]
+  kSourceAnchor = 21,  // NodeId[num_props]
+  kTargetAnchor = 22,  // NodeId[num_props]
+  kClassOffsets = 23,  // u32[num_nodes + 1]
+  kClasses = 24,       // TermId[num_class_entries]
+  kClassSetId = 25,    // u32[num_nodes]
+};
+
+/// File header, the first 64 bytes. header_checksum covers bytes [0, 40)
+/// (everything before itself); table_checksum covers the section table that
+/// immediately follows the header. All integers little-endian.
+struct ImageHeader {
+  char magic[8];
+  uint32_t version_major;
+  uint32_t version_minor;
+  uint64_t file_size;
+  uint32_t section_count;
+  uint32_t flags;
+  uint64_t table_checksum;
+  uint64_t header_checksum;
+  uint8_t reserved[16];  // writers MUST zero; readers ignore
+};
+static_assert(sizeof(ImageHeader) == 64);
+
+/// One section-table entry (32 bytes). `offset` is absolute and 64-aligned;
+/// `size` is the exact payload byte count (padding excluded); `checksum` is
+/// FNV-1a-64 over the payload bytes.
+struct SectionDesc {
+  uint32_t id;
+  uint32_t reserved;  // writers MUST zero; readers ignore
+  uint64_t offset;
+  uint64_t size;
+  uint64_t checksum;
+};
+static_assert(sizeof(SectionDesc) == 32);
+
+/// The kMeta section: every count the other sections are sized by. A reader
+/// validates each section's byte size against these counts *exactly*, so a
+/// flipped count can never drive an out-of-bounds view.
+struct ImageMeta {
+  uint64_t num_terms;   // dictionary entries, excluding reserved id 0
+  uint64_t num_slots;   // open-addressing slots; power of two, > num_terms
+  uint64_t mint_counter;
+  uint64_t num_triples;
+  uint64_t num_distinct_subjects;
+  uint64_t num_distinct_predicates;
+  uint64_t num_distinct_objects;
+  uint64_t num_predicates;  // rows in kPredStats
+  uint64_t num_type_triples;
+  uint64_t num_schema_triples;
+  // DenseGraph substrate counts; all zero when kImageFlagDense is unset.
+  uint64_t num_nodes;
+  uint64_t num_props;
+  uint64_t num_data_edges;
+  uint64_t node_of_term_len;
+  uint64_t prop_of_term_len;
+  uint64_t num_out_entries;
+  uint64_t num_in_entries;
+  uint64_t num_class_entries;
+  uint64_t num_class_sets;
+  uint64_t reserved[5];  // writers MUST zero; readers ignore
+};
+static_assert(sizeof(ImageMeta) == 192);
+
+/// One kPredStats row: the per-predicate aggregates TableStats serves.
+struct ImagePredStat {
+  uint32_t p;
+  uint32_t reserved;  // zero
+  uint64_t count;
+  uint64_t distinct_subjects;
+  uint64_t distinct_objects;
+};
+static_assert(sizeof(ImagePredStat) == 32);
+
+/// Fixed prefix of one kTermArena record: kind byte + the three piece
+/// lengths, followed by lexical/datatype/language bytes (no terminators).
+/// Packed byte-by-byte (the record stream has no alignment), decoded with
+/// memcpy.
+inline constexpr uint64_t kImageTermRecordHeaderBytes = 1 + 3 * 4;
+
+/// FNV-1a-64, seeded compatibly with summary persistence v2.
+inline constexpr uint64_t kImageFnvSeed = 1469598103934665603ULL;
+inline uint64_t ImageFnv1a64(const void* data, size_t size,
+                             uint64_t h = kImageFnvSeed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline constexpr uint64_t ImageAlignUp(uint64_t n) {
+  return (n + kImageAlignment - 1) & ~(kImageAlignment - 1);
+}
+
+// ---- Writing ----------------------------------------------------------------
+
+/// Accumulates section payloads in memory and writes a complete image:
+/// header, section table (ascending id order), 64-aligned payloads with
+/// zeroed gaps, per-section + header + table checksums. Deterministic: the
+/// same sections produce byte-identical files.
+class ImageBuilder {
+ public:
+  void Add(SectionId id, std::string bytes);
+
+  template <typename T>
+  void AddArray(SectionId id, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Add(id, std::string(reinterpret_cast<const char*>(data.data()),
+                        data.size() * sizeof(T)));
+  }
+
+  /// Writes the assembled image. Fails with kIOError on any write problem;
+  /// a partially written file is left behind (callers overwrite or unlink).
+  Status WriteFile(const std::string& path, uint32_t flags) const;
+
+ private:
+  std::vector<std::pair<uint32_t, std::string>> sections_;
+};
+
+/// Serializes `dict` into the kTermOffsets / kTermArena / kDictSlots
+/// sections and fills the dictionary fields of `meta`. The slot table is
+/// rebuilt by inserting ids in ascending order (not copied from the live
+/// table), so images are deterministic regardless of the dictionary's
+/// rehash history. Works on owned and view-mode dictionaries alike.
+void AppendDictionarySections(const Dictionary& dict, ImageMeta* meta,
+                              ImageBuilder* out);
+
+/// Serializes the DenseGraph substrate arrays into sections 11-25 and fills
+/// the dense fields of `meta`.
+void AppendDenseSections(const DenseGraph& dg, ImageMeta* meta,
+                         ImageBuilder* out);
+
+// ---- Reading ----------------------------------------------------------------
+
+/// A validated view over an image byte range (an mmap'd file or an
+/// in-memory buffer — FrozenImage never owns the bytes). Attach() performs
+/// the full corruption wall:
+///
+///  - header: magic, major version, declared vs. actual file size, header
+///    and section-table checksums;
+///  - section table: ascending ids, 64-byte alignment, in-bounds and
+///    non-overlapping payloads in table order, zeroed gaps, required
+///    sections present (and dense sections present iff flagged);
+///  - per-section FNV-1a-64 checksums (skippable via Options for
+///    open-at-page-cache-speed on trusted files);
+///  - structural validation: every section's size matches the kMeta counts
+///    exactly, term-arena offsets are monotone and records well-formed,
+///    the slot table is a power of two with a free slot, permutations are
+///    sorted with in-range ids, CSR offset arrays are monotone, and every
+///    dense id is in range — so no later accessor can read out of bounds
+///    even on a checksum-valid adversarial file.
+///
+/// Any violation returns kCorruption; an unsupported major version or a
+/// big-endian host returns kNotSupported. Never UB, never an allocation
+/// driven by an unvalidated count.
+class FrozenImage {
+ public:
+  struct Options {
+    bool verify_checksums = true;
+    bool validate_structure = true;
+  };
+
+  FrozenImage() = default;
+
+  // (Two overloads instead of `= {}`: GCC rejects brace defaults for
+  // aggregates with member initializers, PR 88165.)
+  static StatusOr<FrozenImage> Attach(const char* data, size_t size) {
+    return Attach(data, size, Options());
+  }
+  static StatusOr<FrozenImage> Attach(const char* data, size_t size,
+                                      const Options& options);
+
+  const ImageMeta& meta() const { return meta_; }
+  bool has_dense() const { return (flags_ & kImageFlagDense) != 0; }
+  /// Total image size in bytes (== file size, validated at Attach).
+  size_t size() const { return size_; }
+
+  bool HasSection(SectionId id) const;
+  /// Raw payload bytes; empty span when the section is absent.
+  std::span<const char> SectionBytes(SectionId id) const;
+
+  /// Typed view of a section payload. Requires the section to be present
+  /// with a size divisible by sizeof(T) — guaranteed after Attach() for the
+  /// section/type pairings documented on SectionId.
+  template <typename T>
+  std::span<const T> Array(SectionId id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::span<const char> bytes = SectionBytes(id);
+    return {reinterpret_cast<const T*>(bytes.data()),
+            bytes.size() / sizeof(T)};
+  }
+
+  /// The dictionary base backed by this image, ready for
+  /// Dictionary::FromView. Valid only while the attached bytes live.
+  DictionaryView dictionary_view() const;
+
+ private:
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t flags_ = 0;
+  ImageMeta meta_{};
+  // Dense id -> index into descs_; -1 when absent.
+  std::vector<SectionDesc> descs_;
+  int section_index_[kImageMaxSections + 1] = {};
+};
+
+/// Rebuilds a DenseGraph from the image's substrate sections (bulk copies —
+/// O(bytes) memcpys, no graph walk). Requires has_dense(). The result is
+/// self-contained: it does not borrow the image.
+std::shared_ptr<const DenseGraph> LoadDenseFromImage(const FrozenImage& img);
+
+}  // namespace rdfsum
+
+#endif  // RDFSUM_RDF_FROZEN_IMAGE_H_

@@ -1,0 +1,100 @@
+#ifndef RDFSUM_STORE_MMAP_STORE_H_
+#define RDFSUM_STORE_MMAP_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "rdf/dictionary.h"
+#include "rdf/frozen_image.h"
+#include "rdf/graph.h"
+#include "store/triple_table.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace rdfsum::store {
+
+struct FreezeOptions {
+  /// Also serialize the DenseGraph substrate (sections 11-25). Required for
+  /// summarization and ToGraph() from the image; pure query serving only
+  /// needs the permutations. Freezing an already-warm graph reuses its
+  /// cached substrate.
+  bool include_dense = true;
+};
+
+/// Writes `g` as a frozen store image (rdf/frozen_image.h): dictionary,
+/// sorted SPO/POS/OSP permutations with statistics, the type and schema
+/// components verbatim, and (by default) the dense substrate. The output is
+/// deterministic — the same graph produces byte-identical files.
+/// Failpoint: `image:write`.
+/// (Two overloads instead of `= {}`: GCC PR 88165, see fault_injection.h.)
+Status FreezeGraphToFile(const Graph& g, const std::string& path,
+                         const FreezeOptions& options);
+inline Status FreezeGraphToFile(const Graph& g, const std::string& path) {
+  return FreezeGraphToFile(g, path, FreezeOptions());
+}
+
+/// A read-only store opened from a frozen image: the file is mmap'd
+/// (PROT_READ; a heap read is the fallback when mapping fails) and, after
+/// FrozenImage::Attach's corruption wall, served zero-copy —
+///
+///  - dict(): a view-mode Dictionary probing the on-disk slot table,
+///  - table(): a borrow-mode TripleTable whose permutations are spans into
+///    the mapping, driving Scan/Count/cursors without loading the file.
+///
+/// Open cost is O(validated bytes) page-cache reads, not O(triples) parsing
+/// and sorting — the warm-start path (`warmstart_*` in
+/// BENCH_substrate.json). The store is immutable and self-contained; it
+/// must outlive every evaluator, cursor, and Graph handed out from it.
+class MmapStore {
+ public:
+  struct OpenOptions {
+    /// Verify per-section FNV-1a-64 checksums at open (recommended).
+    bool verify_checksums = true;
+    /// Run the structural validation gate at open (see FrozenImage).
+    bool validate_structure = true;
+  };
+
+  /// Opens and validates `path`. Failpoint: `image:open`.
+  /// (Two overloads instead of `= {}`: GCC PR 88165, see fault_injection.h.)
+  static StatusOr<std::unique_ptr<MmapStore>> Open(
+      const std::string& path, const OpenOptions& options);
+  static StatusOr<std::unique_ptr<MmapStore>> Open(const std::string& path) {
+    return Open(path, OpenOptions());
+  }
+
+  ~MmapStore();
+  MmapStore(const MmapStore&) = delete;
+  MmapStore& operator=(const MmapStore&) = delete;
+
+  const FrozenImage& image() const { return image_; }
+  const Dictionary& dict() const { return *dict_; }
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
+  const TripleTable& table() const { return table_; }
+  bool has_dense() const { return image_.has_dense(); }
+
+  /// Materializes a full Graph from the image, byte-identical to the graph
+  /// that was frozen: the data component is replayed from the stored dense
+  /// edges (original insertion order), types and schema from their verbatim
+  /// sections, the dictionary (with its minted-URI counter) is shared with
+  /// this store, and the stored substrate is installed so Dense() never
+  /// rebuilds. Summaries computed from the result equal the parse path's
+  /// bit for bit. Requires has_dense(); the Graph shares this store's
+  /// dictionary and must not outlive it.
+  StatusOr<Graph> ToGraph() const;
+
+ private:
+  MmapStore() = default;
+
+  std::string heap_;  // owns the bytes when mmap is unavailable/failed
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+  FrozenImage image_;
+  std::shared_ptr<Dictionary> dict_;
+  TripleTable table_;
+};
+
+}  // namespace rdfsum::store
+
+#endif  // RDFSUM_STORE_MMAP_STORE_H_

@@ -38,6 +38,20 @@ TableStats TableStats::Compute(const std::vector<Triple>& spo,
   return out;
 }
 
+TableStats TableStats::Restore(
+    uint64_t num_triples, uint64_t num_distinct_subjects,
+    uint64_t num_distinct_predicates, uint64_t num_distinct_objects,
+    const std::vector<std::pair<TermId, PredicateStats>>& per_predicate) {
+  TableStats out;
+  out.num_triples_ = num_triples;
+  out.num_distinct_subjects_ = num_distinct_subjects;
+  out.num_distinct_predicates_ = num_distinct_predicates;
+  out.num_distinct_objects_ = num_distinct_objects;
+  out.by_predicate_.reserve(per_predicate.size());
+  for (const auto& [p, stats] : per_predicate) out.by_predicate_[p] = stats;
+  return out;
+}
+
 double TableStats::AvgTriplesPerSubject(TermId p) const {
   const PredicateStats* ps = predicate(p);
   if (ps == nullptr || ps->distinct_subjects == 0) return 0.0;

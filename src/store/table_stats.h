@@ -37,10 +37,24 @@ class TableStats {
                             const std::vector<Triple>& pos,
                             const std::vector<Triple>& osp);
 
+  /// Reassembles stats previously computed by Compute() and serialized —
+  /// the frozen-image open path (kPredStats section), where re-deriving
+  /// them would mean touching every page of the permutations.
+  static TableStats Restore(
+      uint64_t num_triples, uint64_t num_distinct_subjects,
+      uint64_t num_distinct_predicates, uint64_t num_distinct_objects,
+      const std::vector<std::pair<TermId, PredicateStats>>& per_predicate);
+
   uint64_t num_triples() const { return num_triples_; }
   uint64_t num_distinct_subjects() const { return num_distinct_subjects_; }
   uint64_t num_distinct_predicates() const { return num_distinct_predicates_; }
   uint64_t num_distinct_objects() const { return num_distinct_objects_; }
+
+  /// All per-predicate rows, unordered — serializers sort by TermId for a
+  /// deterministic on-disk layout.
+  const std::unordered_map<TermId, PredicateStats>& by_predicate() const {
+    return by_predicate_;
+  }
 
   /// Stats for one predicate, or nullptr if it never occurs.
   const PredicateStats* predicate(TermId p) const {

@@ -26,8 +26,29 @@ IndexKind TripleTable::ChooseIndex(bool s_bound, bool p_bound, bool o_bound) {
   return IndexKind::kSpo;                                     // full scan
 }
 
+TripleTable TripleTable::BorrowFrozen(std::span<const Triple> spo,
+                                      std::span<const Triple> pos,
+                                      std::span<const Triple> osp,
+                                      TableStats stats) {
+  TripleTable t;
+  t.spo_view_ = spo;
+  t.pos_view_ = pos;
+  t.osp_view_ = osp;
+  t.stats_ = std::move(stats);
+  t.frozen_ = true;
+  t.borrowed_ = true;
+  return t;
+}
+
 void TripleTable::Unfreeze() {
   if (!frozen_) return;
+  if (borrowed_) {
+    // Materialize before mutating: after this the table owns its rows and
+    // the external spans are dead weight, never referenced again.
+    spo_.assign(spo_view_.begin(), spo_view_.end());
+    spo_view_ = pos_view_ = osp_view_ = {};
+    borrowed_ = false;
+  }
   frozen_ = false;
   // Eagerly invalidate everything derived from the frozen rows. The stats
   // assert is debug-only; clearing here makes "stale counts after an
@@ -48,6 +69,7 @@ void TripleTable::AppendAll(const std::vector<Triple>& triples) {
 }
 
 void TripleTable::Freeze() {
+  if (frozen_) return;
   std::sort(spo_.begin(), spo_.end());
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
   pos_ = spo_;
@@ -75,7 +97,8 @@ size_t TripleTable::Count(const TriplePattern& pattern) const {
 
 bool TripleTable::Contains(const Triple& t) const {
   assert(frozen_);
-  return std::binary_search(spo_.begin(), spo_.end(), t);
+  std::span<const Triple> rows = SpoView();
+  return std::binary_search(rows.begin(), rows.end(), t);
 }
 
 }  // namespace rdfsum::store

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -63,27 +64,67 @@ class ScanCursor {
 /// frozen table. Append after Freeze() un-freezes the table and eagerly
 /// discards the secondary indexes and statistics, so stale counts can never
 /// be served — not even in builds where the asserts compile away.
+///
+/// **Borrow mode.** BorrowFrozen() builds a table whose permutations are
+/// read-only spans over storage owned elsewhere — the 64-byte-aligned
+/// sections of an mmap'd frozen image (store::MmapStore). A borrowed table
+/// is frozen from birth and serves every read path (Scan/Count/cursors)
+/// straight off the mapping, zero-copy. Mutation (Append) first
+/// materializes the borrowed rows into owned storage via Unfreeze(), so
+/// the borrowing is invisible to callers.
 class TripleTable {
  public:
   void Append(const Triple& t);
   void AppendAll(const std::vector<Triple>& triples);
 
+  /// A frozen table over externally owned, already-sorted permutations of
+  /// the same deduplicated triple set (`spo` by (s,p,o), `pos` by (p,o,s),
+  /// `osp` by (o,s,p)) and their precomputed statistics. The spans must
+  /// outlive the table (and any cursor opened on it) unless Unfreeze() is
+  /// called first. Sortedness is the caller's contract — the frozen-image
+  /// reader validates it before handing spans here.
+  static TripleTable BorrowFrozen(std::span<const Triple> spo,
+                                  std::span<const Triple> pos,
+                                  std::span<const Triple> osp,
+                                  TableStats stats);
+
   /// Sorts the three permutations, removes duplicate rows, and computes the
-  /// table statistics (see stats()).
+  /// table statistics (see stats()). No-op on an already-frozen table (in
+  /// particular it never touches a borrowed table's external storage).
   void Freeze();
   bool frozen() const { return frozen_; }
+  bool borrowed() const { return borrowed_; }
 
   /// Leaves the frozen state, eagerly dropping the secondary indexes and
   /// statistics so they can never be served stale (Append/AppendAll call
   /// this implicitly; it is the enforcement of the staleness invariant in
-  /// builds where the asserts compile away). No-op on an unfrozen table.
+  /// builds where the asserts compile away). A borrowed table first copies
+  /// its rows into owned storage, after which the external spans are no
+  /// longer referenced. No-op on an unfrozen table.
   void Unfreeze();
 
-  size_t size() const { return spo_.size(); }
-  bool empty() const { return spo_.empty(); }
+  size_t size() const { return SpoView().size(); }
+  bool empty() const { return SpoView().empty(); }
 
-  /// Rows in SPO order (frozen) or insertion order (unfrozen).
-  const std::vector<Triple>& rows() const { return spo_; }
+  /// Rows in SPO order (frozen) or insertion order (unfrozen). Borrow-mode
+  /// note: the span aliases external storage; it is invalidated by
+  /// Append/Unfreeze like a cursor.
+  std::span<const Triple> rows() const { return SpoView(); }
+
+  /// One sorted permutation of a frozen table — the serialization surface
+  /// the frozen-image writer walks. Requires frozen().
+  std::span<const Triple> Permutation(IndexKind kind) const {
+    assert(frozen_ && "permutations require a frozen table");
+    switch (kind) {
+      case IndexKind::kPos:
+        return PosView();
+      case IndexKind::kOsp:
+        return OspView();
+      case IndexKind::kSpo:
+        break;
+    }
+    return SpoView();
+  }
 
   /// The index that serves a pattern with the given bound positions.
   static IndexKind ChooseIndex(bool s_bound, bool p_bound, bool o_bound);
@@ -153,11 +194,25 @@ class TripleTable {
   std::pair<const Triple*, const Triple*> EqualRange(
       const TriplePattern& pattern) const;
 
+  // The permutation actually in effect: borrowed spans or owned vectors.
+  std::span<const Triple> SpoView() const {
+    return borrowed_ ? spo_view_ : std::span<const Triple>(spo_);
+  }
+  std::span<const Triple> PosView() const {
+    return borrowed_ ? pos_view_ : std::span<const Triple>(pos_);
+  }
+  std::span<const Triple> OspView() const {
+    return borrowed_ ? osp_view_ : std::span<const Triple>(osp_);
+  }
+
   std::vector<Triple> spo_;  // primary storage, SPO-sorted when frozen
   std::vector<Triple> pos_;  // sorted by (p, o, s)
   std::vector<Triple> osp_;  // sorted by (o, s, p)
-  TableStats stats_;         // valid iff frozen_
+  // Borrow mode: external frozen permutations (see BorrowFrozen).
+  std::span<const Triple> spo_view_, pos_view_, osp_view_;
+  TableStats stats_;  // valid iff frozen_
   bool frozen_ = false;
+  bool borrowed_ = false;
 };
 
 inline std::pair<const Triple*, const Triple*> TripleTable::EqualRange(
@@ -169,22 +224,22 @@ inline std::pair<const Triple*, const Triple*> TripleTable::EqualRange(
   // lower/upper_bound under its comparator yield the exact match range.
   const Triple lo{q.s.value_or(0), q.p.value_or(0), q.o.value_or(0)};
   const Triple hi{q.s.value_or(kMax), q.p.value_or(kMax), q.o.value_or(kMax)};
-  auto range = [&](const std::vector<Triple>& index, auto less) {
-    auto begin = std::lower_bound(index.begin(), index.end(), lo, less);
-    auto end = std::upper_bound(begin, index.end(), hi, less);
-    const Triple* base = index.data();
-    return std::make_pair(base + (begin - index.begin()),
-                          base + (end - index.begin()));
+  auto range = [&](std::span<const Triple> index, auto less) {
+    const Triple* begin =
+        std::lower_bound(index.data(), index.data() + index.size(), lo, less);
+    const Triple* end =
+        std::upper_bound(begin, index.data() + index.size(), hi, less);
+    return std::make_pair(begin, end);
   };
   switch (ChooseIndex(q)) {
     case IndexKind::kPos:
-      return range(pos_, PosLess());
+      return range(PosView(), PosLess());
     case IndexKind::kOsp:
-      return range(osp_, OspLess());
+      return range(OspView(), OspLess());
     case IndexKind::kSpo:
       break;
   }
-  return range(spo_, std::less<Triple>());
+  return range(SpoView(), std::less<Triple>());
 }
 
 template <typename Fn>

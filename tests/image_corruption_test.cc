@@ -1,0 +1,339 @@
+// The frozen-image corruption wall (docs/FORMAT.md §8): images are
+// truncated at every length, bit-flipped at every byte, fed wrong formats
+// (a v1 summary file, random bytes), given nonzero padding, and given
+// adversarial counts behind *valid* checksums. FrozenImage::Attach must
+// return kCorruption (kIOError for unreadable files, kNotSupported for a
+// future major version) — never crash, never read out of bounds, never let
+// an unvalidated count drive an allocation. Runs under ASan/UBSan in CI,
+// where "never UB" is machine-checked.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/paper_example.h"
+#include "rdf/frozen_image.h"
+#include "store/mmap_store.h"
+#include "summary/persistence.h"
+#include "summary/summarizer.h"
+#include "util/fault_injection.h"
+
+namespace rdfsum {
+namespace {
+
+using store::MmapStore;
+using util::FaultInjection;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// A small but fully featured image: literals with datatypes/tags, type and
+// schema triples, dense substrate — every section is non-trivial.
+std::string ImageBytes() {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  const std::string path = TempPath("image_corruption_base.rsb");
+  EXPECT_TRUE(store::FreezeGraphToFile(ex.graph, path).ok());
+  std::string bytes = FileBytes(path);
+  EXPECT_FALSE(bytes.empty());
+  return bytes;
+}
+
+Status AttachStatus(const std::string& bytes) {
+  auto img = FrozenImage::Attach(bytes.data(), bytes.size());
+  return img.ok() ? Status::OK() : img.status();
+}
+
+template <typename T>
+T ReadAt(const std::string& bytes, size_t off) {
+  T v;
+  std::memcpy(&v, bytes.data() + off, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void WriteAt(std::string* bytes, size_t off, T v) {
+  std::memcpy(bytes->data() + off, &v, sizeof(T));
+}
+
+// Header field offsets (docs/FORMAT.md §3).
+constexpr size_t kOffFileSize = 16;
+constexpr size_t kOffSectionCount = 24;
+constexpr size_t kOffTableChecksum = 32;
+constexpr size_t kOffHeaderChecksum = 40;
+
+// Recomputes every checksum bottom-up — section payloads, the section
+// table, then the header — exactly as a malicious writer would, so the
+// tests below prove corruption is caught by *structural* validation, not
+// just by checksum mismatch.
+void Reseal(std::string* bytes) {
+  const uint32_t count = ReadAt<uint32_t>(*bytes, kOffSectionCount);
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t desc = sizeof(ImageHeader) + i * sizeof(SectionDesc);
+    const uint64_t off = ReadAt<uint64_t>(*bytes, desc + 8);
+    const uint64_t size = ReadAt<uint64_t>(*bytes, desc + 16);
+    if (off + size <= bytes->size()) {
+      WriteAt(bytes, desc + 24, ImageFnv1a64(bytes->data() + off, size));
+    }
+  }
+  WriteAt(bytes, kOffTableChecksum,
+          ImageFnv1a64(bytes->data() + sizeof(ImageHeader),
+                       count * sizeof(SectionDesc)));
+  WriteAt(bytes, kOffHeaderChecksum,
+          ImageFnv1a64(bytes->data(), kOffHeaderChecksum));
+}
+
+// Finds the in-file byte range of a section's payload via the table.
+bool FindSection(const std::string& bytes, SectionId id, size_t* off,
+                 size_t* size) {
+  const uint32_t count = ReadAt<uint32_t>(bytes, kOffSectionCount);
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t desc = sizeof(ImageHeader) + i * sizeof(SectionDesc);
+    if (ReadAt<uint32_t>(bytes, desc) == static_cast<uint32_t>(id)) {
+      *off = ReadAt<uint64_t>(bytes, desc + 8);
+      *size = ReadAt<uint64_t>(bytes, desc + 16);
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ImageCorruptionTest, TheBaseImageAttaches) {
+  const std::string bytes = ImageBytes();
+  EXPECT_TRUE(AttachStatus(bytes).ok()) << AttachStatus(bytes).ToString();
+}
+
+TEST(ImageCorruptionTest, TruncationAtEveryLengthIsRejected) {
+  const std::string bytes = ImageBytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::string prefix = bytes.substr(0, len);
+    Status st = AttachStatus(prefix);
+    ASSERT_FALSE(st.ok()) << "accepted a file truncated to " << len << " of "
+                          << bytes.size() << " bytes";
+    ASSERT_TRUE(st.IsCorruption()) << "len " << len << ": " << st.ToString();
+  }
+}
+
+TEST(ImageCorruptionTest, EveryBitFlipIsDetected) {
+  const std::string bytes = ImageBytes();
+  // One flipped bit per byte position, skipping bytes the format documents
+  // as ignored (header/desc reserved fields) — a flip there must *succeed*,
+  // which the minor-version-evolution test below pins separately.
+  // (SectionDesc::reserved and ImageMeta reserved words are semantically
+  // ignored but still covered by the table/section checksums, so flips
+  // there are caught too — only the header's reserved tail is outside
+  // every checksum by design.)
+  std::vector<bool> ignored(bytes.size(), false);
+  for (size_t i = 48; i < 64; ++i) ignored[i] = true;  // header reserved
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    if (ignored[i]) continue;
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ (1 << (i % 8)));
+    Status st = AttachStatus(mutated);
+    ASSERT_FALSE(st.ok()) << "accepted a bit flip at byte " << i;
+    ASSERT_TRUE(st.IsCorruption() || st.IsNotSupported())
+        << "byte " << i << ": " << st.ToString();
+  }
+}
+
+TEST(ImageCorruptionTest, HeaderReservedBytesAreIgnored) {
+  // Writers must zero them, readers must ignore them: a future minor
+  // version can claim them without breaking old readers. They sit outside
+  // header_checksum's [0, 40) coverage by design.
+  std::string bytes = ImageBytes();
+  for (size_t i = 48; i < 64; ++i) bytes[i] = '\x5a';
+  EXPECT_TRUE(AttachStatus(bytes).ok());
+}
+
+TEST(ImageCorruptionTest, V1SummaryFileIsRejectedCleanly) {
+  // The sibling format: a persisted *summary* (.rdfsum, magic "RDFSUMSUM")
+  // handed to the store opener. Eight of its nine magic bytes match ours.
+  gen::Figure2Example ex = gen::BuildFigure2();
+  summary::SummaryResult r =
+      summary::Summarize(ex.graph, summary::SummaryKind::kWeak);
+  const std::string path = TempPath("not_an_image.rdfsum");
+  ASSERT_TRUE(summary::SaveSummary(r, path).ok());
+  auto opened = MmapStore::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsCorruption()) << opened.status().ToString();
+}
+
+TEST(ImageCorruptionTest, RandomBytesAreRejected) {
+  // Deterministic pseudo-random junk at several sizes, including ones large
+  // enough to pass the header-size gate.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  for (size_t size : {0ul, 1ul, 63ul, 64ul, 96ul, 4096ul}) {
+    std::string junk(size, '\0');
+    for (char& c : junk) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      c = static_cast<char>(state >> 33);
+    }
+    Status st = AttachStatus(junk);
+    ASSERT_FALSE(st.ok()) << "accepted " << size << " random bytes";
+  }
+}
+
+TEST(ImageCorruptionTest, FutureMajorVersionIsNotSupported) {
+  std::string bytes = ImageBytes();
+  WriteAt<uint32_t>(&bytes, 8, kImageVersionMajor + 1);
+  Reseal(&bytes);
+  Status st = AttachStatus(bytes);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotSupported()) << st.ToString();
+}
+
+TEST(ImageCorruptionTest, NonzeroPaddingIsRejected) {
+  // Alignment gaps are not covered by any section checksum — so the reader
+  // validates them to zero; they must not be a hiding place.
+  const std::string bytes = ImageBytes();
+  size_t off = 0, size = 0;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kTermArena, &off, &size));
+  const size_t pad = off + size;
+  ASSERT_LT(pad, bytes.size());
+  ASSERT_NE(pad % kImageAlignment, 0u)
+      << "term arena ended 64-aligned; pick a section with padding";
+  std::string mutated = bytes;
+  mutated[pad] = '\x01';
+  Reseal(&mutated);  // padding is outside every checksum — reseal is a no-op
+  Status st = AttachStatus(mutated);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(ImageCorruptionTest, ResealedHugeCountFailsStructurally) {
+  // The adversarial case checksums cannot catch: a "valid" file whose meta
+  // claims 2^60 terms. Every section size is validated against the counts
+  // *exactly*, so the lie is caught before any count-driven allocation.
+  const std::string bytes = ImageBytes();
+  size_t meta_off = 0, meta_size = 0;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kMeta, &meta_off, &meta_size));
+  ASSERT_EQ(meta_size, sizeof(ImageMeta));
+  // Attack every count field in turn.
+  for (size_t field = 0; field < sizeof(ImageMeta) / 8; ++field) {
+    std::string mutated = bytes;
+    WriteAt<uint64_t>(&mutated, meta_off + field * 8, 1ULL << 60);
+    Reseal(&mutated);
+    Status st = AttachStatus(mutated);
+    if (field == 2 || field >= 19) {
+      // mint_counter is a free-running counter (any value is legal);
+      // reserved[5] words are ignored by readers. The file stays valid.
+      EXPECT_TRUE(st.ok()) << "meta word " << field;
+      continue;
+    }
+    ASSERT_FALSE(st.ok()) << "accepted a 2^60 count in meta field " << field;
+    ASSERT_TRUE(st.IsCorruption()) << "field " << field << ": "
+                                   << st.ToString();
+  }
+}
+
+TEST(ImageCorruptionTest, ResealedUnsortedPermutationIsRejected) {
+  // Swap the first two SPO rows and reseal: checksums pass, the sortedness
+  // gate does not — binary search over an unsorted span would silently
+  // return wrong answers, which is worse than a crash.
+  const std::string bytes = ImageBytes();
+  size_t off = 0, size = 0;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kSpo, &off, &size));
+  ASSERT_GE(size, 2 * sizeof(Triple));
+  std::string mutated = bytes;
+  std::string row0 = mutated.substr(off, sizeof(Triple));
+  std::string row1 = mutated.substr(off + sizeof(Triple), sizeof(Triple));
+  mutated.replace(off, sizeof(Triple), row1);
+  mutated.replace(off + sizeof(Triple), sizeof(Triple), row0);
+  Reseal(&mutated);
+  Status st = AttachStatus(mutated);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(ImageCorruptionTest, ResealedOutOfRangeTermIdIsRejected) {
+  // A triple whose subject points past the dictionary: Decode would read
+  // out of the term-offsets array. The id-range gate rejects it.
+  const std::string bytes = ImageBytes();
+  size_t off = 0, size = 0;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kSpo, &off, &size));
+  ASSERT_GE(size, sizeof(Triple));
+  std::string mutated = bytes;
+  WriteAt<uint32_t>(&mutated, off, 0xFFFFFFFFu);  // first row's subject
+  Reseal(&mutated);
+  Status st = AttachStatus(mutated);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(ImageCorruptionTest, AppendedJunkIsRejected) {
+  std::string bytes = ImageBytes();
+  bytes += std::string(64, '\x7f');
+  // file_size still says the original size; the actual size disagrees.
+  Status st = AttachStatus(bytes);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+  // Even "fixing" file_size doesn't help: the canonical-layout rule says
+  // the file ends exactly at the last payload byte.
+  WriteAt<uint64_t>(&bytes, kOffFileSize, bytes.size());
+  Reseal(&bytes);
+  st = AttachStatus(bytes);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCorruption()) << st.ToString();
+}
+
+TEST(ImageCorruptionTest, ChecksumSkippingStillValidatesStructure) {
+  // verify_checksums=false is the trusted-file fast path; the structural
+  // wall stays up (it is what makes later accessors memory-safe).
+  const std::string bytes = ImageBytes();
+  size_t off = 0, size = 0;
+  ASSERT_TRUE(FindSection(bytes, SectionId::kSpo, &off, &size));
+  std::string mutated = bytes;
+  WriteAt<uint32_t>(&mutated, off, 0xFFFFFFFFu);
+  Reseal(&mutated);
+  FrozenImage::Options opt;
+  opt.verify_checksums = false;
+  auto img = FrozenImage::Attach(mutated.data(), mutated.size(), opt);
+  ASSERT_FALSE(img.ok());
+  EXPECT_TRUE(img.status().IsCorruption()) << img.status().ToString();
+}
+
+class ImageFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FaultInjection::compiled_in()) {
+      GTEST_SKIP() << "failpoints not compiled in (Release build)";
+    }
+    FaultInjection::Clear();
+  }
+  void TearDown() override { FaultInjection::Clear(); }
+};
+
+TEST_F(ImageFailpointTest, WriteFailureSurfacesAsIOError) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  FaultInjection::Arm("image:write", Status::IOError("disk full"));
+  Status st =
+      store::FreezeGraphToFile(ex.graph, TempPath("failpoint_write.rsb"));
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+}
+
+TEST_F(ImageFailpointTest, OpenFailureSurfacesCleanly) {
+  gen::Figure2Example ex = gen::BuildFigure2();
+  const std::string path = TempPath("failpoint_open.rsb");
+  ASSERT_TRUE(store::FreezeGraphToFile(ex.graph, path).ok());
+  FaultInjection::Arm("image:open", Status::IOError("torn read"));
+  auto opened = MmapStore::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsIOError()) << opened.status().ToString();
+  FaultInjection::Clear();
+  EXPECT_TRUE(MmapStore::Open(path).ok());
+}
+
+}  // namespace
+}  // namespace rdfsum

@@ -9,6 +9,14 @@
 //   rdfsum query     <file> <sparql...> [--no-prune] [--explicit-only]
 //                    [--plan naive|greedy|summary] [--explain] [--limit N]
 //                    [--offset N | --page N] [--stream]
+//   rdfsum freeze    <file> [--out graph.rsb] [--no-dense]
+//                                                 write a frozen store image
+//
+// stats/summarize/query accept `--store graph.rsb` instead of <file>: the
+// image is mmap'd and opened in milliseconds (docs/FORMAT.md) instead of
+// re-parsed. A query with --explicit-only --no-prune and a non-summary plan
+// runs zero-copy straight off the mapping; everything else materializes the
+// graph from the image — still far cheaper than parsing.
 //
 // Input format is chosen by extension: .ttl/.turtle uses the Turtle parser,
 // anything else the N-Triples parser.
@@ -28,6 +36,7 @@
 #include "query/sparql_parser.h"
 #include "rdf/graph.h"
 #include "rdf/graph_stats.h"
+#include "store/mmap_store.h"
 #include "reasoner/saturation.h"
 #include "summary/report.h"
 #include "summary/summarizer.h"
@@ -85,6 +94,15 @@ int Usage() {
       "                    pattern, index, join op, est vs. actual rows;\n"
       "                    --page N is 1-based and needs --limit as the page\n"
       "                    size; --stream flushes each row as it is produced)\n"
+      "  rdfsum freeze    <file> [--out graph.rsb] [--no-dense]\n"
+      "                   (writes a frozen store image: mmap-able dictionary,\n"
+      "                    SPO/POS/OSP permutations + stats, dense substrate;\n"
+      "                    --no-dense drops the substrate — queries only)\n"
+      "\n"
+      "stats/summarize/query accept `--store graph.rsb` instead of <file>:\n"
+      "  the frozen image is mmap'd and validated instead of re-parsed, so\n"
+      "  the store is queryable in milliseconds; results are byte-identical\n"
+      "  to the parse path\n"
       "\n"
       "global resource-governance flags (any command; 0 = unlimited):\n"
       "  --timeout-ms N     wall-clock budget; exceeding it aborts with\n"
@@ -148,14 +166,43 @@ bool ParseKind(const std::string& name, summary::SummaryKind* kind) {
   return true;
 }
 
+/// Opens a frozen image and materializes its graph. On success `*store_out`
+/// owns the mapping the graph's dictionary borrows — keep it alive as long
+/// as the graph.
+Status LoadGraphFromStore(const std::string& store_path,
+                          std::unique_ptr<store::MmapStore>* store_out,
+                          Graph* g) {
+  StatusOr<std::unique_ptr<store::MmapStore>> opened =
+      store::MmapStore::Open(store_path);
+  if (!opened.ok()) return opened.status();
+  StatusOr<Graph> from_image = (*opened)->ToGraph();
+  if (!from_image.ok()) return from_image.status();
+  *g = std::move(from_image).value();
+  *store_out = std::move(opened).value();
+  return Status::OK();
+}
+
 int CmdStats(const std::vector<std::string>& args, util::ExecContext* exec) {
-  if (args.empty()) return Usage();
+  std::string store_path;
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--store" && i + 1 < args.size()) store_path = args[++i];
+    else if (StartsWith(args[i], "--")) return Fail("unknown option " + args[i]);
+    else positional.push_back(args[i]);
+  }
+  if (store_path.empty() ? positional.size() != 1 : !positional.empty()) {
+    return Usage();
+  }
+  const std::string source = store_path.empty() ? positional[0] : store_path;
+  std::unique_ptr<store::MmapStore> mstore;
   Graph g;
   Timer timer;
-  Status load = LoadGraph(args[0], &g, exec);
+  Status load = store_path.empty()
+                    ? LoadGraph(positional[0], &g, exec)
+                    : LoadGraphFromStore(store_path, &mstore, &g);
   if (!load.ok()) return FailStatus(load);
   GraphStats stats = ComputeGraphStats(g);
-  std::cout << "loaded " << args[0] << " in " << timer.ElapsedMillis()
+  std::cout << "loaded " << source << " in " << timer.ElapsedMillis()
             << " ms\n"
             << stats.ToString() << "\n";
   Status wb = CheckWellBehaved(g);
@@ -178,16 +225,18 @@ StatusOr<summary::SummaryResult> RunSummarize(
 
 int CmdSummarize(const std::vector<std::string>& args,
                  util::ExecContext* exec) {
-  if (args.empty()) return Usage();
   std::string kind_name = "all";
   std::string out_prefix;
+  std::string store_path;
   bool saturate = false, report = false;
   uint32_t threads = 1;
   summary::SummaryOptions options;
   options.record_members = true;
-  for (size_t i = 1; i < args.size(); ++i) {
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--kind" && i + 1 < args.size()) kind_name = args[++i];
     else if (args[i] == "--out" && i + 1 < args.size()) out_prefix = args[++i];
+    else if (args[i] == "--store" && i + 1 < args.size()) store_path = args[++i];
     else if (args[i] == "--saturate") saturate = true;
     else if (args[i] == "--report") report = true;
     else if (args[i] == "--strict-typed") {
@@ -200,13 +249,21 @@ int CmdSummarize(const std::vector<std::string>& args,
       if (!ParseUint32(args[++i], &threads)) {
         return Fail("bad --threads " + args[i]);
       }
-    } else {
+    } else if (StartsWith(args[i], "--")) {
       return Fail("unknown option " + args[i]);
+    } else {
+      positional.push_back(args[i]);
     }
   }
+  if (store_path.empty() ? positional.size() != 1 : !positional.empty()) {
+    return Usage();
+  }
 
+  std::unique_ptr<store::MmapStore> mstore;
   Graph g;
-  Status load = LoadGraph(args[0], &g, exec);
+  Status load = store_path.empty()
+                    ? LoadGraph(positional[0], &g, exec)
+                    : LoadGraphFromStore(store_path, &mstore, &g);
   if (!load.ok()) return FailStatus(load);
   if (saturate) g = reasoner::Saturate(g);
 
@@ -280,7 +337,6 @@ int CmdConvert(const std::vector<std::string>& args,
 }
 
 int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
-  if (args.size() < 2) return Usage();
   bool prune = true;
   bool saturate = true;
   bool explain = false;
@@ -290,13 +346,16 @@ int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
   uint32_t offset = 0;
   uint32_t page = 0;
   query::PlannerMode planner = query::PlannerMode::kGreedy;
-  std::string sparql;
-  for (size_t i = 1; i < args.size(); ++i) {
+  std::string store_path;
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--no-prune") prune = false;
     else if (args[i] == "--explicit-only") saturate = false;
     else if (args[i] == "--explain") explain = true;
     else if (args[i] == "--stream") stream = true;
-    else if (args[i] == "--plan" && i + 1 < args.size()) {
+    else if (args[i] == "--store" && i + 1 < args.size()) {
+      store_path = args[++i];
+    } else if (args[i] == "--plan" && i + 1 < args.size()) {
       if (!query::ParsePlannerMode(args[++i], &planner)) {
         return Fail("bad --plan " + args[i] + " (naive|greedy|summary)");
       }
@@ -318,8 +377,16 @@ int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
     } else if (StartsWith(args[i], "--")) {
       return Fail("unknown option " + args[i]);
     } else {
-      sparql += (sparql.empty() ? "" : " ") + args[i];
+      positional.push_back(args[i]);
     }
+  }
+  // With --store every positional is SPARQL; otherwise the first is the
+  // input file.
+  size_t sparql_begin = store_path.empty() ? 1 : 0;
+  if (positional.size() < sparql_begin + 1) return Usage();
+  std::string sparql;
+  for (size_t i = sparql_begin; i < positional.size(); ++i) {
+    sparql += (sparql.empty() ? "" : " ") + positional[i];
   }
   if (page_set && offset_set) {
     return Fail("--page and --offset are mutually exclusive");
@@ -336,11 +403,29 @@ int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
                  "actual cardinalities; --limit/--offset/--page are "
                  "ignored\n";
   }
-  Graph g;
-  Status load = LoadGraph(args[0], &g, exec);
-  if (!load.ok()) return FailStatus(load);
   auto q = query::ParseSparql(sparql);
   if (!q.ok()) return FailStatus(q.status());
+
+  // Store fast path: with no pruning, no saturation, and no summary-based
+  // planning, the query runs zero-copy off the mmap'd permutations — no
+  // Graph is ever materialized. Any of those features forces ToGraph()
+  // first (still far cheaper than parsing).
+  const bool zero_copy = !store_path.empty() && !prune && !saturate &&
+                         planner != query::PlannerMode::kSummary;
+
+  std::unique_ptr<store::MmapStore> mstore;
+  Graph g;
+  if (zero_copy) {
+    StatusOr<std::unique_ptr<store::MmapStore>> opened =
+        store::MmapStore::Open(store_path);
+    if (!opened.ok()) return FailStatus(opened.status());
+    mstore = std::move(opened).value();
+  } else {
+    Status load = store_path.empty()
+                      ? LoadGraph(positional[0], &g, exec)
+                      : LoadGraphFromStore(store_path, &mstore, &g);
+    if (!load.ok()) return FailStatus(load);
+  }
 
   // --no-prune skips the pruning evaluator entirely (its summary and
   // second saturation would be wasted work); only the estimator is built
@@ -350,7 +435,11 @@ int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
   std::optional<summary::SummaryResult> model;
   std::optional<summary::CardinalityEstimator> estimator;
   std::optional<query::BgpEvaluator> direct;
-  if (prune) {
+  if (zero_copy) {
+    query::EvaluatorOptions direct_options;
+    direct_options.planner = planner;
+    direct.emplace(mstore->dict(), mstore->table(), direct_options);
+  } else if (prune) {
     query::SummaryPrunedEvaluator::Options options;
     options.saturate = saturate;
     options.planner = planner;
@@ -421,6 +510,36 @@ int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec) {
   return 0;
 }
 
+int CmdFreeze(const std::vector<std::string>& args, util::ExecContext* exec) {
+  if (args.empty()) return Usage();
+  std::string out;
+  store::FreezeOptions options;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) out = args[++i];
+    else if (args[i] == "--no-dense") options.include_dense = false;
+    else return Fail("unknown option " + args[i]);
+  }
+  if (out.empty()) out = args[0] + ".rsb";
+  Graph g;
+  Timer timer;
+  Status load = LoadGraph(args[0], &g, exec);
+  if (!load.ok()) return FailStatus(load);
+  double parse_ms = timer.ElapsedMillis();
+  Status st = store::FreezeGraphToFile(g, out, options);
+  if (!st.ok()) return FailStatus(st);
+  // Re-open what we just wrote: cheap, and it proves the image passes the
+  // full corruption wall before anyone depends on it.
+  StatusOr<std::unique_ptr<store::MmapStore>> check =
+      store::MmapStore::Open(out);
+  if (!check.ok()) return FailStatus(check.status());
+  std::cout << "froze " << g.NumTriples() << " triples ("
+            << (*check)->image().size() << " bytes"
+            << (options.include_dense ? ", dense substrate" : "") << ") to "
+            << out << " in " << timer.ElapsedMillis() << " ms (parse "
+            << parse_ms << " ms)\n";
+  return 0;
+}
+
 // Strips the global governance flags out of `args` (they are accepted
 // anywhere on the command line), builds one ExecContext per invocation from
 // them, and dispatches. A run with no flag set dispatches ungoverned
@@ -458,6 +577,7 @@ int Run(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "saturate") return CmdSaturate(rest, exec);
   if (cmd == "convert") return CmdConvert(rest, exec);
   if (cmd == "query") return CmdQuery(rest, exec);
+  if (cmd == "freeze") return CmdFreeze(rest, exec);
   return Usage();
 }
 
