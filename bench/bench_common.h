@@ -74,6 +74,19 @@ class BenchJson {
                                static_cast<int64_t>(effective)});
   }
 
+  /// Load-sweep record: a thread-sweep row that additionally carries the
+  /// ingestion phase breakdown (chunk-parse wall, dictionary-merge/replay
+  /// wall, Freeze wall, all in seconds) so load scaling can be attributed
+  /// to the phase that moved across PRs.
+  void RecordLoad(const std::string& name, uint64_t scale, double seconds,
+                  uint32_t requested, uint32_t effective, double parse_seconds,
+                  double intern_seconds, double freeze_seconds) {
+    records_.push_back(Record_{name, scale, seconds,
+                               static_cast<int64_t>(requested),
+                               static_cast<int64_t>(effective), parse_seconds,
+                               intern_seconds, freeze_seconds});
+  }
+
   /// Adds a top-level integer metadata field (e.g. the producing machine's
   /// hardware_concurrency) — context for interpreting the results, kept out
   /// of the results array so per-name diffs across PRs stay clean.
@@ -103,6 +116,12 @@ class BenchJson {
                      static_cast<long long>(r.threads_requested),
                      static_cast<long long>(r.threads_effective));
       }
+      if (r.parse_seconds >= 0) {
+        std::fprintf(f,
+                     ", \"parse_seconds\": %.6f, \"intern_seconds\": %.6f"
+                     ", \"freeze_seconds\": %.6f",
+                     r.parse_seconds, r.intern_seconds, r.freeze_seconds);
+      }
       std::fprintf(f, "}%s\n", i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -117,6 +136,9 @@ class BenchJson {
     double seconds;
     int64_t threads_requested;  // -1 = not a thread-sweep row
     int64_t threads_effective;
+    double parse_seconds = -1;  // -1 = not a load row (phase breakdown absent)
+    double intern_seconds = -1;
+    double freeze_seconds = -1;
   };
   std::string bench_name_;
   std::vector<std::pair<std::string, uint64_t>> meta_;

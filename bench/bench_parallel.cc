@@ -12,6 +12,9 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "io/ntriples_parser.h"
+#include "io/ntriples_writer.h"
+#include "store/triple_table.h"
 #include "summary/isomorphism.h"
 #include "summary/maintenance.h"
 #include "summary/node_partition.h"
@@ -230,6 +233,88 @@ void PrintParallelBisimulation(bench::BenchJson* json, bool* all_equal) {
       });
 }
 
+// The ingestion pipeline this PR parallelizes: N-Triples parse (chunked),
+// dictionary merge + replay, and TripleTable::Freeze, swept across thread
+// counts. Each row records the requested and effective thread counts
+// (effective = chunks the parser actually split into) plus the phase
+// breakdown; any deviation from the sequential load — triples, ids, or
+// frozen SPO permutation — clears *all_equal.
+void PrintParallelLoad(bench::BenchJson* json, bool* all_equal) {
+  struct LoadRun {
+    double total = 0.0;
+    double freeze_seconds = 0.0;
+    io::ParseStats stats;
+    Graph g;
+    std::vector<Triple> spo;
+    bool ok = false;
+  };
+  auto run_once = [](const std::string& input, uint32_t threads,
+                     LoadRun* out) {
+    Timer t;
+    out->g = Graph();
+    out->stats = io::ParseStats();
+    io::ParseOptions options;
+    options.num_threads = threads;
+    out->ok =
+        io::NTriplesParser::ParseString(input, &out->g, &out->stats, options)
+            .ok();
+    store::TripleTable table;
+    out->g.ForEachTriple([&](const Triple& tr) { table.Append(tr); });
+    Timer ft;
+    table.Freeze(threads);
+    out->freeze_seconds = ft.ElapsedSeconds();
+    out->total = t.ElapsedSeconds();
+    auto spo = table.Permutation(store::IndexKind::kSpo);
+    out->spo.assign(spo.begin(), spo.end());
+  };
+  // Best-of-two like the other sweeps, keeping the stats of the faster run.
+  auto best_of_two = [&](const std::string& input, uint32_t threads,
+                         LoadRun* out) {
+    LoadRun second;
+    run_once(input, threads, out);
+    run_once(input, threads, &second);
+    if (second.total < out->total) *out = std::move(second);
+  };
+
+  TablePrinter table({"triples", "sequential (ms)", "1t (ms)", "2t (ms)",
+                      "4t (ms)", "8t (ms)", "speedup@4", "equal"});
+  for (uint64_t scale : BenchScales()) {
+    const std::string input = io::NTriplesWriter::ToString(CachedBsbm(scale));
+    LoadRun seq;
+    best_of_two(input, 1, &seq);
+    json->RecordLoad("load_sequential", scale, seq.total, 1, 1,
+                     seq.stats.parse_seconds, seq.stats.intern_seconds,
+                     seq.freeze_seconds);
+
+    std::vector<std::string> row = {Num(seq.g.NumTriples()),
+                                    FormatDouble(seq.total * 1e3, 1)};
+    double at4 = seq.total;
+    bool equal = seq.ok;
+    for (uint32_t threads : kSweepThreads) {
+      LoadRun par;
+      best_of_two(input, threads, &par);
+      json->RecordLoad("load_p" + std::to_string(threads), scale, par.total,
+                       threads, par.stats.chunks, par.stats.parse_seconds,
+                       par.stats.intern_seconds, par.freeze_seconds);
+      row.push_back(FormatDouble(par.total * 1e3, 1));
+      if (threads == 4) at4 = par.total;
+      // Byte-identity: same triples with the same ids in the same insertion
+      // order, same dictionary size, same frozen SPO permutation.
+      equal = equal && par.ok && par.g.data() == seq.g.data() &&
+              par.g.types() == seq.g.types() &&
+              par.g.schema() == seq.g.schema() &&
+              par.g.dict().size() == seq.g.dict().size() &&
+              par.spo == seq.spo;
+    }
+    row.push_back(FormatDouble(seq.total / at4, 2) + "x");
+    row.push_back(equal ? "yes" : "NO (bug!)");
+    *all_equal = *all_equal && equal;
+    table.AddRow(row);
+  }
+  table.Print(std::cout,
+              "Parallel ingestion: chunked parse + dict merge + Freeze");
+}
+
 void PrintMaintenance() {
   // Streaming maintenance: amortized cost per inserted triple.
   TablePrinter stream({"triples", "maintainer total (ms)", "ns/triple",
@@ -261,6 +346,7 @@ bool PrintParallel() {
   // each measurement actually ran with).
   json.MetaInt("hardware_concurrency", std::thread::hardware_concurrency());
   bool all_equal = true;
+  PrintParallelLoad(&json, &all_equal);
   PrintParallelWeak(&json, &all_equal);
   PrintParallelWeakPartitionOnly(&json, &all_equal);
   PrintParallelQuotient(&json, &all_equal);

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
-#include <sstream>
+#include <utility>
 
+#include "util/fault_injection.h"
+#include "util/parallel_for.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace rdfsum::io {
 namespace {
@@ -212,8 +215,32 @@ Status CheckTermSize(const Term& t, const ParseOptions& options) {
   return Status::OK();
 }
 
-Status ParseLine(std::string_view line, Graph* graph, ParseStats* stats,
-                 const ParseOptions& options) {
+/// One line-numbered skip reason, chunk-relative (see ChunkParse).
+struct ChunkDiag {
+  uint64_t line;  // 1-based within the chunk
+  std::string message;
+};
+
+/// Outcome of the shared per-line driver over one chunk of input. The
+/// sequential path runs a single chunk covering the whole text; the parallel
+/// path runs one per chunk and merges them in chunk order. All line numbers
+/// are chunk-relative (1-based) — the merge offsets them by the preceding
+/// chunks' line counts to recover global numbers.
+struct ChunkParse {
+  uint64_t lines = 0;
+  uint64_t triples = 0;
+  uint64_t duplicates = 0;  // only the sequential sink can observe these
+  uint64_t skipped = 0;
+  std::vector<ChunkDiag> diagnostics;  // first kMaxDiagnostics skip reasons
+  uint64_t error_line = 0;             // strict-mode failure line; 0 = none
+  std::string error_message;
+  Status exec_status;  // non-OK when governance tripped mid-chunk
+};
+
+/// Parses one statement line and feeds it to `emit(s, p, o) -> fresh`.
+template <typename Emit>
+Status ParseLine(std::string_view line, const ParseOptions& options,
+                 ChunkParse* out, Emit&& emit) {
   size_t pos = 0;
   auto s = ParseTermAt(line, pos);
   if (!s.ok()) return s.status();
@@ -239,13 +266,108 @@ Status ParseLine(std::string_view line, Graph* graph, ParseStats* stats,
   if (pos != line.size()) {
     return Status::InvalidArgument("trailing garbage after '.'");
   }
-  bool fresh = graph->AddTerms(*s, *p, *o);
-  if (stats != nullptr) {
-    ++stats->triples;
-    if (!fresh) ++stats->duplicates;
-  }
+  bool fresh = emit(*s, *p, *o);
+  ++out->triples;
+  if (!fresh) ++out->duplicates;
   return Status::OK();
 }
+
+/// The line loop, parameterized over a triple sink: splits `text` on '\n'
+/// (a trailing newline yields a final empty line), strips '\r' and
+/// surrounding whitespace, skips comments/blanks, enforces max_line_bytes,
+/// and polls options.exec every ExecContext::kCheckInterval lines. Stops
+/// early on a strict-mode parse failure or a governance trip, leaving the
+/// failure in `out`. Chunk views handed to this driver must not carry their
+/// trailing chunk-boundary '\n' (the final chunk keeps its tail verbatim),
+/// so per-chunk line counts sum exactly to the sequential count.
+template <typename Emit>
+void ParseChunkLines(std::string_view text, const ParseOptions& options,
+                     ChunkParse* out, Emit&& emit) {
+  size_t start = 0;
+  uint64_t line_no = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    std::string_view line = end == std::string_view::npos
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    ++line_no;
+    if (options.exec != nullptr &&
+        (line_no & (util::ExecContext::kCheckInterval - 1)) == 0) {
+      Status st = options.exec->Check();
+      if (!st.ok()) {
+        out->exec_status = std::move(st);
+        return;
+      }
+    }
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    std::string_view stripped = StripWhitespace(line);
+    ++out->lines;
+    if (!stripped.empty() && stripped[0] != '#') {
+      Status st;
+      if (options.max_line_bytes != 0 && line.size() > options.max_line_bytes) {
+        st = Status::InvalidArgument(
+            "line of " + std::to_string(line.size()) +
+            " bytes exceeds max_line_bytes (" +
+            std::to_string(options.max_line_bytes) + ")");
+      } else {
+        st = ParseLine(stripped, options, out, emit);
+      }
+      if (!st.ok()) {
+        if (options.strict) {
+          out->error_line = line_no;
+          out->error_message = std::string(st.message());
+          return;
+        }
+        ++out->skipped;
+        if (out->diagnostics.size() < ParseStats::kMaxDiagnostics) {
+          out->diagnostics.push_back({line_no, std::string(st.message())});
+        }
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+}
+
+/// Folds one chunk's counters and (offset-fixed) diagnostics into `stats`.
+void MergeChunkStats(const ChunkParse& cp, uint64_t line_offset,
+                     ParseStats* stats) {
+  if (stats == nullptr) return;
+  stats->lines += cp.lines;
+  stats->triples += cp.triples;
+  stats->duplicates += cp.duplicates;
+  stats->skipped += cp.skipped;
+  for (const ChunkDiag& d : cp.diagnostics) {
+    if (stats->diagnostics.size() >= ParseStats::kMaxDiagnostics) break;
+    stats->diagnostics.push_back(
+        "line " + std::to_string(line_offset + d.line) + ": " + d.message);
+  }
+}
+
+/// The Status a chunk failure maps to at the ParseString boundary.
+Status ChunkFailure(const ChunkParse& cp, uint64_t line_offset) {
+  if (!cp.exec_status.ok()) return cp.exec_status;
+  return Status::InvalidArgument("line " +
+                                 std::to_string(line_offset + cp.error_line) +
+                                 ": " + cp.error_message);
+}
+
+/// Per-chunk staging state for the parallel path. The chunk-local dictionary
+/// assigns dense local ids in the chunk's own first-occurrence order;
+/// `hashes[i]` caches HashTerm for local id i+1 so the merge pass never
+/// rehashes a term.
+struct ChunkStage {
+  ChunkParse parse;
+  Dictionary dict;
+  std::vector<uint64_t> hashes;
+  std::vector<Triple> staged;  // local-id triples in line order
+  Status inject;               // load:chunk failpoint outcome
+};
+
+/// Minimum bytes of input per parse chunk: below this, thread spawn and
+/// merge overhead dominate and the sequential path wins. Small enough that
+/// multi-threaded tests on few-KB inputs still exercise real chunking.
+constexpr size_t kMinChunkBytes = 256;
 
 }  // namespace
 
@@ -263,58 +385,157 @@ StatusOr<Term> NTriplesParser::ParseTerm(std::string_view text) {
 Status NTriplesParser::ParseString(std::string_view text, Graph* graph,
                                    ParseStats* stats,
                                    const ParseOptions& options) {
-  // Pre-size the triple set and the dictionary from the input size before
-  // the Add loop: one line ≈ one triple, and empirically large N-Triples
-  // files intern roughly one fresh term per triple (subjects repeat across
-  // triples, predicates are few). Without this every large load rehashes the
-  // open-addressing index log(n) times; an under-estimate only means a
-  // couple of residual doublings.
-  const size_t estimated_triples =
-      static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
-  graph->Reserve(graph->NumTriples() + estimated_triples);
-  graph->dict().Reserve(graph->dict().size() + estimated_triples);
+  const uint32_t num_chunks = util::ResolveThreadCount(
+      options.num_threads, std::max<uint64_t>(text.size() / kMinChunkBytes, 1));
 
-  size_t start = 0;
-  uint64_t line_no = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
-    std::string_view line = end == std::string_view::npos
-                                ? text.substr(start)
-                                : text.substr(start, end - start);
-    ++line_no;
-    if (options.exec != nullptr &&
-        (line_no & (util::ExecContext::kCheckInterval - 1)) == 0) {
-      RDFSUM_RETURN_IF_ERROR(options.exec->Check());
+  if (num_chunks <= 1) {
+    // Sequential path: one chunk, terms interned straight into the graph.
+    // Pre-size the triple set and the dictionary from the input size before
+    // the Add loop: one line ≈ one triple, and empirically large N-Triples
+    // files intern roughly one fresh term per triple (subjects repeat across
+    // triples, predicates are few). Without this every large load rehashes
+    // the open-addressing index log(n) times; an under-estimate only means a
+    // couple of residual doublings.
+    const size_t estimated_triples =
+        static_cast<size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
+    graph->Reserve(graph->NumTriples() + estimated_triples);
+    graph->dict().Reserve(graph->dict().size() + estimated_triples);
+
+    Timer timer;
+    ChunkParse cp;
+    ParseChunkLines(text, options, &cp,
+                    [graph](const Term& s, const Term& p, const Term& o) {
+                      return graph->AddTerms(s, p, o);
+                    });
+    MergeChunkStats(cp, /*line_offset=*/0, stats);
+    if (stats != nullptr) {
+      stats->parse_seconds += timer.ElapsedSeconds();
+      stats->chunks = 1;
     }
-    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    std::string_view stripped = StripWhitespace(line);
-    if (stats != nullptr) ++stats->lines;
-    if (!stripped.empty() && stripped[0] != '#') {
-      Status st;
-      if (options.max_line_bytes != 0 && line.size() > options.max_line_bytes) {
-        st = Status::InvalidArgument(
-            "line of " + std::to_string(line.size()) +
-            " bytes exceeds max_line_bytes (" +
-            std::to_string(options.max_line_bytes) + ")");
-      } else {
-        st = ParseLine(stripped, graph, stats, options);
-      }
-      if (!st.ok()) {
-        if (options.strict) {
-          return Status::InvalidArgument("line " + std::to_string(line_no) +
-                                         ": " + st.message());
-        }
-        if (stats != nullptr) {
-          ++stats->skipped;
-          if (stats->diagnostics.size() < ParseStats::kMaxDiagnostics) {
-            stats->diagnostics.push_back("line " + std::to_string(line_no) +
-                                         ": " + std::string(st.message()));
-          }
-        }
+    if (!cp.exec_status.ok() || cp.error_line != 0) {
+      return ChunkFailure(cp, /*line_offset=*/0);
+    }
+    return Status::OK();
+  }
+
+  // Parallel path. Chunk boundaries land just after a '\n', so every chunk
+  // is a whole number of lines; each worker parses its chunk into a local
+  // dictionary + staged triples, and the merge below replays them in chunk
+  // order — reproducing the sequential parse byte-for-byte (ids, insertion
+  // order, stats, diagnostics). Invariants: src/io/README.md.
+  std::vector<std::pair<size_t, size_t>> bounds;
+  bounds.reserve(num_chunks);
+  const size_t target = text.size() / num_chunks;
+  for (size_t begin = 0; begin < text.size();) {
+    size_t end = text.size();
+    if (bounds.size() + 1 < num_chunks) {
+      const size_t probe = begin + target;
+      if (probe < text.size()) {
+        const size_t nl = text.find('\n', probe);
+        end = nl == std::string_view::npos ? text.size() : nl + 1;
       }
     }
-    if (end == std::string_view::npos) break;
-    start = end + 1;
+    bounds.emplace_back(begin, end);
+    begin = end;
+  }
+
+  Timer timer;
+  std::vector<ChunkStage> stages(bounds.size());
+  util::ParallelFor(
+      static_cast<uint32_t>(bounds.size()), [&](uint32_t shard) {
+        ChunkStage& cs = stages[shard];
+        cs.inject = RDFSUM_FAILPOINT_STATUS("load:chunk");
+        if (!cs.inject.ok()) return;
+        const auto [cb, ce] = bounds[shard];
+        // Non-final chunks end with the boundary '\n'; strip it so the
+        // uniform split-on-'\n' driver counts exactly this chunk's lines
+        // (the final chunk keeps its tail, trailing newline included, to
+        // preserve the sequential trailing-empty-line semantics).
+        const bool final_chunk = ce == text.size();
+        std::string_view view =
+            text.substr(cb, ce - cb - (final_chunk ? 0 : 1));
+        const size_t estimated =
+            static_cast<size_t>(std::count(view.begin(), view.end(), '\n')) +
+            1;
+        cs.dict.Reserve(estimated);
+        cs.hashes.reserve(estimated);
+        cs.staged.reserve(estimated);
+        ParseChunkLines(
+            view, options, &cs.parse,
+            [&cs](const Term& s, const Term& p, const Term& o) {
+              auto intern = [&cs](const Term& t) {
+                const uint64_t h = Dictionary::HashTerm(t);
+                TermId id = cs.dict.EncodeHashed(t, h);
+                if (id > cs.hashes.size()) cs.hashes.push_back(h);
+                return id;
+              };
+              // Declaration order sequences the interns s, then p, then o —
+              // the same local first-occurrence order the sequential
+              // AddTerms produces globally.
+              TermId s_id = intern(s), p_id = intern(p), o_id = intern(o);
+              cs.staged.push_back(Triple{s_id, p_id, o_id});
+              return true;  // freshness is resolved at replay
+            });
+      });
+  if (stats != nullptr) {
+    stats->parse_seconds += timer.ElapsedSeconds();
+    stats->chunks = static_cast<uint32_t>(bounds.size());
+  }
+
+  // Fold stats and surface the first failure in chunk (= stream) order;
+  // counters of chunks past a failure are discarded, like the sequential
+  // parser never reaching those lines. An injected chunk fault precedes its
+  // chunk's parse, so it carries no partial counters.
+  uint64_t line_offset = 0;
+  for (const ChunkStage& cs : stages) {
+    if (!cs.inject.ok()) return cs.inject;
+    const bool failed = !cs.parse.exec_status.ok() || cs.parse.error_line != 0;
+    MergeChunkStats(cs.parse, line_offset, stats);
+    if (failed) return ChunkFailure(cs.parse, line_offset);
+    line_offset += cs.parse.lines;
+  }
+
+  // Deterministic merge: walk chunks in order; the first use of each local
+  // id interns its term into the shared dictionary (reusing the cached
+  // hash), so final ids are assigned in sequential first-occurrence order.
+  RDFSUM_FAILPOINT("load:dict-merge");
+  Timer intern_timer;
+  size_t staged_total = 0;
+  size_t distinct_total = 0;
+  for (const ChunkStage& cs : stages) {
+    staged_total += cs.staged.size();
+    distinct_total += cs.hashes.size();
+  }
+  graph->Reserve(graph->NumTriples() + staged_total);
+  graph->dict().Reserve(graph->dict().size() + distinct_total);
+
+  Dictionary& dict = graph->dict();
+  uint64_t replayed = 0;
+  uint64_t duplicates = 0;
+  std::vector<TermId> remap;
+  for (ChunkStage& cs : stages) {
+    remap.assign(cs.hashes.size() + 1, kInvalidTermId);
+    auto global_id = [&](TermId local) {
+      TermId& slot = remap[local];
+      if (slot == kInvalidTermId) {
+        slot = dict.EncodeHashed(cs.dict.Decode(local), cs.hashes[local - 1]);
+      }
+      return slot;
+    };
+    for (const Triple& t : cs.staged) {
+      if (options.exec != nullptr &&
+          (++replayed & (util::ExecContext::kCheckInterval - 1)) == 0) {
+        RDFSUM_RETURN_IF_ERROR(options.exec->Check());
+      }
+      // Braced init sequences the three remaps left to right (s, p, o).
+      Triple global{global_id(t.s), global_id(t.p), global_id(t.o)};
+      if (!graph->Add(global)) ++duplicates;
+    }
+    cs.staged = std::vector<Triple>();  // release as we go
+  }
+  if (stats != nullptr) {
+    stats->duplicates += duplicates;
+    stats->intern_seconds += intern_timer.ElapsedSeconds();
   }
   return Status::OK();
 }
@@ -324,9 +545,15 @@ Status NTriplesParser::ParseFile(const std::string& path, Graph* graph,
                                  const ParseOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseString(buffer.str(), graph, stats, options);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  in.seekg(0);
+  std::string buffer(static_cast<size_t>(size), '\0');
+  if (size > 0 && !in.read(buffer.data(), size)) {
+    return Status::IOError("cannot read " + path);
+  }
+  return ParseString(buffer, graph, stats, options);
 }
 
 }  // namespace rdfsum::io

@@ -29,6 +29,16 @@ struct ParseOptions {
   /// cancellation aborts the parse with the context's status (partial
   /// triples already added to the graph stay — callers discard the graph).
   util::ExecContext* exec = nullptr;
+  /// Parse worker threads: 1 = the sequential path (default), 0 = all
+  /// hardware cores, N = exactly N (clamped by util::ResolveThreadCount).
+  /// With more than one thread the input is chunked on line boundaries,
+  /// chunks are parsed into per-chunk staging buffers (local dictionary +
+  /// staged triples) in parallel, and a deterministic merge pass interns
+  /// the staged terms in stream order — the resulting graph, dictionary id
+  /// assignment, stats, and diagnostics are byte-identical to the
+  /// sequential parse at every thread count (invariants in
+  /// src/io/README.md). Each worker polls `exec` per 256 lines.
+  uint32_t num_threads = 1;
 };
 
 /// Counters filled by the parser.
@@ -45,6 +55,15 @@ struct ParseStats {
   /// capped at kMaxDiagnostics. Strict mode reports the first failure in
   /// the returned Status instead.
   std::vector<std::string> diagnostics;
+  /// Phase-time breakdown of the load. On the parallel path `parse_seconds`
+  /// is the chunk-parse fan-out wall time and `intern_seconds` the
+  /// deterministic dictionary-merge + graph-replay pass; the sequential
+  /// path interleaves interning with parsing, so everything lands in
+  /// `parse_seconds` and `intern_seconds` stays 0.
+  double parse_seconds = 0.0;
+  double intern_seconds = 0.0;
+  /// Chunks the input was split into (1 on the sequential path).
+  uint32_t chunks = 1;
 };
 
 /// A line-oriented N-Triples 1.1 parser (the role raptor/serd/Jena play for

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <fstream>
-#include <sstream>
 #include <unordered_map>
 #include <vector>
 
@@ -22,14 +21,40 @@ constexpr std::string_view kXsdBoolean =
 
 class Parser {
  public:
-  Parser(std::string_view text, Graph* graph, TurtleParseStats* stats)
-      : text_(text), graph_(graph), stats_(stats) {}
+  Parser(std::string_view text, Graph* graph, TurtleParseStats* stats,
+         const TurtleParseOptions& options)
+      : text_(text), graph_(graph), stats_(stats), options_(options) {}
 
   Status Run() {
     while (true) {
       SkipWsAndComments();
       if (pos_ >= text_.size()) return Status::OK();
-      RDFSUM_RETURN_IF_ERROR(ParseStatement());
+      ++statements_;
+      if (options_.exec != nullptr &&
+          (statements_ & (util::ExecContext::kCheckInterval - 1)) == 0) {
+        RDFSUM_RETURN_IF_ERROR(options_.exec->Check());
+      }
+      statement_start_ = pos_;
+      statement_line_ = line_;
+      Status st = ParseStatement();
+      if (!st.ok()) {
+        if (options_.strict) return st;
+        // Lenient mode: count + record the failure, then resynchronize at
+        // the next top-level '.' — triples the statement emitted before its
+        // failure point stay, like the N-Triples parser's earlier lines.
+        if (stats_ != nullptr) {
+          ++stats_->skipped;
+          if (stats_->diagnostics.size() < TurtleParseStats::kMaxDiagnostics) {
+            std::string msg(st.message());
+            // Err() already prefixes the line; NotSupported sites don't.
+            if (!StartsWith(msg, "line ")) {
+              msg = "line " + std::to_string(statement_line_) + ": " + msg;
+            }
+            stats_->diagnostics.push_back(std::move(msg));
+          }
+        }
+        RecoverToStatementEnd();
+      }
     }
   }
 
@@ -155,8 +180,82 @@ class Parser {
     return Status::OK();
   }
 
+  /// Best-effort resynchronization after a failed statement: scans to the
+  /// next '.' that sits outside <iri> brackets, quoted literals, and
+  /// comments, and consumes it. A '.' inside a prefixed name or number can
+  /// still end the scan early — the price of recovery without a full parse,
+  /// and at worst it costs one extra diagnostic.
+  void RecoverToStatementEnd() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '.') {
+        ++pos_;
+        return;
+      }
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '<') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '>' &&
+               text_[pos_] != '\n') {
+          ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '>') ++pos_;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ < text_.size()) ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
   // ------------------------------------------------------------- terms
+  /// Enforces TurtleParseOptions::max_term_bytes on a decoded term.
+  Status CheckTermSize(const Term& t) {
+    if (options_.max_term_bytes == 0) return Status::OK();
+    const uint64_t size =
+        t.lexical.size() + t.datatype.size() + t.language.size();
+    if (size > options_.max_term_bytes) {
+      return Err("term of " + std::to_string(size) +
+                 " bytes exceeds max_term_bytes (" +
+                 std::to_string(options_.max_term_bytes) + ")");
+    }
+    return Status::OK();
+  }
+
   StatusOr<Term> ParseTermChecked(bool allow_literal) {
+    // The statement-span guard lives here because every grammar production
+    // funnels through term parsing: a runaway statement (missing '.') trips
+    // it after at most one term beyond the cap.
+    if (options_.max_statement_bytes != 0 &&
+        pos_ - statement_start_ > options_.max_statement_bytes) {
+      return Err("statement of " + std::to_string(pos_ - statement_start_) +
+                 " bytes exceeds max_statement_bytes (" +
+                 std::to_string(options_.max_statement_bytes) + ")");
+    }
+    auto term = ParseTermInner(allow_literal);
+    if (!term.ok()) return term;
+    RDFSUM_RETURN_IF_ERROR(CheckTermSize(*term));
+    return term;
+  }
+
+  StatusOr<Term> ParseTermInner(bool allow_literal) {
     SkipWsAndComments();
     if (pos_ >= text_.size()) return Err("unexpected end of input");
     char c = text_[pos_];
@@ -341,8 +440,12 @@ class Parser {
   std::string_view text_;
   Graph* graph_;
   TurtleParseStats* stats_;
+  TurtleParseOptions options_;
   size_t pos_ = 0;
   uint64_t line_ = 1;
+  uint64_t statements_ = 0;
+  size_t statement_start_ = 0;   // byte offset of the current statement
+  uint64_t statement_line_ = 1;  // line it started on, for diagnostics
   uint64_t anon_counter_ = 0;
   std::string base_;
   std::unordered_map<std::string, std::string> prefixes_;
@@ -351,18 +454,26 @@ class Parser {
 }  // namespace
 
 Status TurtleParser::ParseString(std::string_view text, Graph* graph,
-                                 TurtleParseStats* stats) {
-  Parser parser(text, graph, stats);
+                                 TurtleParseStats* stats,
+                                 const TurtleParseOptions& options) {
+  Parser parser(text, graph, stats, options);
   return parser.Run();
 }
 
 Status TurtleParser::ParseFile(const std::string& path, Graph* graph,
-                               TurtleParseStats* stats) {
+                               TurtleParseStats* stats,
+                               const TurtleParseOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ParseString(buffer.str(), graph, stats);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot stat " + path);
+  in.seekg(0);
+  std::string buffer(static_cast<size_t>(size), '\0');
+  if (size > 0 && !in.read(buffer.data(), size)) {
+    return Status::IOError("cannot read " + path);
+  }
+  return ParseString(buffer, graph, stats, options);
 }
 
 }  // namespace rdfsum::io

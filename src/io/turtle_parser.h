@@ -1,19 +1,54 @@
 #ifndef RDFSUM_IO_TURTLE_PARSER_H_
 #define RDFSUM_IO_TURTLE_PARSER_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rdf/graph.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace rdfsum::io {
 
+/// Parsing knobs — the Turtle analogue of io::ParseOptions, so both front
+/// ends sit behind the same governance wall.
+struct TurtleParseOptions {
+  /// In strict mode any malformed statement aborts with InvalidArgument;
+  /// otherwise malformed (or unsupported) statements are skipped after a
+  /// best-effort scan to the next top-level '.' — triples emitted before
+  /// the failure point of a statement stay.
+  bool strict = true;
+  /// 0 = unlimited. Cap on the byte span of one statement (Turtle is not
+  /// line-oriented, so this plays the role of ParseOptions::max_line_bytes:
+  /// the recovery guard against a corrupt dump whose missing '.' turns the
+  /// rest of the file into one giant statement).
+  uint64_t max_statement_bytes = 0;
+  /// 0 = unlimited. Cap on one decoded term (lexical + datatype + language
+  /// bytes); an oversized term makes the statement malformed.
+  uint64_t max_term_bytes = 0;
+  /// Optional governance: polled every ExecContext::kCheckInterval
+  /// statements; a tripped deadline or cancellation aborts the parse with
+  /// the context's status (triples already added stay — callers discard
+  /// the graph).
+  util::ExecContext* exec = nullptr;
+};
+
 /// Counters filled by the Turtle parser.
 struct TurtleParseStats {
+  /// At most this many line-numbered diagnostics are retained per parse;
+  /// the rest only bump `skipped`.
+  static constexpr size_t kMaxDiagnostics = 20;
+
   uint64_t triples = 0;
   uint64_t duplicates = 0;
   uint64_t prefixes = 0;
+  uint64_t skipped = 0;  // malformed/unsupported statements (strict = false)
+  /// Line-numbered reasons for skipped statements, capped at
+  /// kMaxDiagnostics. Strict mode reports the first failure in the returned
+  /// Status instead.
+  std::vector<std::string> diagnostics;
 };
 
 /// A parser for the Turtle subset real datasets actually use — everything
@@ -31,9 +66,11 @@ struct TurtleParseStats {
 class TurtleParser {
  public:
   static Status ParseString(std::string_view text, Graph* graph,
-                            TurtleParseStats* stats = nullptr);
+                            TurtleParseStats* stats = nullptr,
+                            const TurtleParseOptions& options = {});
   static Status ParseFile(const std::string& path, Graph* graph,
-                          TurtleParseStats* stats = nullptr);
+                          TurtleParseStats* stats = nullptr,
+                          const TurtleParseOptions& options = {});
 };
 
 }  // namespace rdfsum::io

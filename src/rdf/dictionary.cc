@@ -138,8 +138,7 @@ void Dictionary::Reserve(size_t num_terms) {
   if (want > slots_.size()) Rehash(want);
 }
 
-TermId Dictionary::Encode(const Term& term) {
-  const uint64_t h = HashTerm(term);
+TermId Dictionary::EncodeHashed(const Term& term, const uint64_t h) {
   if (TermId base_id = ViewLookup(term, h); base_id != kInvalidTermId) {
     return base_id;
   }

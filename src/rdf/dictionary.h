@@ -76,7 +76,13 @@ class Dictionary {
   static std::shared_ptr<Dictionary> FromView(const DictionaryView& view);
 
   /// Interns `term`, returning its id (existing or fresh).
-  TermId Encode(const Term& term);
+  TermId Encode(const Term& term) { return EncodeHashed(term, HashTerm(term)); }
+
+  /// Encode with a precomputed HashTerm(term) value. The parallel loader's
+  /// merge pass interns every staged term exactly once per chunk and already
+  /// paid for the hash in the chunk's local dictionary; skipping the rehash
+  /// here keeps the sequential merge phase off the profile.
+  TermId EncodeHashed(const Term& term, uint64_t hash);
 
   TermId EncodeIri(std::string_view iri) { return Encode(Term::Iri(iri)); }
   TermId EncodeLiteral(std::string_view lex) {

@@ -16,6 +16,7 @@
 #include "rdf/dense_graph.h"
 #include "store/table_stats.h"
 #include "util/fault_injection.h"
+#include "util/timer.h"
 
 namespace rdfsum::store {
 
@@ -29,7 +30,11 @@ Status FreezeGraphToFile(const Graph& g, const std::string& path,
 
   TripleTable table;
   g.ForEachTriple([&](const Triple& t) { table.Append(t); });
-  table.Freeze();
+  Timer freeze_timer;
+  table.Freeze(options.num_threads);
+  if (options.freeze_seconds != nullptr) {
+    *options.freeze_seconds = freeze_timer.ElapsedSeconds();
+  }
   meta.num_triples = table.size();
   const TableStats& stats = table.stats();
   meta.num_distinct_subjects = stats.num_distinct_subjects();

@@ -19,6 +19,14 @@ struct FreezeOptions {
   /// needs the permutations. Freezing an already-warm graph reuses its
   /// cached substrate.
   bool include_dense = true;
+  /// Workers for the permutation sorts + statistics (TripleTable::Freeze):
+  /// 1 = sequential (default), 0 = all hardware cores. The image bytes are
+  /// identical at every thread count.
+  uint32_t num_threads = 1;
+  /// When non-null, receives the wall seconds spent sorting/deduplicating
+  /// the permutations (TripleTable::Freeze) — the `freeze` entry of the
+  /// CLI's phase-time breakdown.
+  double* freeze_seconds = nullptr;
 };
 
 /// Writes `g` as a frozen store image (rdf/frozen_image.h): dictionary,

@@ -37,6 +37,16 @@ class TableStats {
                             const std::vector<Triple>& pos,
                             const std::vector<Triple>& osp);
 
+  /// Parallel variant: the run-boundary passes are computed over contiguous
+  /// ranges (each shard compares against the global element before its
+  /// range, so shard borders split no run twice) and the partial counters /
+  /// per-predicate maps are summed — a reduction whose result is identical
+  /// to the sequential pass at every thread count. 0 = all hardware cores.
+  static TableStats Compute(const std::vector<Triple>& spo,
+                            const std::vector<Triple>& pos,
+                            const std::vector<Triple>& osp,
+                            uint32_t num_threads);
+
   /// Reassembles stats previously computed by Compute() and serialized —
   /// the frozen-image open path (kPredStats section), where re-deriving
   /// them would mean touching every page of the permutations.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/parallel_for.h"
+#include "util/parallel_sort.h"
+
 namespace rdfsum::store {
 
 const char* IndexKindName(IndexKind kind) {
@@ -68,15 +71,38 @@ void TripleTable::AppendAll(const std::vector<Triple>& triples) {
   spo_.insert(spo_.end(), triples.begin(), triples.end());
 }
 
-void TripleTable::Freeze() {
+void TripleTable::Freeze() { Freeze(1); }
+
+void TripleTable::Freeze(uint32_t num_threads) {
   if (frozen_) return;
-  std::sort(spo_.begin(), spo_.end());
+  const uint32_t threads = util::ResolveThreadCount(
+      num_threads, spo_.size() / util::kMinSortItemsPerShard);
+  if (threads <= 1) {
+    std::sort(spo_.begin(), spo_.end());
+    spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+    pos_ = spo_;
+    std::sort(pos_.begin(), pos_.end(), PosLess());
+    osp_ = spo_;
+    std::sort(osp_.begin(), osp_.end(), OspLess());
+    stats_ = TableStats::Compute(spo_, pos_, osp_);
+    frozen_ = true;
+    return;
+  }
+  util::ParallelSort(spo_.begin(), spo_.end(), std::less<Triple>(), threads);
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
-  pos_ = spo_;
-  std::sort(pos_.begin(), pos_.end(), PosLess());
-  osp_ = spo_;
-  std::sort(osp_.begin(), osp_.end(), OspLess());
-  stats_ = TableStats::Compute(spo_, pos_, osp_);
+  // The two secondary permutations are independent: copy + sort each on its
+  // own branch, splitting the worker budget between them.
+  const uint32_t half = std::max(1u, threads / 2);
+  util::ParallelFor(2, [&](uint32_t which) {
+    if (which == 0) {
+      pos_ = spo_;
+      util::ParallelSort(pos_.begin(), pos_.end(), PosLess(), half);
+    } else {
+      osp_ = spo_;
+      util::ParallelSort(osp_.begin(), osp_.end(), OspLess(), half);
+    }
+  });
+  stats_ = TableStats::Compute(spo_, pos_, osp_, threads);
   frozen_ = true;
 }
 

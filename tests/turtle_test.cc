@@ -236,5 +236,114 @@ TEST(TurtleParserTest, MissingFileIsIOError) {
   EXPECT_TRUE(TurtleParser::ParseFile("/nonexistent.ttl", &g).IsIOError());
 }
 
+// ---------------------------------------------------------------------------
+// Governance parity with the N-Triples parser (TurtleParseOptions).
+
+TEST(TurtleGovernanceTest, LenientModeSkipsMalformedStatements) {
+  Graph g;
+  TurtleParseStats stats;
+  TurtleParseOptions options;
+  options.strict = false;
+  Status st = TurtleParser::ParseString(
+      "<http://s1> <http://p> <http://o1> .\n"
+      "broken statement here .\n"
+      "<http://s2> <http://p> <http://o2> .\n",
+      &g, &stats, options);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.NumTriples(), 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+  ASSERT_EQ(stats.diagnostics.size(), 1u);
+  EXPECT_NE(stats.diagnostics[0].find("line 2"), std::string::npos)
+      << stats.diagnostics[0];
+}
+
+TEST(TurtleGovernanceTest, LenientModeRecoversPastQuotedAndIriDots) {
+  // The '.' characters inside the IRI and the literal of the broken
+  // statement must not end the recovery scan early.
+  Graph g;
+  TurtleParseStats stats;
+  TurtleParseOptions options;
+  options.strict = false;
+  Status st = TurtleParser::ParseString(
+      "<http://a.example/s> <http://p> ( 1 2 ) \"v1.2.3\" .\n"
+      "<http://a.example/s2> <http://p> <http://o> .\n",
+      &g, &stats, options);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_EQ(g.NumTriples(), 1u);
+}
+
+TEST(TurtleGovernanceTest, LenientModeSkipsUnsupportedConstructs) {
+  Graph g;
+  TurtleParseStats stats;
+  TurtleParseOptions options;
+  options.strict = false;
+  Status st = TurtleParser::ParseString(
+      "<http://s> <http://p> ( 1 2 3 ) .\n"
+      "<http://s> <http://p> <http://o> .\n",
+      &g, &stats, options);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(g.NumTriples(), 1u);
+  EXPECT_EQ(stats.skipped, 1u);
+  ASSERT_EQ(stats.diagnostics.size(), 1u);
+  // NotSupported reasons get the line prefix added by the recovery path.
+  EXPECT_NE(stats.diagnostics[0].find("line 1"), std::string::npos)
+      << stats.diagnostics[0];
+}
+
+TEST(TurtleGovernanceTest, DiagnosticsAreCapped) {
+  std::string text;
+  for (int i = 0; i < 50; ++i) text += "broken line .\n";
+  Graph g;
+  TurtleParseStats stats;
+  TurtleParseOptions options;
+  options.strict = false;
+  ASSERT_TRUE(TurtleParser::ParseString(text, &g, &stats, options).ok());
+  EXPECT_EQ(stats.skipped, 50u);
+  EXPECT_EQ(stats.diagnostics.size(), TurtleParseStats::kMaxDiagnostics);
+}
+
+TEST(TurtleGovernanceTest, MaxTermBytesRejectsOversizedTerm) {
+  Graph g;
+  TurtleParseOptions options;
+  options.max_term_bytes = 16;
+  Status st = TurtleParser::ParseString(
+      "<http://s> <http://p> \"a very long literal that exceeds the cap\" .",
+      &g, nullptr, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("max_term_bytes"), std::string::npos);
+}
+
+TEST(TurtleGovernanceTest, MaxStatementBytesStopsRunawayStatement) {
+  // A missing '.' chains everything into one statement; the span guard must
+  // trip instead of silently absorbing the whole input.
+  std::string text = "<http://s> <http://p>";
+  for (int i = 0; i < 100; ++i) {
+    text += " <http://o" + std::to_string(i) + "> ,";
+  }
+  text += " <http://last> .";
+  Graph g;
+  TurtleParseOptions options;
+  options.max_statement_bytes = 256;
+  Status st = TurtleParser::ParseString(text, &g, nullptr, options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("max_statement_bytes"), std::string::npos);
+}
+
+TEST(TurtleGovernanceTest, CancelledExecContextAbortsParse) {
+  // Build enough statements to cross the per-256-statement poll boundary.
+  std::string text;
+  for (int i = 0; i < 600; ++i) {
+    text += "<http://s" + std::to_string(i) + "> <http://p> <http://o> .\n";
+  }
+  util::ExecContext ctx;
+  ctx.Cancel();
+  Graph g;
+  TurtleParseOptions options;
+  options.exec = &ctx;
+  Status st = TurtleParser::ParseString(text, &g, nullptr, options);
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+}
+
 }  // namespace
 }  // namespace rdfsum::io
