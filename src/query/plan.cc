@@ -274,6 +274,70 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
   return plan;
 }
 
+std::string NormalizedBgpShape(const BgpQuery& q) {
+  std::unordered_map<std::string, uint32_t> vars;
+  // Constants keyed on their full N-Triples rendering: equality of tokens
+  // must mirror Term equality, and the rendering is unambiguous.
+  std::unordered_map<std::string, uint32_t> consts;
+  std::string key;
+  key.reserve(q.triples.size() * 12);
+  auto token = [&](const PatternTerm& t) {
+    if (t.is_var) {
+      auto [it, inserted] =
+          vars.emplace(t.var, static_cast<uint32_t>(vars.size()));
+      (void)inserted;
+      key += 'v';
+      key += std::to_string(it->second);
+    } else {
+      auto [it, inserted] = consts.emplace(
+          t.term.ToNTriples(), static_cast<uint32_t>(consts.size()));
+      (void)inserted;
+      key += 'c';
+      key += std::to_string(it->second);
+    }
+  };
+  for (const TriplePatternQ& t : q.triples) {
+    token(t.s);
+    key += ' ';
+    token(t.p);
+    key += ' ';
+    token(t.o);
+    key += ';';
+  }
+  return key;
+}
+
+PlanSkeleton SkeletonOf(const QueryPlan& plan) {
+  PlanSkeleton s;
+  s.mode = plan.mode;
+  s.order.reserve(plan.steps.size());
+  s.index.reserve(plan.steps.size());
+  s.hash_join.reserve(plan.steps.size());
+  for (const PlanStep& step : plan.steps) {
+    s.order.push_back(step.pattern);
+    s.index.push_back(step.index);
+    s.hash_join.push_back(step.use_hash_join);
+  }
+  return s;
+}
+
+QueryPlan PlanFromSkeleton(const BgpQuery& q, const Dictionary& dict,
+                           const PlanSkeleton& skeleton) {
+  QueryPlan plan;
+  plan.mode = skeleton.mode;
+  plan.compiled = CompileBgp(q, dict);
+  plan.steps.reserve(skeleton.order.size());
+  for (size_t i = 0; i < skeleton.order.size(); ++i) {
+    PlanStep step;
+    step.pattern = skeleton.order[i];
+    step.pattern_text = q.triples[step.pattern].ToString();
+    step.index = skeleton.index[i];
+    step.use_hash_join = skeleton.hash_join[i];
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
 namespace {
 
 /// "scan" for the leading step, otherwise the join operator the executor

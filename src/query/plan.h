@@ -135,6 +135,41 @@ QueryPlan BuildQueryPlan(const BgpQuery& q, const Dictionary& dict,
                          const summary::CardinalityEstimator* estimator =
                              nullptr);
 
+/// Canonical shape key of a BGP body: variables renamed to v0,v1,... in
+/// first-occurrence order and constants abstracted to c0,c1,... by equality
+/// class within the query (two patterns sharing a constant share its token,
+/// but the constant's value never enters the key). Two queries with the same
+/// shape differ only in which concrete terms their constants name, so an
+/// execution template built for one is *correct* for the other — result
+/// sets are planner-invariant (src/query/README.md) — and usually close to
+/// optimal, since the join structure is identical. This is the plan-cache
+/// key of the serving daemon (src/server/plan_cache.h); the planner mode is
+/// appended by the cache, not part of the shape.
+std::string NormalizedBgpShape(const BgpQuery& q);
+
+/// The reusable skeleton of a built plan: everything except the resolved
+/// constants and the estimates — pattern execution order, the serving index
+/// per step, and the executor's hash-join flags. Extracted with SkeletonOf
+/// and re-instantiated against a fresh compile with PlanFromSkeleton, which
+/// skips the planner's statistics probes (and, for kSummary, the whole
+/// estimator enumeration) entirely.
+struct PlanSkeleton {
+  PlannerMode mode = PlannerMode::kGreedy;
+  std::vector<uint32_t> order;          // pattern index executed at step i
+  std::vector<store::IndexKind> index;  // serving index at step i
+  std::vector<bool> hash_join;          // executor hash-join flag at step i
+};
+
+PlanSkeleton SkeletonOf(const QueryPlan& plan);
+
+/// Instantiates `skeleton` for `q`: compiles the query against `dict`
+/// (constants re-resolved, so a now-impossible constant still yields an
+/// empty-result plan) and lays the cached order/index/join flags over the
+/// fresh compile. Estimates are zero — the whole point is not paying for
+/// them. Requires skeleton.order to cover exactly q.triples (same shape).
+QueryPlan PlanFromSkeleton(const BgpQuery& q, const Dictionary& dict,
+                           const PlanSkeleton& skeleton);
+
 /// One operator of the executed cursor tree with its rows-produced counter,
 /// as reported by the cursors themselves after a full drain. `depth` is the
 /// operator's distance from the tree root (for indented rendering).

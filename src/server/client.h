@@ -1,0 +1,72 @@
+#ifndef RDFSUM_SERVER_CLIENT_H_
+#define RDFSUM_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/statusor.h"
+
+namespace rdfsum::server {
+
+/// Blocking client for the rdfsum serve wire protocol (docs/PROTOCOL.md).
+/// One Client is one connection; it is not thread-safe — the protocol is
+/// strictly request/response per connection, so open one Client per thread.
+class Client {
+ public:
+  /// Connects and consumes the server's first frame. That frame is HELLO on
+  /// an admitted connection (magic + version checked, epoch recorded) — or
+  /// DONE when the server refused admission, in which case the refusal's
+  /// classified status (typically kResourceExhausted) comes back verbatim.
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   uint16_t port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Epoch announced in the server's HELLO.
+  uint64_t server_epoch() const { return server_epoch_; }
+
+  /// One answer row: the canonical N-Triples rendering of each head term.
+  /// Returning false asks the server to CANCEL the query; the stream is
+  /// still drained to its DONE, whose status (kCancelled once the server
+  /// observes the cancel) is what Query returns.
+  using RowFn = std::function<bool(const std::vector<std::string>&)>;
+
+  /// Runs one query; `req.query` is ignored in favor of `text`. Invokes
+  /// `on_row` per ROW frame and returns the request's final status — the
+  /// server's DONE status, or the local transport/protocol error that ended
+  /// the exchange. `rows_out` (optional) receives the number of rows
+  /// delivered to `on_row`.
+  Status Query(const std::string& text, QueryRequest req, const RowFn& on_row,
+               uint64_t* rows_out = nullptr);
+
+  /// Fetches the server's STATS text (key: value lines).
+  StatusOr<std::string> Stats();
+
+  /// Asks the server to swap in the image at `path` (empty = re-open the
+  /// image it is currently serving); returns the swap's status.
+  Status Reload(const std::string& path);
+
+  /// Asks the server to shut down cleanly.
+  Status Shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Reads frames until DONE, forwarding ROW/TEXT to the optional sinks.
+  Status DrainToDone(const RowFn* on_row, std::string* text,
+                     uint64_t* rows_out);
+
+  int fd_ = -1;
+  uint64_t server_epoch_ = 0;
+  bool cancel_sent_ = false;
+};
+
+}  // namespace rdfsum::server
+
+#endif  // RDFSUM_SERVER_CLIENT_H_

@@ -1,0 +1,113 @@
+#ifndef RDFSUM_SERVER_SNAPSHOT_H_
+#define RDFSUM_SERVER_SNAPSHOT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "rdf/graph.h"
+#include "store/mmap_store.h"
+#include "summary/cardinality.h"
+#include "summary/summarizer.h"
+#include "util/statusor.h"
+
+namespace rdfsum::server {
+
+/// One immutable epoch of the serving daemon: a validated mmap'd `.rsb`
+/// image, a zero-copy BgpEvaluator over it, and lazily-minted summaries.
+/// Snapshots are published behind shared_ptr (server/server.h): every
+/// in-flight request holds a reference, so an epoch swap never invalidates
+/// a running query — the old snapshot drains and frees when its last
+/// reference drops (the drain invariant, src/server/README.md).
+///
+/// Thread safety. All query-path members are read-only after Open():
+/// the evaluator plans and opens cursors from const state, and the
+/// view-mode Dictionary's decode cache is internally locked. Summary
+/// minting is the one lazy mutation, and it is isolated by construction:
+/// each kind mints into a *private* graph with a *private* dictionary
+/// (the table is decoded through the serving dictionary — a read — and
+/// re-interned), so minting never writes memory a concurrent reader
+/// probes. A std::once_flag per kind makes each mint happen exactly once;
+/// concurrent first requests for different kinds proceed independently.
+class Snapshot {
+ public:
+  /// Opens and validates `path` (store::MmapStore's corruption wall runs in
+  /// full). `epoch` is the server-assigned generation number.
+  static StatusOr<std::shared_ptr<Snapshot>> Open(const std::string& path,
+                                                  uint64_t epoch);
+
+  const std::string& path() const { return path_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t num_triples() const { return num_triples_; }
+
+  /// The zero-copy evaluator over the image: planning reads the frozen
+  /// TableStats, cursors scan the mmap'd permutations.
+  const query::BgpEvaluator& evaluator() const { return *evaluator_; }
+  const Dictionary& dict() const { return store_->dict(); }
+  const store::TripleTable& table() const { return store_->table(); }
+
+  /// The summary of this snapshot's graph, minted on first request (once
+  /// per kind, per the once_flag contract above) and memoized for the
+  /// snapshot's lifetime. The result lives in a private id space — use it
+  /// for pruning verdicts and estimation, not for joining ids against the
+  /// serving dictionary.
+  StatusOr<const summary::SummaryResult*> Summary(summary::SummaryKind kind);
+
+  /// Stefanoni-style cardinality estimator over the weak summary, for
+  /// kSummary planning; built (and its summary minted) on first request.
+  StatusOr<const summary::CardinalityEstimator*> Estimator();
+
+  /// One STATS line per summary kind that has completed a mint attempt:
+  /// kind name, wall seconds (graph re-intern + summarize), and whether it
+  /// succeeded.
+  struct MintReport {
+    const char* kind;
+    bool ok;
+    double seconds;
+  };
+  std::vector<MintReport> MintReports() const;
+
+ private:
+  Snapshot() = default;
+
+  struct MintSlot {
+    std::once_flag once;
+    /// Private re-interned copy of the snapshot's triples; its dictionary
+    /// is untouched by any other thread, so summarization can mint freely.
+    std::optional<Graph> graph;
+    std::optional<summary::SummaryResult> result;
+    Status status;
+    double seconds = 0.0;
+    /// Release-published after the mint attempt finishes; MintReports and
+    /// late readers acquire it before touching status/seconds.
+    std::atomic<bool> done{false};
+  };
+
+  /// Decodes the snapshot's table through the serving dictionary and
+  /// re-interns every triple into a fresh graph + dictionary.
+  Graph ReinternedGraph() const;
+
+  MintSlot& slot(summary::SummaryKind kind) {
+    return mints_[static_cast<size_t>(kind)];
+  }
+
+  std::string path_;
+  uint64_t epoch_ = 0;
+  uint64_t num_triples_ = 0;
+  std::unique_ptr<store::MmapStore> store_;
+  std::optional<query::BgpEvaluator> evaluator_;
+
+  MintSlot mints_[6];  // indexed by SummaryKind
+
+  std::once_flag estimator_once_;
+  std::optional<summary::CardinalityEstimator> estimator_;
+  Status estimator_status_;
+};
+
+}  // namespace rdfsum::server
+
+#endif  // RDFSUM_SERVER_SNAPSHOT_H_

@@ -1,0 +1,46 @@
+#ifndef RDFSUM_UTIL_COUNTERS_H_
+#define RDFSUM_UTIL_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace rdfsum::util {
+
+/// Lock-free accumulator for one phase of a served request (parse, plan,
+/// execute, ...): event count, total wall micros, and the worst single
+/// observation. Many threads Record() concurrently; readers see a slightly
+/// torn but monotonically growing view, which is all a STATS report needs.
+/// Relaxed ordering throughout — the counters order nothing.
+class PhaseCounter {
+ public:
+  void Record(uint64_t micros) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_us_.fetch_add(micros, std::memory_order_relaxed);
+    uint64_t prev = max_us_.load(std::memory_order_relaxed);
+    while (prev < micros &&
+           !max_us_.compare_exchange_weak(prev, micros,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t total_us() const {
+    return total_us_.load(std::memory_order_relaxed);
+  }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+
+  /// Mean micros per event; 0 when nothing was recorded.
+  uint64_t mean_us() const {
+    uint64_t n = count();
+    return n == 0 ? 0 : total_us() / n;
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_us_{0};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+}  // namespace rdfsum::util
+
+#endif  // RDFSUM_UTIL_COUNTERS_H_

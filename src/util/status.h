@@ -94,6 +94,10 @@ class Status {
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// Documents a deliberately dropped status (e.g. a best-effort write to a
+  /// peer that may already be gone) at the call site.
+  void IgnoreError() const {}
+
   /// Human-readable rendering, e.g. "InvalidArgument: bad IRI".
   std::string ToString() const;
 

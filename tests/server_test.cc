@@ -1,0 +1,496 @@
+// The serving daemon's concurrency wall (run under TSan in CI):
+//
+//   - byte-identity: rows served over the wire equal a local BgpEvaluator
+//     drain of the same image, rendering for rendering;
+//   - snapshot swap under load: N client threads hammer queries while the
+//     image is RELOADed back and forth between two different graphs — every
+//     response must be *entirely* one epoch's answer set, never a torn mix,
+//     and nothing may race (the drain invariant);
+//   - governance over the wire: timeout, row budget, and client cancel come
+//     back as their documented Status codes, never a hang or a silent
+//     truncation reported as OK;
+//   - admission control: connections beyond workers + queue are refused
+//     with kResourceExhausted before HELLO;
+//   - plan cache: same-shape queries with different constants hit, and the
+//     skeleton-instantiated plan returns identical rows;
+//   - summary memoization: one mint per kind per snapshot, reported in
+//     STATS.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/bsbm.h"
+#include "query/evaluator.h"
+#include "query/plan.h"
+#include "query/sparql_parser.h"
+#include "rdf/graph.h"
+#include "server/client.h"
+#include "server/plan_cache.h"
+#include "server/server.h"
+#include "server/snapshot.h"
+#include "server/wire.h"
+#include "store/mmap_store.h"
+#include "summary/summary.h"
+
+namespace rdfsum {
+namespace {
+
+using server::Client;
+using server::QueryRequest;
+using server::Server;
+using server::ServerOptions;
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+/// Freezes a BSBM graph (plus optional extra triples) to a temp image and
+/// returns its path.
+std::string FreezeBsbm(uint32_t products, const std::string& name,
+                       int extra_triples = 0) {
+  gen::BsbmOptions opt;
+  opt.num_products = products;
+  Graph g = gen::GenerateBsbm(opt);
+  for (int i = 0; i < extra_triples; ++i) {
+    g.AddIris("http://swap.example.org/s" + std::to_string(i),
+              "http://swap.example.org/marker",
+              "http://swap.example.org/o" + std::to_string(i));
+  }
+  const std::string path = TempPath(name);
+  Status st = store::FreezeGraphToFile(g, path);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return path;
+}
+
+/// All rows of `sparql` against the image at `path`, each row rendered the
+/// way the server renders it (tab-joined N-Triples), collected as a sorted
+/// multiset for order-insensitive comparison.
+std::vector<std::string> LocalRows(const std::string& path,
+                                   const std::string& sparql) {
+  auto store = store::MmapStore::Open(path);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  query::BgpEvaluator eval((*store)->dict(), (*store)->table());
+  auto q = query::ParseSparql(sparql);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto cursor = eval.Open(*q);
+  EXPECT_TRUE(cursor.ok()) << cursor.status().ToString();
+  std::vector<std::string> rows;
+  query::IdRow encoded;
+  while ((*cursor)->Next(&encoded)) {
+    std::string line;
+    for (const Term& t : eval.Decode(encoded)) {
+      if (!line.empty()) line.push_back('\t');
+      line += t.ToNTriples();
+    }
+    rows.push_back(std::move(line));
+  }
+  EXPECT_TRUE((*cursor)->status().ok()) << (*cursor)->status().ToString();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// Runs `sparql` against a live server, returning tab-joined rows (sorted)
+/// and the request's final status.
+Status ServedRows(const std::string& host, uint16_t port,
+                  const std::string& sparql, QueryRequest req,
+                  std::vector<std::string>* rows) {
+  auto client = Client::Connect(host, port);
+  if (!client.ok()) return client.status();
+  Status st = (*client)->Query(
+      sparql, req,
+      [&](const std::vector<std::string>& cols) {
+        std::string line;
+        for (const std::string& c : cols) {
+          if (!line.empty()) line.push_back('\t');
+          line += c;
+        }
+        rows->push_back(std::move(line));
+        return true;
+      });
+  std::sort(rows->begin(), rows->end());
+  return st;
+}
+
+constexpr char kAllQuery[] = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }";
+constexpr char kMarkerQuery[] =
+    "SELECT ?s ?o WHERE { ?s <http://swap.example.org/marker> ?o }";
+
+TEST(ServerTest, ServedRowsAreByteIdenticalToLocalEvaluation) {
+  const std::string image = FreezeBsbm(20, "ident.rsb");
+  Server server;
+  ASSERT_TRUE(server.Start(image).ok());
+
+  const std::string queries[] = {
+      kAllQuery,
+      "SELECT ?s WHERE { ?s <http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+      " ?t . ?s <http://bsbm.example.org/price> ?p }",
+      "SELECT ?p WHERE { ?s ?p ?o }",
+  };
+  for (const std::string& q : queries) {
+    std::vector<std::string> expected = LocalRows(image, q);
+    std::vector<std::string> served;
+    Status st = ServedRows("127.0.0.1", server.port(), q, {}, &served);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(served, expected) << q;
+  }
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, ConcurrentReadersRaceSnapshotSwapWithoutTearing) {
+  // Image A has no marker triples; image B has 7. A response to the marker
+  // query must be exactly A's answer (empty) or exactly B's — the epoch is
+  // pinned per request, so a swap mid-drain must never mix them.
+  const std::string image_a = FreezeBsbm(15, "swap_a.rsb", 0);
+  const std::string image_b = FreezeBsbm(15, "swap_b.rsb", 7);
+  const std::vector<std::string> expected_a = LocalRows(image_a, kMarkerQuery);
+  const std::vector<std::string> expected_b = LocalRows(image_b, kMarkerQuery);
+  ASSERT_TRUE(expected_a.empty());
+  ASSERT_EQ(expected_b.size(), 7u);
+  const std::vector<std::string> all_a = LocalRows(image_a, kAllQuery);
+  const std::vector<std::string> all_b = LocalRows(image_b, kAllQuery);
+  ASSERT_NE(all_a, all_b);
+
+  ServerOptions options;
+  options.num_workers = 6;
+  Server server;
+  ASSERT_TRUE(server.Start(image_a, options).ok());
+  const uint16_t port = server.port();
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 12;
+  std::atomic<int> torn{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const bool marker = (t + i) % 2 == 0;
+        std::vector<std::string> rows;
+        Status st = ServedRows("127.0.0.1", port,
+                               marker ? kMarkerQuery : kAllQuery, {}, &rows);
+        if (!st.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        const auto& ea = marker ? expected_a : all_a;
+        const auto& eb = marker ? expected_b : all_b;
+        if (rows != ea && rows != eb) torn.fetch_add(1);
+      }
+    });
+  }
+  // Swap epochs continuously under the read load.
+  std::thread swapper([&] {
+    for (int i = 0; i < 10; ++i) {
+      Status st = server.Reload(i % 2 == 0 ? image_b : image_a);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  });
+  for (std::thread& r : readers) r.join();
+  swapper.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_GE(server.snapshot()->epoch(), 11u);
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, GovernancePropagatesOverTheWire) {
+  // ~10K triples: large enough that a full drain of kAllQuery takes many
+  // milliseconds of row-frame writes, so a 1-ms deadline below trips
+  // mid-query deterministically instead of racing the drain.
+  const std::string image = FreezeBsbm(300, "gov.rsb");
+  Server server;
+  ASSERT_TRUE(server.Start(image).ok());
+  const uint16_t port = server.port();
+
+  {
+    // Row budget: kResourceExhausted, with at most max_rows rows delivered.
+    QueryRequest req;
+    req.max_rows = 5;
+    std::vector<std::string> rows;
+    Status st = ServedRows("127.0.0.1", port, kAllQuery, req, &rows);
+    EXPECT_TRUE(st.IsResourceExhausted()) << st.ToString();
+    EXPECT_LE(rows.size(), 5u);
+  }
+  {
+    // Timeout: the deadline expires at a governance poll long before the
+    // ~10K-row drain can finish.
+    QueryRequest req;
+    req.timeout_ms = 1;
+    auto client = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    Status st = (*client)->Query(
+        kAllQuery, req, [](const std::vector<std::string>&) { return true; });
+    EXPECT_TRUE(st.IsDeadlineExceeded() || st.IsCancelled()) << st.ToString();
+  }
+  {
+    // Client-initiated cancel: row callback returns false -> CANCEL frame
+    // -> server cancels the ExecContext -> DONE(kCancelled).
+    auto client = Client::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok());
+    uint64_t rows = 0;
+    Status st = (*client)->Query(
+        kAllQuery, {}, [](const std::vector<std::string>&) { return false; },
+        &rows);
+    EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+    // The server polls for CANCEL between row frames; the stream must stop
+    // well short of a full drain (~10K triples in this image).
+    EXPECT_LT(rows, 9000u);
+  }
+  {
+    // LIMIT is not an error: exactly limit rows then DONE(OK).
+    QueryRequest req;
+    req.limit = 3;
+    std::vector<std::string> rows;
+    Status st = ServedRows("127.0.0.1", port, kAllQuery, req, &rows);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(rows.size(), 3u);
+  }
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, AdmissionOverflowIsRefusedNotHung) {
+  const std::string image = FreezeBsbm(5, "admission.rsb");
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_depth = 1;
+  Server server;
+  ASSERT_TRUE(server.Start(image, options).ok());
+  const uint16_t port = server.port();
+
+  // Occupy the single worker with an idle-but-connected client, then fill
+  // the queue depth with a raw connection that never gets a worker.
+  auto occupant = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(occupant.ok()) << occupant.status().ToString();
+  int filler = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(filler, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(filler, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof addr), 0);
+  // Give the accept loop time to queue the filler.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  // Worker busy + queue full: the next connection must be refused with a
+  // classified status, not parked indefinitely.
+  auto refused = Client::Connect("127.0.0.1", port);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsResourceExhausted())
+      << refused.status().ToString();
+
+  ::close(filler);
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, PlanCacheHitsAcrossConstantsAndSkeletonPlansAgree) {
+  const std::string image = FreezeBsbm(20, "cache.rsb");
+  Server server;
+  ASSERT_TRUE(server.Start(image).ok());
+  const uint16_t port = server.port();
+
+  // Same shape (?s <const> ?o), three different constants: 1 miss + 2 hits.
+  const std::string shapes[] = {
+      "SELECT ?s ?o WHERE { ?s <http://bsbm.example.org/price> ?o }",
+      "SELECT ?s ?o WHERE { ?s <http://bsbm.example.org/label> ?o }",
+      "SELECT ?s ?o WHERE { ?s <http://bsbm.example.org/vendor> ?o }",
+  };
+  for (const std::string& q : shapes) {
+    std::vector<std::string> served;
+    Status st = ServedRows("127.0.0.1", port, q, {}, &served);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    // The skeleton-instantiated plan must produce exactly the locally
+    // planned rows (results are planner/plan-invariant).
+    EXPECT_EQ(served, LocalRows(image, q)) << q;
+  }
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("plan_cache_hits: 2"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("plan_cache_misses: 1"), std::string::npos) << *stats;
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, PlanCacheLruEvictsAndClears) {
+  server::PlanCache cache(2);
+  query::PlanSkeleton s;
+  cache.Insert("a", s);
+  cache.Insert("b", s);
+  query::PlanSkeleton out;
+  EXPECT_TRUE(cache.Lookup("a", &out));  // refreshes a
+  cache.Insert("c", s);                  // evicts b (LRU)
+  EXPECT_FALSE(cache.Lookup("b", &out));
+  EXPECT_TRUE(cache.Lookup("a", &out));
+  EXPECT_TRUE(cache.Lookup("c", &out));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 3u);  // counters survive Clear
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ServerTest, NormalizedShapeAbstractsConstantsButNotStructure) {
+  auto shape = [](const std::string& sparql) {
+    auto q = query::ParseSparql(sparql);
+    EXPECT_TRUE(q.ok());
+    return query::NormalizedBgpShape(*q);
+  };
+  // Different constants, same join structure: same shape.
+  EXPECT_EQ(shape("SELECT ?s WHERE { ?s <http://e.org/a> ?o }"),
+            shape("SELECT ?s WHERE { ?s <http://e.org/b> ?o }"));
+  // A repeated constant is an equality class, a distinct one is not.
+  EXPECT_NE(shape("SELECT ?s WHERE { ?s <http://e.org/a> ?o ."
+                  " ?o <http://e.org/a> ?z }"),
+            shape("SELECT ?s WHERE { ?s <http://e.org/a> ?o ."
+                  " ?o <http://e.org/b> ?z }"));
+  // Variable join structure differs: different shape.
+  EXPECT_NE(shape("SELECT ?s WHERE { ?s <http://e.org/a> ?o ."
+                  " ?s <http://e.org/b> ?z }"),
+            shape("SELECT ?s WHERE { ?s <http://e.org/a> ?o ."
+                  " ?z <http://e.org/b> ?o }"));
+}
+
+TEST(ServerTest, SnapshotMemoizesSummariesAcrossConcurrentRequests) {
+  const std::string image = FreezeBsbm(10, "memo.rsb");
+  auto snap = server::Snapshot::Open(image, 1);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+
+  // Concurrent first requests for the same kind get the same minted object.
+  constexpr int kThreads = 4;
+  const summary::SummaryResult* seen[kThreads] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto r = (*snap)->Summary(summary::SummaryKind::kWeak);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      seen[t] = *r;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+
+  // A second kind mints independently; both show up in the mint report
+  // with a recorded wall time.
+  auto typed = (*snap)->Summary(summary::SummaryKind::kTypedWeak);
+  ASSERT_TRUE(typed.ok());
+  auto reports = (*snap)->MintReports();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_GE(r.seconds, 0.0);
+  }
+  // The estimator memoizes too and reuses the weak mint.
+  auto est1 = (*snap)->Estimator();
+  auto est2 = (*snap)->Estimator();
+  ASSERT_TRUE(est1.ok());
+  EXPECT_EQ(*est1, *est2);
+  EXPECT_EQ((*snap)->MintReports().size(), 2u);  // no extra mint
+}
+
+TEST(ServerTest, SummaryPlannerServesWithMemoizedEstimator) {
+  const std::string image = FreezeBsbm(15, "sumplan.rsb");
+  Server server;
+  ASSERT_TRUE(server.Start(image).ok());
+  const uint16_t port = server.port();
+  const std::string q =
+      "SELECT ?s WHERE { ?s <http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+      " ?t . ?s <http://bsbm.example.org/price> ?p }";
+  QueryRequest req;
+  req.planner = 2;  // summary
+  std::vector<std::string> first, second;
+  ASSERT_TRUE(ServedRows("127.0.0.1", port, q, req, &first).ok());
+  ASSERT_TRUE(ServedRows("127.0.0.1", port, q, req, &second).ok());
+  EXPECT_EQ(first, LocalRows(image, q));
+  EXPECT_EQ(second, first);
+  // The weak-summary mint the estimator triggered shows up in STATS.
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("summary_mint_W: ok"), std::string::npos) << *stats;
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, MalformedPayloadsAreCorruptionNeverUB) {
+  QueryRequest req;
+  EXPECT_FALSE(server::DecodeQueryRequest("", &req));
+  EXPECT_FALSE(server::DecodeQueryRequest("\x01\x00\x00", &req));
+  // A length prefix pointing past the payload end.
+  std::string lying;
+  server::AppendU8(&lying, 1);
+  server::AppendU8(&lying, 0);
+  server::AppendU8(&lying, 0);
+  server::AppendU8(&lying, 0);
+  server::AppendU64(&lying, 0);
+  server::AppendU64(&lying, 0);
+  server::AppendU32(&lying, 0);
+  server::AppendU64(&lying, 0);
+  server::AppendU32(&lying, 1000);  // "1000 bytes of query follow" (they don't)
+  EXPECT_FALSE(server::DecodeQueryRequest(lying, &req));
+  // Trailing junk after a well-formed request is malformed too.
+  std::string ok_payload = server::EncodeQueryRequest(QueryRequest{});
+  EXPECT_TRUE(server::DecodeQueryRequest(ok_payload, &req));
+  ok_payload.push_back('x');
+  EXPECT_FALSE(server::DecodeQueryRequest(ok_payload, &req));
+
+  server::DoneReply done;
+  EXPECT_FALSE(server::DecodeDone("\x00", &done));
+  // Unknown wire status codes become kInternal, not UB.
+  EXPECT_TRUE(server::StatusFromWire(200, "??").IsInternal());
+}
+
+TEST(ServerTest, ReloadFailureKeepsServing) {
+  const std::string image = FreezeBsbm(10, "reloadfail.rsb");
+  Server server;
+  ASSERT_TRUE(server.Start(image).ok());
+  const uint16_t port = server.port();
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  // Reload of a nonexistent image fails with a classified status...
+  Status st = (*client)->Reload(TempPath("no-such-image.rsb"));
+  EXPECT_FALSE(st.ok());
+  // ...and the old epoch keeps serving.
+  EXPECT_EQ(server.snapshot()->epoch(), 1u);
+  std::vector<std::string> rows;
+  QueryRequest req;
+  req.limit = 1;
+  EXPECT_TRUE(ServedRows("127.0.0.1", port, kAllQuery, req, &rows).ok());
+  EXPECT_EQ(rows.size(), 1u);
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServerTest, ShutdownCommandStopsTheServer) {
+  const std::string image = FreezeBsbm(5, "shutdown.rsb");
+  Server server;
+  ASSERT_TRUE(server.Start(image).ok());
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE((*client)->Shutdown().ok());
+  server.Wait();
+  EXPECT_TRUE(server.stopped());
+}
+
+}  // namespace
+}  // namespace rdfsum

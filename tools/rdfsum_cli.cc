@@ -22,14 +22,18 @@
 // parallelizes the N-Triples load, freeze, and summarization with
 // byte-identical output.
 
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "gen/bsbm.h"
 #include "io/dot_writer.h"
 #include "io/ntriples_parser.h"
 #include "io/ntriples_writer.h"
@@ -40,6 +44,7 @@
 #include "rdf/graph_stats.h"
 #include "store/mmap_store.h"
 #include "reasoner/saturation.h"
+#include "server/server.h"
 #include "summary/report.h"
 #include "summary/summarizer.h"
 #include "util/exec_context.h"
@@ -97,6 +102,17 @@ int Usage() {
       "                   (writes a frozen store image: mmap-able dictionary,\n"
       "                    SPO/POS/OSP permutations + stats, dense substrate;\n"
       "                    --no-dense drops the substrate — queries only)\n"
+      "  rdfsum serve     <graph.rsb> [--host H] [--port N] [--workers N]\n"
+      "                   [--queue-depth N] [--no-plan-cache]\n"
+      "                   [--plan naive|greedy|summary]\n"
+      "                   (daemon over the wire protocol of docs/PROTOCOL.md;\n"
+      "                    port 0 picks an ephemeral port, printed on start;\n"
+      "                    SIGHUP re-opens the image as a new epoch with zero\n"
+      "                    downtime; the governance flags below become the\n"
+      "                    per-request default budgets)\n"
+      "  rdfsum gen bsbm  <approx-triples> --out <file.nt> [--seed N]\n"
+      "                   (deterministic BSBM-shaped dataset, sized by triple\n"
+      "                    count — the smoke/bench harnesses' generator)\n"
       "\n"
       "stats/summarize/query accept `--store graph.rsb` instead of <file>:\n"
       "  the frozen image is mmap'd and validated instead of re-parsed, so\n"
@@ -604,6 +620,120 @@ int CmdFreeze(const std::vector<std::string>& args, util::ExecContext* exec,
   return 0;
 }
 
+// Signal flag for the serve loop: handlers only record the signal; the
+// polling loop in CmdServe acts on it (async-signal-safety).
+volatile std::sig_atomic_t g_serve_signal = 0;
+void OnServeSignal(int sig) { g_serve_signal = sig; }
+
+int CmdServe(const std::vector<std::string>& args,
+             const util::ExecContext::Limits& limits) {
+  server::ServerOptions options;
+  options.default_limits = limits;
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    uint32_t v = 0;
+    if (args[i] == "--host" && i + 1 < args.size()) {
+      options.host = args[++i];
+    } else if (args[i] == "--port" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v) || v > 0xFFFF) {
+        return Fail("bad --port " + args[i]);
+      }
+      options.port = static_cast<uint16_t>(v);
+    } else if (args[i] == "--workers" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v) || v == 0) {
+        return Fail("bad --workers " + args[i]);
+      }
+      options.num_workers = v;
+    } else if (args[i] == "--queue-depth" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v)) {
+        return Fail("bad --queue-depth " + args[i]);
+      }
+      options.queue_depth = v;
+    } else if (args[i] == "--no-plan-cache") {
+      options.plan_cache = false;
+    } else if (args[i] == "--plan" && i + 1 < args.size()) {
+      if (!query::ParsePlannerMode(args[++i], &options.default_planner)) {
+        return Fail("bad --plan " + args[i] + " (naive|greedy|summary)");
+      }
+    } else if (StartsWith(args[i], "--")) {
+      return Fail("unknown option " + args[i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 1) return Usage();
+
+  server::Server server;
+  Status st = server.Start(positional[0], options);
+  if (!st.ok()) return FailStatus(st);
+  // The harness contract: one parseable line on stdout once the socket is
+  // live. Scripts grep the port out of it (ephemeral binds).
+  std::cout << "rdfsum serve: listening on " << options.host << ":"
+            << server.port() << " epoch " << server.snapshot()->epoch()
+            << " (" << server.snapshot()->num_triples() << " triples)"
+            << std::endl;
+
+  std::signal(SIGINT, OnServeSignal);
+  std::signal(SIGTERM, OnServeSignal);
+  std::signal(SIGHUP, OnServeSignal);
+  while (!server.stopped()) {
+    if (g_serve_signal == SIGHUP) {
+      g_serve_signal = 0;
+      Status rs = server.Reload("");
+      if (rs.ok()) {
+        std::cout << "rdfsum serve: reloaded, epoch "
+                  << server.snapshot()->epoch() << std::endl;
+      } else {
+        // A failed reload keeps the old epoch serving; report and carry on.
+        std::cerr << "rdfsum serve: reload failed: " << rs.ToString() << "\n";
+      }
+    } else if (g_serve_signal != 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  server.Wait();
+  std::cout << "rdfsum serve: shut down cleanly" << std::endl;
+  return 0;
+}
+
+int CmdGen(const std::vector<std::string>& args) {
+  std::string out;
+  uint32_t seed = 0;
+  bool seed_set = false;
+  std::vector<std::string> positional;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--out" && i + 1 < args.size()) {
+      out = args[++i];
+    } else if (args[i] == "--seed" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &seed)) return Fail("bad --seed " + args[i]);
+      seed_set = true;
+    } else if (StartsWith(args[i], "--")) {
+      return Fail("unknown option " + args[i]);
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 2 || positional[0] != "bsbm" || out.empty()) {
+    return Usage();
+  }
+  uint32_t target = 0;
+  if (!ParseUint32(positional[1], &target) || target == 0) {
+    return Fail("bad triple count " + positional[1]);
+  }
+  gen::BsbmOptions options;
+  options.num_products = gen::BsbmProductsForTriples(target);
+  if (seed_set) options.seed = seed;
+  Graph g = gen::GenerateBsbm(options);
+  Status st = io::NTriplesWriter::WriteFile(g, out);
+  if (!st.ok()) return FailStatus(st);
+  std::cout << "generated " << g.NumTriples() << " triples ("
+            << options.num_products << " products, seed " << options.seed
+            << ") to " << out << "\n";
+  return 0;
+}
+
 // Strips the global governance flags out of `args` (they are accepted
 // anywhere on the command line), builds one ExecContext per invocation from
 // them, and dispatches. A run with no flag set dispatches ungoverned
@@ -647,6 +777,11 @@ int Run(const std::string& cmd, const std::vector<std::string>& args) {
   if (cmd == "convert") return CmdConvert(rest, exec, threads);
   if (cmd == "query") return CmdQuery(rest, exec, threads);
   if (cmd == "freeze") return CmdFreeze(rest, exec, threads);
+  // serve gets the raw Limits: they become per-request defaults, applied by
+  // the server as each request's ExecContext, not one context for the whole
+  // daemon lifetime.
+  if (cmd == "serve") return CmdServe(rest, limits);
+  if (cmd == "gen") return CmdGen(rest);
   return Usage();
 }
 
