@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -127,6 +128,189 @@ bool RunSweep(uint16_t port, int threads, SweepResult* out) {
   return true;
 }
 
+/// Unanchored snowflake (no producer constant): the heavy per-request
+/// workload for the parallelism sweep. Naive-planned so the driving scan is
+/// the reviewFor range — at the sweep's 200k-triple image that clears the
+/// executor's fan-out gate; under RDFSUM_BENCH_MAX_TRIPLES caps it may not,
+/// in which case the sweep still measures the wire + admission-control path
+/// with the fan-out gate (correctly) refusing.
+std::string HeavySnowflakeQuery() {
+  return "PREFIX b: <http://bsbm.example.org/>\n"
+         "SELECT ?r ?price WHERE { ?r b:reviewFor ?p . ?r b:reviewer ?x . "
+         "?x b:country ?c . ?o b:offerProduct ?p . ?o b:price ?price }";
+}
+
+/// Per-request parallelism over the wire (protocol 1.1): one client issues
+/// heavy queries at req.parallelism in {1, 4, 8} against a server with
+/// spare parallel slots, then a mixed sweep runs heavy parallel and cheap
+/// anchored traffic together. Row counts must be identical at every
+/// parallelism (the wire carries the same byte stream); latency is recorded,
+/// not gated — a 1-core container serializes the fan-out anyway.
+bool RunParallelServeBench(bench::BenchJson* json) {
+  uint64_t scale = 200'000;
+  if (const char* env = std::getenv("RDFSUM_BENCH_MAX_TRIPLES")) {
+    scale = std::min<uint64_t>(scale, std::strtoull(env, nullptr, 10));
+  }
+  const Graph& g = bench::CachedBsbm(scale);
+  const char* tmp = std::getenv("TMPDIR");
+  const std::string image =
+      std::string(tmp != nullptr ? tmp : "/tmp") + "/bench_serve_par.rsb";
+  Status frozen = store::FreezeGraphToFile(g, image);
+  if (!frozen.ok()) {
+    std::cerr << "bench_serve: par freeze failed: " << frozen.ToString()
+              << "\n";
+    return false;
+  }
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.queue_depth = 16;
+  options.max_parallelism = 8;
+  Server server;
+  Status started = server.Start(image, options);
+  if (!started.ok()) {
+    std::cerr << "bench_serve: par start failed: " << started.ToString()
+              << "\n";
+    return false;
+  }
+
+  TablePrinter table(
+      {"workload", "parallelism", "qps", "p50 (ms)", "p99 (ms)", "rows/req"});
+  bool ok = true;
+  uint64_t rows_at_p1 = 0;
+  constexpr int kHeavyWarmup = 2;
+  constexpr int kHeavyRequests = 12;
+  for (uint32_t par : {1u, 4u, 8u}) {
+    auto client = Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      ok = false;
+      break;
+    }
+    QueryRequest req;
+    req.planner = 0;  // naive: the driving scan is the reviewFor range
+    req.parallelism = par;
+    std::vector<double> lat;
+    uint64_t rows = 0;
+    Timer wall;
+    for (int i = 0; i < kHeavyWarmup + kHeavyRequests; ++i) {
+      Timer t;
+      uint64_t n = 0;
+      Status st = (*client)->Query(
+          HeavySnowflakeQuery(), req,
+          [](const std::vector<std::string>&) { return true; }, &n);
+      if (!st.ok()) {
+        std::cerr << "bench_serve: heavy query failed (par=" << par
+                  << "): " << st.ToString() << "\n";
+        ok = false;
+        break;
+      }
+      if (i >= kHeavyWarmup) {
+        lat.push_back(t.ElapsedSeconds());
+        rows = n;
+      }
+    }
+    if (!ok) break;
+    if (par == 1) {
+      rows_at_p1 = rows;
+    } else if (rows != rows_at_p1) {
+      std::cerr << "bench_serve: parallel row count diverged (par=" << par
+                << ": " << rows << " vs " << rows_at_p1 << ")\n";
+      ok = false;
+      break;
+    }
+    const double elapsed = wall.ElapsedSeconds();
+    const double qps =
+        static_cast<double>(lat.size()) / std::max(1e-9, elapsed);
+    const std::string suffix = "_p" + std::to_string(par);
+    json->Record("serve_par_qps" + suffix, g.NumTriples(), qps);
+    json->Record("serve_par_p50" + suffix, g.NumTriples(),
+                 Percentile(&lat, 0.50));
+    json->Record("serve_par_p99" + suffix, g.NumTriples(),
+                 Percentile(&lat, 0.99));
+    table.AddRow({"heavy", std::to_string(par), FormatDouble(qps, 1),
+                  FormatDouble(Percentile(&lat, 0.50) * 1e3, 3),
+                  FormatDouble(Percentile(&lat, 0.99) * 1e3, 3),
+                  std::to_string(rows)});
+  }
+
+  // Mixed traffic: two heavy parallel clients and two cheap anchored
+  // clients at once — admission control must keep cheap requests moving
+  // while heavy ones hold the spare slots.
+  if (ok) {
+    std::vector<double> cheap_lat;
+    std::vector<bool> failed(4, false);
+    std::mutex mu;
+    auto worker = [&](int tid) {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failed[tid] = true;
+        return;
+      }
+      const bool heavy = tid < 2;
+      QueryRequest req;
+      req.planner = heavy ? 0 : static_cast<uint8_t>(
+                                    query::PlannerMode::kSummary);
+      req.parallelism = heavy ? 4 : 1;
+      const int n_requests = heavy ? 6 : 40;
+      for (int i = 0; i < n_requests; ++i) {
+        Timer t;
+        uint64_t n = 0;
+        Status st = (*client)->Query(
+            heavy ? HeavySnowflakeQuery() : SnowflakeQuery(i),
+            req, [](const std::vector<std::string>&) { return true; }, &n);
+        if (!st.ok()) {
+          failed[tid] = true;
+          return;
+        }
+        if (!heavy) {
+          std::lock_guard<std::mutex> lock(mu);
+          cheap_lat.push_back(t.ElapsedSeconds());
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 4; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+    for (bool f : failed) ok = ok && !f;
+    if (ok) {
+      json->Record("serve_par_mixed_cheap_p99", g.NumTriples(),
+                   Percentile(&cheap_lat, 0.99));
+      table.AddRow({"mixed cheap", "1", "-",
+                    FormatDouble(Percentile(&cheap_lat, 0.50) * 1e3, 3),
+                    FormatDouble(Percentile(&cheap_lat, 0.99) * 1e3, 3),
+                    "-"});
+    } else {
+      std::cerr << "bench_serve: mixed sweep failed\n";
+    }
+  }
+
+  // The admission-control counters must reflect the sweep: every granted
+  // fan-out shows up in parallel_queries.
+  if (ok) {
+    auto stats_client = Client::Connect("127.0.0.1", server.port());
+    if (stats_client.ok()) {
+      auto text = (*stats_client)->Stats();
+      if (text.ok()) {
+        size_t pq = text->find("parallel_queries: ");
+        if (pq != std::string::npos) {
+          json->Record("serve_par_granted", g.NumTriples(),
+                       static_cast<double>(std::strtoull(
+                           text->c_str() + pq + 18, nullptr, 10)));
+        }
+      }
+    }
+  }
+
+  table.Print(std::cout,
+              "Per-request parallelism over the wire (protocol 1.1): heavy "
+              "naive snowflakes at requested fan-out, then mixed with cheap "
+              "anchored traffic (" + Num(g.NumTriples()) + " triples)");
+  server.Stop();
+  server.Wait();
+  std::remove(image.c_str());
+  return ok;
+}
+
 bool PrintServeBench() {
   // One modest image: the wire/planning overheads under test are
   // per-request, not per-triple, so 50k triples is plenty of graph.
@@ -216,6 +400,8 @@ bool PrintServeBench() {
               "queries, rotating constants (" + Num(g.NumTriples()) +
               " triples)");
 
+  const bool par_ok = RunParallelServeBench(&json);
+
   const char* path = std::getenv("RDFSUM_BENCH_JSON");
   std::string out = path != nullptr ? path : "BENCH_serve.json";
   if (json.WriteFile(out)) {
@@ -234,7 +420,7 @@ bool PrintServeBench() {
     }
   }
   std::remove(image.c_str());
-  return on_wins;
+  return on_wins && par_ok;
 }
 
 }  // namespace

@@ -1,9 +1,18 @@
 #include "query/cursor.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
 
 namespace rdfsum::query {
 namespace {
@@ -103,14 +112,16 @@ class SingletonCursor final : public Cursor {
 
 class IndexScanCursor final : public Cursor {
  public:
+  /// [begin_offset, end_offset) restricts the scan to one morsel of the
+  /// pattern's match range; (0, SIZE_MAX) is the full scan.
   IndexScanCursor(const store::TripleTable& table, const CompiledPattern& pat,
-                  size_t num_vars, std::string label,
-                  util::ExecContext* exec)
+                  size_t num_vars, size_t begin_offset, size_t end_offset,
+                  std::string label, util::ExecContext* exec)
       : pat_(pat),
         width_(num_vars),
         label_(std::move(label)),
         index_(store::TripleTable::ChooseIndex(ConstOnly(pat))),
-        scan_(table.OpenScan(ConstOnly(pat))) {
+        scan_(table.OpenScanSlice(ConstOnly(pat), begin_offset, end_offset)) {
     poll_.ctx = exec;
   }
 
@@ -543,6 +554,702 @@ class GovernedCursor final : public Cursor {
 
 }  // namespace
 
+// ---- Shared hash-join build (parallel queries) ------------------------------
+
+/// One build side, partitioned by key hash so partitions build in parallel
+/// without sharing mutable state. Each key's triples all land in the same
+/// partition (partition = hash(key) % P), and each partition walks the
+/// build range in index order, so within-key chain order is index order —
+/// exactly the sequential HashJoinCursor's invariant, which is what keeps
+/// probe output byte-identical. After EnsureBuilt() the structure is
+/// immutable and probed concurrently, read-only.
+class SharedHashJoinBuild {
+ public:
+  static constexpr uint32_t kEnd = UINT32_MAX;
+
+  SharedHashJoinBuild(const store::TripleTable& table,
+                      const CompiledPattern& pat,
+                      std::vector<uint32_t> key_vars, util::ExecContext* exec,
+                      uint32_t parallelism)
+      : table_(table),
+        pat_(pat),
+        key_vars_(std::move(key_vars)),
+        exec_(exec),
+        parallelism_(std::max(1u, parallelism)) {
+    assert(!key_vars_.empty() && "hash join needs at least one join variable");
+    key_slot_.reserve(key_vars_.size());
+    for (uint32_t v : key_vars_) {
+      int slot = -1;
+      const CompiledSlot* slots[3] = {&pat_.s, &pat_.p, &pat_.o};
+      for (int i = 0; i < 3; ++i) {
+        if (slots[i]->is_var && slots[i]->var == v) {
+          slot = i;
+          break;
+        }
+      }
+      assert(slot >= 0 && "key variable does not occur in the pattern");
+      key_slot_.push_back(slot);
+    }
+  }
+
+  ~SharedHashJoinBuild() { ReleaseAll(); }
+
+  SharedHashJoinBuild(const SharedHashJoinBuild&) = delete;
+  SharedHashJoinBuild& operator=(const SharedHashJoinBuild&) = delete;
+
+  /// Builds the partitioned hash table (idempotent; call before fan-out,
+  /// never concurrently). OK after a successful build *or* a memory-refusal
+  /// degrade (probes then run nested-loop); non-OK only for governance
+  /// failures (deadline/cancel) and injected faults, which fail the query.
+  Status EnsureBuilt() {
+    if (built_) return build_status_;
+    built_ = true;
+    Status fp = RDFSUM_FAILPOINT_STATUS("query:hashjoin-build");
+    if (fp.IsResourceExhausted()) {
+      Degrade();
+      return Status::OK();
+    }
+    if (!fp.ok()) {
+      build_status_ = std::move(fp);
+      return build_status_;
+    }
+    std::span<const Triple> build = table_.MatchSpan(ConstOnly(pat_));
+    // Each partition pass re-scans the whole build span, so the passes only
+    // pay off when they actually run concurrently: clamp the partition
+    // count to the machine, not the (possibly oversubscribed) requested
+    // parallelism — on a 1-core host one partition builds in one pass,
+    // exactly like the sequential lazy build.
+    const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    const uint32_t nparts =
+        std::max(1u, std::min({parallelism_, hw, 8u,
+                               static_cast<uint32_t>(std::min<uint64_t>(
+                                   build.size(), 8))}));
+    parts_.reserve(nparts);
+    for (uint32_t p = 0; p < nparts; ++p) parts_.emplace_back(key_vars_.size());
+    std::atomic<bool> stop{false};
+    std::atomic<bool> refused{false};
+    std::mutex err_mu;
+    Status first_err;
+    // Every partition scans the whole (cheap, contiguous) build range and
+    // keeps only its own keys' triples: no cross-partition communication,
+    // and per-partition insertion order is index order by construction.
+    util::ParallelFor(nparts, [&](uint32_t p) {
+      Partition& part = parts_[p];
+      IdRow key_buf(key_vars_.size());
+      const uint64_t n = build.size();
+      for (uint64_t base = 0; base < n; base += util::kCancelCheckChunk) {
+        if (stop.load(std::memory_order_relaxed)) return;
+        if (exec_ != nullptr) {
+          Status st = exec_->Check();
+          if (!st.ok()) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (first_err.ok()) first_err = std::move(st);
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+        const uint64_t chunk_end = std::min(n, base + util::kCancelCheckChunk);
+        for (uint64_t i = base; i < chunk_end; ++i) {
+          const Triple& t = build[i];
+          const TermId values[3] = {t.s, t.p, t.o};
+          for (size_t k = 0; k < key_slot_.size(); ++k) {
+            key_buf[k] = values[key_slot_[k]];
+          }
+          if (nparts > 1 &&
+              HashKey(key_buf.data(), key_buf.size()) % nparts != p) {
+            continue;
+          }
+          if (exec_ != nullptr &&
+              !exec_->TryChargeMemory(kHashJoinBuildBytesPerRow)) {
+            refused.store(true, std::memory_order_relaxed);
+            stop.store(true, std::memory_order_relaxed);
+            return;
+          }
+          part.charged += kHashJoinBuildBytesPerRow;
+          auto [ord, inserted] = part.keys.InsertOrFind(key_buf.data());
+          if (inserted) {
+            part.heads.push_back(kEnd);
+            part.tails.push_back(kEnd);
+          }
+          const uint32_t idx = static_cast<uint32_t>(part.triples.size());
+          part.triples.push_back(t);
+          part.next.push_back(kEnd);
+          if (part.heads[ord] == kEnd) {
+            part.heads[ord] = idx;
+          } else {
+            part.next[part.tails[ord]] = idx;
+          }
+          part.tails[ord] = idx;
+        }
+      }
+    });
+    if (!first_err.ok()) {
+      ReleaseAll();
+      parts_.clear();
+      build_status_ = std::move(first_err);
+      return build_status_;
+    }
+    if (refused.load(std::memory_order_relaxed)) Degrade();
+    return Status::OK();
+  }
+
+  bool degraded() const { return degraded_; }
+  const CompiledPattern& pattern() const { return pat_; }
+  const std::vector<uint32_t>& key_vars() const { return key_vars_; }
+
+  /// A probe position: partition + chain index (kEnd = no match / end).
+  struct ChainPos {
+    uint32_t part = 0;
+    uint32_t idx = kEnd;
+  };
+
+  /// Raw pointers into the single partition, when there is only one
+  /// (single-CPU hosts, tiny builds). Probing through these skips the
+  /// partition routing hash and the per-access parts_[] indirection — the
+  /// loop becomes instruction-for-instruction the sequential HashJoinCursor
+  /// probe. Pointers are stable: the structure is immutable after
+  /// EnsureBuilt(), which always precedes probing.
+  struct FlatView {
+    const util::RowSet* keys;
+    const uint32_t* heads;
+    const Triple* triples;
+    const uint32_t* next;
+  };
+  std::optional<FlatView> flat_view() const {
+    if (degraded_ || parts_.size() != 1) return std::nullopt;
+    const Partition& p = parts_[0];
+    return FlatView{&p.keys, p.heads.data(), p.triples.data(), p.next.data()};
+  }
+
+  ChainPos Find(const TermId* key) const {
+    // One partition (single-CPU hosts, tiny builds): the routing hash can
+    // only ever say 0, so skip it — RowSet::Find hashes the key anyway.
+    const uint32_t p =
+        parts_.size() == 1
+            ? 0u
+            : static_cast<uint32_t>(HashKey(key, key_vars_.size()) %
+                                    parts_.size());
+    const uint32_t ord = parts_[p].keys.Find(key);
+    if (ord == util::RowSet::kNotFound) return {p, kEnd};
+    return {p, parts_[p].heads[ord]};
+  }
+  const Triple& TripleAt(ChainPos pos) const {
+    return parts_[pos.part].triples[pos.idx];
+  }
+  uint32_t NextAt(ChainPos pos) const { return parts_[pos.part].next[pos.idx]; }
+
+ private:
+  struct Partition {
+    explicit Partition(size_t key_width) : keys(key_width) {}
+    util::RowSet keys;                   // distinct key directory -> ordinal
+    std::vector<uint32_t> heads, tails;  // per key ordinal: chain bounds
+    std::vector<Triple> triples;
+    std::vector<uint32_t> next;  // chain links, parallel to triples
+    uint64_t charged = 0;        // outstanding ExecContext memory charge
+  };
+
+  static uint64_t HashKey(const TermId* key, size_t n) {
+    uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < n; ++i) {
+      h ^= key[i] + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+  void Degrade() {
+    degraded_ = true;
+    ReleaseAll();
+    parts_.clear();
+  }
+
+  void ReleaseAll() {
+    if (exec_ == nullptr) return;
+    uint64_t total = 0;
+    for (Partition& part : parts_) {
+      total += part.charged;
+      part.charged = 0;
+    }
+    if (total > 0) exec_->ReleaseMemory(total);
+  }
+
+  const store::TripleTable& table_;
+  CompiledPattern pat_;
+  std::vector<uint32_t> key_vars_;
+  util::ExecContext* exec_;
+  uint32_t parallelism_;
+  std::vector<int> key_slot_;  // position (0=s,1=p,2=o) per key var
+
+  bool built_ = false;
+  bool degraded_ = false;
+  Status build_status_;
+  std::vector<Partition> parts_;
+};
+
+namespace {
+
+/// Probe side of a shared build: the sequential HashJoinCursor's probe loop
+/// against the (immutable, concurrently shared) partitioned build, with the
+/// identical degraded path when the build was refused memory.
+class SharedHashJoinProbeCursor final : public Cursor {
+ public:
+  SharedHashJoinProbeCursor(std::unique_ptr<Cursor> input,
+                            const store::TripleTable& table,
+                            std::shared_ptr<const SharedHashJoinBuild> build,
+                            std::string label, util::ExecContext* exec)
+      : input_(std::move(input)),
+        table_(table),
+        build_(std::move(build)),
+        label_(std::move(label)),
+        key_vars_(build_->key_vars()),
+        key_buf_(key_vars_.size()) {
+    poll_.ctx = exec;
+  }
+
+  bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
+    if (mode_ == Mode::kFlat) return NextFlat(row);
+    if (mode_ == Mode::kUndecided) {
+      // Pipelines only run after EnsureBuilt(), so the partition layout is
+      // final here. Classify once; every later Next() reaches its loop
+      // through a single predictable branch.
+      if (build_->degraded()) {
+        mode_ = Mode::kDegraded;
+      } else if (auto v = build_->flat_view(); v.has_value()) {
+        // Hoist the single partition and the pattern into members: the
+        // probe loop then touches no shared_ptr and no std::optional —
+        // instruction-for-instruction the sequential HashJoinCursor probe.
+        flat_ = *v;
+        pat_ = build_->pattern();
+        mode_ = Mode::kFlat;
+        return NextFlat(row);
+      } else {
+        mode_ = Mode::kGeneric;
+      }
+    }
+    if (mode_ == Mode::kDegraded) return NextDegraded(row);
+    for (;;) {
+      while (pos_.idx != SharedHashJoinBuild::kEnd) {
+        if (poll_.Expired(&status_)) return false;
+        const Triple& t = build_->TripleAt(pos_);
+        pos_.idx = build_->NextAt(pos_);
+        *row = current_;
+        if (BindTriple(build_->pattern(), t, row)) {
+          ++rows_produced_;
+          return true;
+        }
+      }
+      if (!input_->Next(&current_)) {
+        status_ = input_->status();
+        return false;
+      }
+      for (size_t i = 0; i < key_vars_.size(); ++i) {
+        key_buf_[i] = current_[key_vars_[i]];
+      }
+      pos_ = build_->Find(key_buf_.data());
+    }
+  }
+  size_t width() const override { return input_->width(); }
+  std::string Describe() const override {
+    return build_->degraded() ? "HashJoin[" + label_ + " degraded=nlj shared]"
+                              : "HashJoin[" + label_ + " shared]";
+  }
+  void CollectOperators(std::vector<OperatorStats>* out,
+                        int depth) const override {
+    out->push_back({depth, Describe(), rows_produced()});
+    input_->CollectOperators(out, depth + 1);
+  }
+
+ private:
+  /// Single-partition probe loop over FlatView's raw pointers — the same
+  /// stream as the generic loop, minus the routing hash and parts_[]
+  /// indirection (~50ns/row, which is the whole shared-vs-sequential probe
+  /// gap on a 1-core host).
+  bool NextFlat(IdRow* row) {
+    const SharedHashJoinBuild::FlatView& f = flat_;
+    const CompiledPattern& pat = pat_;
+    for (;;) {
+      while (pos_.idx != SharedHashJoinBuild::kEnd) {
+        if (poll_.Expired(&status_)) return false;
+        const Triple& t = f.triples[pos_.idx];
+        pos_.idx = f.next[pos_.idx];
+        *row = current_;
+        if (BindTriple(pat, t, row)) {
+          ++rows_produced_;
+          return true;
+        }
+      }
+      if (!input_->Next(&current_)) {
+        status_ = input_->status();
+        return false;
+      }
+      for (size_t i = 0; i < key_vars_.size(); ++i) {
+        key_buf_[i] = current_[key_vars_[i]];
+      }
+      const uint32_t ord = f.keys->Find(key_buf_.data());
+      pos_.idx =
+          ord == util::RowSet::kNotFound ? SharedHashJoinBuild::kEnd
+                                         : f.heads[ord];
+    }
+  }
+
+  bool NextDegraded(IdRow* row) {
+    for (;;) {
+      if (inner_open_) {
+        Triple t;
+        while (scan_.Next(&t)) {
+          if (poll_.Expired(&status_)) return false;
+          *row = current_;
+          if (BindTriple(build_->pattern(), t, row)) {
+            ++rows_produced_;
+            return true;
+          }
+        }
+        inner_open_ = false;
+      }
+      if (!input_->Next(&current_)) {
+        status_ = input_->status();
+        return false;
+      }
+      scan_ = table_.OpenScan(Instantiate(build_->pattern(), current_));
+      inner_open_ = true;
+    }
+  }
+
+  std::unique_ptr<Cursor> input_;
+  const store::TripleTable& table_;
+  std::shared_ptr<const SharedHashJoinBuild> build_;
+  std::string label_;
+  IdRow current_;
+  std::vector<uint32_t> key_vars_;  // copied out of the build: hot-loop local
+  IdRow key_buf_;
+  SharedHashJoinBuild::ChainPos pos_;
+  enum class Mode : uint8_t { kUndecided, kFlat, kGeneric, kDegraded };
+  Mode mode_ = Mode::kUndecided;
+  SharedHashJoinBuild::FlatView flat_{};  // valid in kFlat mode
+  CompiledPattern pat_{};  // copy of the build pattern (kFlat mode)
+  store::ScanCursor scan_;   // degraded-mode inner range
+  bool inner_open_ = false;  // degraded-mode inner range open
+  ExecPoll poll_;
+};
+
+/// The exchange operator. Workers (tasks on the shared ThreadPool) claim
+/// morsel indices under the lock and run the spec's pipeline over their
+/// morsel into a private row buffer; the consumer emits buffers strictly in
+/// morsel-index order, so the merged stream equals the sequential one.
+///
+/// Scheduling invariants (the reasons this cannot deadlock or block the
+/// pool):
+///   - A worker that cannot claim (window full, cancelled, or no morsels
+///     left) returns from its task instead of blocking; the consumer
+///     re-submits workers as the window reopens. Pool threads are never
+///     parked inside a gather.
+///   - A claimed morsel is always being executed; the consumer only sleeps
+///     when its next morsel is claimed-and-running, so completion (and its
+///     notify) is guaranteed — pipelines are finite and poll stop_.
+///   - When the pool is busy elsewhere and the next morsel is unclaimed,
+///     the consumer claims and runs it inline (caller-runs, like
+///     TaskGroup::Wait) — a gather drains even on a fully loaded pool.
+///   - Any morsel failure (governance trip, injected fault) sets stop_;
+///     every worker falls through at its next claim or within one poll
+///     chunk mid-drain, and the consumer surfaces the first failure in
+///     morsel order after the rows that precede it.
+class ParallelGatherCursor final : public Cursor {
+ public:
+  explicit ParallelGatherCursor(ParallelGatherSpec spec)
+      : spec_(std::move(spec)) {
+    if (spec_.morsel_rows == 0) spec_.morsel_rows = kMorselRows;
+    if (spec_.num_threads == 0) spec_.num_threads = 1;
+    num_morsels_ = (spec_.total_rows + spec_.morsel_rows - 1) /
+                   spec_.morsel_rows;
+    window_ = std::max<uint64_t>(uint64_t{4} * spec_.num_threads, 8);
+    target_workers_ = static_cast<uint32_t>(
+        std::min<uint64_t>(spec_.num_threads, num_morsels_));
+    // A single-CPU host gains nothing from pool workers: the consumer and
+    // a worker would only preempt each other (measured ~10-15% wall on the
+    // query bench), so stream every morsel inline on the consumer instead
+    // (NextInline). Morsel boundaries and the output bytes are completely
+    // unchanged — only the exchange machinery is bypassed. Tests pin the
+    // mode either way so both paths run regardless of the host.
+    const bool inline_only =
+        spec_.worker_mode == ParallelWorkerMode::kForceInline ||
+        (spec_.worker_mode == ParallelWorkerMode::kAuto &&
+         std::thread::hardware_concurrency() <= 1);
+    if (inline_only) target_workers_ = 0;
+    slots_.resize(num_morsels_);
+  }
+
+  ~ParallelGatherCursor() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_.store(true, std::memory_order_relaxed);
+    }
+    group_.reset();  // joins in-flight morsel tasks (they poll stop_)
+  }
+
+  bool Next(IdRow* row) override {
+    if (!status_.ok()) return false;
+    if (!started_) {
+      started_ = true;
+      for (const auto& build : spec_.builds) {
+        Status st = build->EnsureBuilt();
+        if (!st.ok()) {
+          status_ = std::move(st);
+          return false;
+        }
+      }
+      if (num_morsels_ > 0 && target_workers_ > 0) {
+        group_ = std::make_unique<util::TaskGroup>(util::ThreadPool::Shared());
+        std::unique_lock<std::mutex> lock(mu_);
+        const uint32_t spawn = SpawnBudgetLocked();
+        lock.unlock();
+        Spawn(spawn);
+      }
+    }
+    if (target_workers_ == 0) return NextInline(row);
+    for (;;) {
+      if (cur_emitted_ < cur_count_) {
+        const auto base = cur_rows_.begin() +
+                          static_cast<ptrdiff_t>(cur_emitted_ * spec_.width);
+        row->assign(base, base + static_cast<ptrdiff_t>(spec_.width));
+        ++cur_emitted_;
+        ++rows_produced_;
+        return true;
+      }
+      if (!fail_after_current_.ok()) {
+        status_ = std::move(fail_after_current_);
+        return false;
+      }
+      if (next_emit_ >= num_morsels_) return false;  // clean exhaustion
+      if (!TakeNextSlot()) return false;
+    }
+  }
+
+  size_t width() const override { return spec_.width; }
+  std::string Describe() const override {
+    return "ParallelGather[" + spec_.label +
+           " threads=" + std::to_string(spec_.num_threads) +
+           " morsels=" + std::to_string(num_morsels_) + "]";
+  }
+
+ private:
+  struct MorselSlot {
+    std::vector<TermId> rows;  // flat, width-strided
+    uint64_t count = 0;
+    Status status;
+    bool done = false;
+  };
+
+  /// Workers to add so that claimable morsels are covered, up to the
+  /// target. Pre-credits active_workers_; caller must Spawn() the result
+  /// after unlocking.
+  uint32_t SpawnBudgetLocked() {
+    if (stop_.load(std::memory_order_relaxed)) return 0;
+    const uint64_t claimable_end =
+        std::min<uint64_t>(num_morsels_, consumed_ + window_);
+    const uint64_t claimable =
+        claim_ < claimable_end ? claimable_end - claim_ : 0;
+    const uint64_t want = std::min<uint64_t>(claimable, target_workers_);
+    const uint32_t spawn = active_workers_ < want
+                               ? static_cast<uint32_t>(want - active_workers_)
+                               : 0;
+    active_workers_ += spawn;
+    return spawn;
+  }
+
+  void Spawn(uint32_t n) {
+    for (uint32_t i = 0; i < n; ++i) {
+      group_->Submit([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      uint64_t m;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_.load(std::memory_order_relaxed) || claim_ >= num_morsels_ ||
+            claim_ >= consumed_ + window_) {
+          // Park: never block a pool thread. The consumer re-submits
+          // workers when the run-ahead window reopens.
+          --active_workers_;
+          return;
+        }
+        m = claim_++;
+      }
+      RunMorsel(m);
+    }
+  }
+
+  /// Executes morsel `m` and publishes its slot. Runs on workers and (when
+  /// the pool is saturated) on the consumer.
+  void RunMorsel(uint64_t m) {
+    std::vector<TermId> rows;
+    uint64_t count = 0;
+    Status st = ExecuteMorsel(m, &rows, &count);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      MorselSlot& slot = slots_[m];
+      slot.rows = std::move(rows);
+      slot.count = count;
+      slot.status = std::move(st);
+      slot.done = true;
+      if (!slot.status.ok()) {
+        if (first_error_.ok()) first_error_ = slot.status;
+        stop_.store(true, std::memory_order_relaxed);
+      }
+    }
+    cv_consumer_.notify_all();
+  }
+
+  Status ExecuteMorsel(uint64_t m, std::vector<TermId>* rows,
+                       uint64_t* count) {
+    Status fp = RDFSUM_FAILPOINT_STATUS("query:morsel");
+    if (!fp.ok()) return fp;
+    const size_t begin = static_cast<size_t>(m * spec_.morsel_rows);
+    const size_t end = static_cast<size_t>(
+        std::min<uint64_t>(spec_.total_rows, (m + 1) * spec_.morsel_rows));
+    // Start from a recycled buffer (capacity survives the round trip
+    // through the consumer) or reserve one driving-row's worth — without
+    // this, every morsel re-grows its buffer through the doubling ladder
+    // and the copy churn dominates the exchange overhead on small hosts.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!spare_buffers_.empty()) {
+        *rows = std::move(spare_buffers_.back());
+        spare_buffers_.pop_back();
+        rows->clear();
+      }
+    }
+    if (rows->capacity() == 0) rows->reserve((end - begin) * spec_.width);
+    std::unique_ptr<Cursor> pipeline = spec_.pipeline(begin, end);
+    IdRow row;
+    uint32_t ticks = 0;
+    while (pipeline->Next(&row)) {
+      rows->insert(rows->end(), row.begin(), row.end());
+      ++*count;
+      // Poll the gather-local stop flag (teardown, another morsel's
+      // failure) without touching the user's ExecContext — cancelling that
+      // would poison a context the caller may reuse.
+      if ((++ticks & 1023u) == 0 &&
+          stop_.load(std::memory_order_relaxed)) {
+        return Status::Cancelled("parallel query stopped");
+      }
+    }
+    return pipeline->status();
+  }
+
+  /// Moves the next morsel's buffer into the consumer state, re-spawning
+  /// parked workers for the reopened window. False when the gather stopped
+  /// before that morsel completed (status_ set).
+  bool TakeNextSlot() {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      MorselSlot& slot = slots_[next_emit_];
+      if (slot.done) {
+        // Recycle the drained buffer's capacity for a later morsel.
+        if (cur_rows_.capacity() != 0 && spare_buffers_.size() < 4) {
+          spare_buffers_.push_back(std::move(cur_rows_));
+        }
+        cur_rows_ = std::move(slot.rows);
+        cur_count_ = slot.count;
+        cur_emitted_ = 0;
+        if (!slot.status.ok()) {
+          // Surface the first failure in morsel order, after this morsel's
+          // rows. A later synthetic stop-cancel never shadows the genuine
+          // first error.
+          fail_after_current_ =
+              first_error_.ok() ? slot.status : first_error_;
+        }
+        ++next_emit_;
+        ++consumed_;
+        const uint32_t spawn = SpawnBudgetLocked();
+        lock.unlock();
+        Spawn(spawn);
+        return true;
+      }
+      if (stop_.load(std::memory_order_relaxed)) {
+        status_ = first_error_.ok()
+                      ? Status::Cancelled("parallel query stopped")
+                      : first_error_;
+        return false;
+      }
+      if (claim_ == next_emit_) {
+        // Unclaimed and the pool hasn't picked it up: run it inline so the
+        // drain makes progress even on a saturated (or 1-thread) pool.
+        const uint64_t m = claim_++;
+        lock.unlock();
+        RunMorsel(m);
+        lock.lock();
+        continue;
+      }
+      cv_consumer_.wait(lock);
+    }
+  }
+
+  /// Zero-worker mode (single-CPU hosts): stream each morsel's pipeline
+  /// straight to the caller, in morsel order, with no exchange buffer —
+  /// the concatenation of per-morsel streams IS the sequential stream, so
+  /// skipping the materialize-and-recopy round trip (~300ns/row, the whole
+  /// exchange overhead when nothing runs concurrently) changes no bytes.
+  /// The per-morsel failpoint fires exactly as in ExecuteMorsel, and the
+  /// pipeline's own ExecPoll still observes cancellation mid-morsel.
+  bool NextInline(IdRow* row) {
+    for (;;) {
+      if (inline_pipeline_ != nullptr) {
+        if (inline_pipeline_->Next(row)) {
+          ++rows_produced_;
+          return true;
+        }
+        status_ = inline_pipeline_->status();
+        if (!status_.ok()) return false;
+        inline_pipeline_.reset();
+      }
+      if (inline_next_ >= num_morsels_) return false;
+      const uint64_t m = inline_next_++;
+      Status fp = RDFSUM_FAILPOINT_STATUS("query:morsel");
+      if (!fp.ok()) {
+        status_ = std::move(fp);
+        return false;
+      }
+      const size_t begin = static_cast<size_t>(m * spec_.morsel_rows);
+      const size_t end = static_cast<size_t>(
+          std::min<uint64_t>(spec_.total_rows, (m + 1) * spec_.morsel_rows));
+      inline_pipeline_ = spec_.pipeline(begin, end);
+    }
+  }
+
+  ParallelGatherSpec spec_;
+  uint64_t num_morsels_ = 0;
+  uint64_t window_ = 0;
+  uint32_t target_workers_ = 0;
+
+  bool started_ = false;
+  std::unique_ptr<util::TaskGroup> group_;
+
+  std::mutex mu_;
+  std::condition_variable cv_consumer_;
+  std::atomic<bool> stop_{false};
+  uint64_t claim_ = 0;     // next unclaimed morsel (under mu_)
+  uint64_t consumed_ = 0;  // morsels the consumer has taken (under mu_)
+  uint32_t active_workers_ = 0;  // tasks in flight, incl. pre-credited
+  std::vector<MorselSlot> slots_;
+  std::vector<std::vector<TermId>> spare_buffers_;  // recycled (under mu_)
+  Status first_error_;  // first failure recorded, any morsel (under mu_)
+
+  // Zero-worker streaming state (no locking: single consumer).
+  std::unique_ptr<Cursor> inline_pipeline_;
+  uint64_t inline_next_ = 0;
+
+  // Consumer-side state (no locking: single consumer).
+  uint64_t next_emit_ = 0;
+  std::vector<TermId> cur_rows_;
+  uint64_t cur_count_ = 0;
+  uint64_t cur_emitted_ = 0;
+  Status fail_after_current_;
+};
+
+}  // namespace
+
 std::unique_ptr<Cursor> MakeEmptyCursor(size_t width) {
   return std::make_unique<EmptyCursor>(width);
 }
@@ -556,8 +1263,40 @@ std::unique_ptr<Cursor> MakeIndexScanCursor(const store::TripleTable& table,
                                             size_t num_vars,
                                             std::string label,
                                             util::ExecContext* exec) {
-  return std::make_unique<IndexScanCursor>(table, pat, num_vars,
+  return std::make_unique<IndexScanCursor>(table, pat, num_vars, 0, SIZE_MAX,
                                            std::move(label), exec);
+}
+
+store::TriplePattern PatternConstants(const CompiledPattern& pat) {
+  return ConstOnly(pat);
+}
+
+std::unique_ptr<Cursor> MakeIndexScanSliceCursor(
+    const store::TripleTable& table, const CompiledPattern& pat,
+    size_t num_vars, size_t begin_offset, size_t end_offset, std::string label,
+    util::ExecContext* exec) {
+  return std::make_unique<IndexScanCursor>(table, pat, num_vars, begin_offset,
+                                           end_offset, std::move(label), exec);
+}
+
+std::shared_ptr<SharedHashJoinBuild> MakeSharedHashJoinBuild(
+    const store::TripleTable& table, const CompiledPattern& pat,
+    std::vector<uint32_t> key_vars, util::ExecContext* exec,
+    uint32_t parallelism) {
+  return std::make_shared<SharedHashJoinBuild>(table, pat, std::move(key_vars),
+                                               exec, parallelism);
+}
+
+std::unique_ptr<Cursor> MakeSharedHashJoinProbeCursor(
+    std::unique_ptr<Cursor> input, const store::TripleTable& table,
+    std::shared_ptr<const SharedHashJoinBuild> build, std::string label,
+    util::ExecContext* exec) {
+  return std::make_unique<SharedHashJoinProbeCursor>(
+      std::move(input), table, std::move(build), std::move(label), exec);
+}
+
+std::unique_ptr<Cursor> MakeParallelGatherCursor(ParallelGatherSpec spec) {
+  return std::make_unique<ParallelGatherCursor>(std::move(spec));
 }
 
 std::unique_ptr<Cursor> MakeIndexNestedLoopJoinCursor(

@@ -2,6 +2,7 @@
 #define RDFSUM_QUERY_CURSOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -152,6 +153,106 @@ std::unique_ptr<Cursor> MakeDistinctCursor(std::unique_ptr<Cursor> input);
 /// operator that makes `--limit k` cost k rows, not the full result.
 std::unique_ptr<Cursor> MakeLimitOffsetCursor(std::unique_ptr<Cursor> input,
                                               size_t limit, size_t offset);
+
+// ---- Morsel-driven parallel execution ---------------------------------------
+//
+// The parallel executor splits the plan's driving scan into fixed-size
+// contiguous morsels (store::TripleTable::MatchSpan subranges), runs the
+// full join pipeline per morsel on the shared util::ThreadPool, and merges
+// the per-morsel row buffers in morsel-index order — so the merged stream
+// is byte-identical to the sequential pipeline at every thread count.
+// See src/query/README.md for the morsel lifecycle and invariants.
+
+/// Rows per morsel. Fixed independently of the thread count: morsel
+/// boundaries are a function of the data alone, so the ordered concatenation
+/// of per-morsel outputs never depends on how many workers ran them.
+inline constexpr uint64_t kMorselRows = 4096;
+
+/// The pattern with only its constants bound (every variable a wildcard) —
+/// the driving-scan / hash-build pattern. Exposed for the executor's
+/// fan-out gate, which Counts the driving scan before splitting it.
+store::TriplePattern PatternConstants(const CompiledPattern& pat);
+
+/// Leaf scan over one morsel: exactly MakeIndexScanCursor restricted to the
+/// sub-range [begin_offset, end_offset) of `pat`'s match range in its
+/// serving index (offsets clamped; see TripleTable::OpenScanSlice).
+std::unique_ptr<Cursor> MakeIndexScanSliceCursor(
+    const store::TripleTable& table, const CompiledPattern& pat,
+    size_t num_vars, size_t begin_offset, size_t end_offset,
+    std::string label = "", util::ExecContext* exec = nullptr);
+
+/// The build side of a hash join shared by every morsel pipeline of one
+/// parallel query: built once — partitioned by key hash, partitions built
+/// in parallel, each inserting its keys' triples in index order so probe
+/// chains replay matches exactly like the sequential HashJoinCursor — then
+/// probed concurrently, read-only. Charges the ExecContext memory budget at
+/// kHashJoinBuildBytesPerRow like the sequential build and degrades the
+/// same way: a refused charge abandons the build (full refund) and every
+/// probe cursor falls back to index nested-loop probing, byte-identical.
+class SharedHashJoinBuild;
+
+std::shared_ptr<SharedHashJoinBuild> MakeSharedHashJoinBuild(
+    const store::TripleTable& table, const CompiledPattern& pat,
+    std::vector<uint32_t> key_vars, util::ExecContext* exec,
+    uint32_t parallelism);
+
+/// Probe-side cursor over a shared build (which must be EnsureBuilt()-ed
+/// before the first Next — the gather operator does this before fan-out).
+/// Emits the same stream as MakeHashJoinCursor over the same input.
+std::unique_ptr<Cursor> MakeSharedHashJoinProbeCursor(
+    std::unique_ptr<Cursor> input, const store::TripleTable& table,
+    std::shared_ptr<const SharedHashJoinBuild> build, std::string label = "",
+    util::ExecContext* exec = nullptr);
+
+/// How the gather operator schedules morsel pipelines. kAuto picks per
+/// host: on a single-CPU machine pool workers would only preempt the one
+/// consumer (measured ~10-15% wall overhead on the query bench), so every
+/// morsel streams inline on the consumer instead; multi-CPU hosts use pool
+/// workers. Both paths emit the identical byte stream — tests pin each mode
+/// explicitly so both stay exercised no matter what host CI lands on.
+enum class ParallelWorkerMode : uint8_t {
+  kAuto,
+  kForceWorkers,  // always spawn pool workers, even on one CPU
+  kForceInline,   // always stream morsels inline on the consumer
+};
+
+/// Everything MakeParallelGatherCursor needs to fan a pipeline out.
+struct ParallelGatherSpec {
+  /// Compiles one morsel's pipeline over the driving-scan sub-range
+  /// [begin, end). Called concurrently from worker threads; must be
+  /// self-contained (capture only state that outlives the gather cursor
+  /// and is immutable while it runs).
+  std::function<std::unique_ptr<Cursor>(size_t begin, size_t end)> pipeline;
+  /// Exact size of the driving scan's match range.
+  uint64_t total_rows = 0;
+  /// Morsel granularity; 0 means kMorselRows. Tests shrink it to exercise
+  /// many-morsel schedules on small fixtures.
+  uint64_t morsel_rows = 0;
+  /// Width of the rows the pipeline produces (the query's variable count).
+  size_t width = 0;
+  /// Worker fan-out (already resolved against hardware and morsel count).
+  uint32_t num_threads = 1;
+  /// Worker vs. inline scheduling policy (see ParallelWorkerMode).
+  ParallelWorkerMode worker_mode = ParallelWorkerMode::kAuto;
+  /// Shared hash-join builds referenced by the pipelines; the gather cursor
+  /// EnsureBuilt()s them before spawning workers and keeps them alive.
+  std::vector<std::shared_ptr<SharedHashJoinBuild>> builds;
+  /// Driving-pattern text for Describe.
+  std::string label;
+  /// Borrowed governance context, polled by every morsel pipeline.
+  util::ExecContext* exec = nullptr;
+};
+
+/// The exchange operator: claims morsels dynamically, runs `spec.pipeline`
+/// per morsel on the shared ThreadPool into per-morsel row buffers, and
+/// emits the buffers in morsel-index order — a stream byte-identical to the
+/// sequential pipeline. A bounded run-ahead window caps buffered rows;
+/// workers observing cancellation (or any morsel's failure) fall through to
+/// the join instead of blocking, and the first failure in morsel order is
+/// surfaced as the cursor's status after the preceding rows. The consumer
+/// itself runs unclaimed morsels inline when the pool is saturated, so a
+/// drain always makes progress no matter how small the pool is.
+std::unique_ptr<Cursor> MakeParallelGatherCursor(ParallelGatherSpec spec);
 
 }  // namespace rdfsum::query
 

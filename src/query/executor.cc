@@ -1,9 +1,118 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
+#include "util/parallel_for.h"
+
 namespace rdfsum::query {
+
+namespace {
+
+/// Compiles the morsel-parallel embeddings root, or nullptr when the query
+/// should run sequentially: parallelism not requested, the driving scan is
+/// under the gate, or fewer than two workers resolve. The per-morsel
+/// pipeline mirrors CompileEmbeddingTree step for step — slice scan, then
+/// per step either a probe of a shared hash build or an index nested-loop
+/// join — under the same hash/degrade decisions, so the ordered merge of
+/// morsel outputs is the sequential stream.
+std::unique_ptr<Cursor> TryCompileParallelEmbeddings(
+    const store::TripleTable& table, const QueryPlan& plan,
+    const ExecutorOptions& options, size_t num_vars) {
+  if (options.parallelism == 1) return nullptr;
+  const CompiledBgp& c = plan.compiled;
+  const CompiledPattern& first = c.patterns[plan.steps[0].pattern];
+  // The gate reads the *exact* match count (O(log n) index-range length),
+  // not an estimate: small probes must reliably stay sequential.
+  const uint64_t driving = table.Count(PatternConstants(first));
+  const uint64_t gate = options.min_parallel_rows != 0
+                            ? options.min_parallel_rows
+                            : kParallelMinScanRows;
+  if (driving < gate) return nullptr;
+  const uint64_t morsel_rows =
+      options.morsel_rows != 0 ? options.morsel_rows : kMorselRows;
+  const uint64_t num_morsels = (driving + morsel_rows - 1) / morsel_rows;
+  const uint32_t threads =
+      util::ResolveThreadCount(options.parallelism, num_morsels);
+  if (threads < 2) return nullptr;
+
+  // Per-join-step compilation state, shared (immutably, once built) by
+  // every morsel pipeline. A null build means nested-loop join for that
+  // step — either the plan said so or the memory budget ruled the build out
+  // up front, exactly like the sequential compile.
+  struct StepSpec {
+    CompiledPattern pat;
+    std::string label;
+    std::shared_ptr<SharedHashJoinBuild> build;
+  };
+  auto steps = std::make_shared<std::vector<StepSpec>>();
+  std::vector<bool> bound(num_vars, false);
+  for (const CompiledSlot* sl : {&first.s, &first.p, &first.o}) {
+    if (sl->is_var) bound[sl->var] = true;
+  }
+  ParallelGatherSpec spec;
+  for (size_t i = 1; i < plan.steps.size(); ++i) {
+    const PlanStep& step = plan.steps[i];
+    const CompiledPattern& pat = c.patterns[step.pattern];
+    std::vector<uint32_t> key_vars;
+    for (const CompiledSlot* sl : {&pat.s, &pat.p, &pat.o}) {
+      if (sl->is_var && bound[sl->var] &&
+          std::find(key_vars.begin(), key_vars.end(), sl->var) ==
+              key_vars.end()) {
+        key_vars.push_back(sl->var);
+      }
+    }
+    bool hash = !key_vars.empty() &&
+                (options.hash_join == HashJoinMode::kAlways ||
+                 (options.hash_join == HashJoinMode::kFromPlan &&
+                  step.use_hash_join));
+    if (hash && options.exec != nullptr &&
+        options.exec->WouldExceedMemory(static_cast<uint64_t>(
+            step.estimated_build_rows * kHashJoinBuildBytesPerRow))) {
+      hash = false;
+    }
+    StepSpec s;
+    s.pat = pat;
+    s.label = step.pattern_text;
+    if (hash) {
+      s.build = MakeSharedHashJoinBuild(table, pat, std::move(key_vars),
+                                        options.exec, threads);
+      spec.builds.push_back(s.build);
+    }
+    steps->push_back(std::move(s));
+    for (const CompiledSlot* sl : {&pat.s, &pat.p, &pat.o}) {
+      if (sl->is_var) bound[sl->var] = true;
+    }
+  }
+
+  spec.total_rows = driving;
+  spec.morsel_rows = options.morsel_rows;  // 0 resolves inside the gather
+  spec.width = num_vars;
+  spec.num_threads = threads;
+  spec.worker_mode = options.worker_mode;
+  spec.label = plan.steps[0].pattern_text;
+  spec.exec = options.exec;
+  spec.pipeline = [&table, steps, first, num_vars,
+                   first_label = plan.steps[0].pattern_text,
+                   exec = options.exec](size_t begin, size_t end) {
+    std::unique_ptr<Cursor> cur = MakeIndexScanSliceCursor(
+        table, first, num_vars, begin, end, first_label, exec);
+    for (const StepSpec& s : *steps) {
+      if (s.build != nullptr) {
+        cur = MakeSharedHashJoinProbeCursor(std::move(cur), table, s.build,
+                                            s.label, exec);
+      } else {
+        cur = MakeIndexNestedLoopJoinCursor(std::move(cur), table, s.pat,
+                                            s.label, exec);
+      }
+    }
+    return cur;
+  };
+  return MakeParallelGatherCursor(std::move(spec));
+}
+
+}  // namespace
 
 CursorTree CompileEmbeddingTree(const store::TripleTable& table,
                                 const QueryPlan& plan,
@@ -73,12 +182,28 @@ CursorTree CompileEmbeddingTree(const store::TripleTable& table,
   return tree;
 }
 
+CursorTree CompileEmbeddingTree(const store::TripleTable& table,
+                                const QueryPlan& plan,
+                                const ExecutorOptions& options) {
+  const CompiledBgp& c = plan.compiled;
+  if (!c.impossible && !plan.steps.empty()) {
+    std::unique_ptr<Cursor> par =
+        TryCompileParallelEmbeddings(table, plan, options, c.var_names.size());
+    if (par != nullptr) {
+      CursorTree tree;
+      tree.embeddings = par.get();
+      tree.root = std::move(par);
+      return tree;  // step_cursors stay empty; see the header note
+    }
+  }
+  return CompileEmbeddingTree(table, plan, options.hash_join, options.exec);
+}
+
 CursorTree CompileQueryTree(const store::TripleTable& table,
                             const QueryPlan& plan,
                             const std::vector<uint32_t>& head,
                             const ExecutorOptions& options) {
-  CursorTree tree =
-      CompileEmbeddingTree(table, plan, options.hash_join, options.exec);
+  CursorTree tree = CompileEmbeddingTree(table, plan, options);
   std::string head_label;
   for (uint32_t v : head) {
     if (!head_label.empty()) head_label += ' ';

@@ -17,6 +17,12 @@ namespace rdfsum::query {
 /// every step with at least one join variable, budget ignored).
 enum class HashJoinMode : uint8_t { kFromPlan, kNever, kAlways };
 
+/// Fan-out gate: driving scans below this many rows are never split —
+/// morsel scheduling overhead would dominate, and a small probe side means
+/// the query is cheap anyway. Two morsels' worth, so an engaged fan-out
+/// always has at least two units of independent work.
+inline constexpr uint64_t kParallelMinScanRows = 2 * kMorselRows;
+
 struct ExecutorOptions {
   /// Applied after projection + dedup: at most `limit` distinct rows are
   /// produced, and the tree stops pulling once they are (early exit).
@@ -29,6 +35,24 @@ struct ExecutorOptions {
   /// scan/join polls it, the root charges the row budget per answer, and
   /// hash joins fit themselves into (or degrade under) the memory budget.
   util::ExecContext* exec = nullptr;
+  /// Intra-query fan-out: morsel workers for the join pipeline. 1 (the
+  /// default) compiles the classic sequential tree; 0 means hardware
+  /// concurrency; k>=2 asks for k workers (granted even above the core
+  /// count — the shared pool multiplexes). Fan-out only engages when the
+  /// driving scan clears the gate below; the result stream is byte-identical
+  /// to sequential either way, at every thread count.
+  uint32_t parallelism = 1;
+  /// Gate override: minimum exact driving-scan rows before fan-out engages.
+  /// 0 means kParallelMinScanRows. Tests lower it to force fan-out on small
+  /// fixtures.
+  uint64_t min_parallel_rows = 0;
+  /// Morsel-size override; 0 means kMorselRows. Tests shrink it to get
+  /// many-morsel schedules on small fixtures.
+  uint64_t morsel_rows = 0;
+  /// Scheduling policy for an engaged fan-out: pool workers vs. inline
+  /// streaming on the consumer. kAuto decides per host; tests pin each
+  /// mode so both paths run on any machine.
+  ParallelWorkerMode worker_mode = ParallelWorkerMode::kAuto;
 };
 
 /// The compiled operator tree plus non-owning handles into it, for reading
@@ -58,6 +82,17 @@ CursorTree CompileEmbeddingTree(const store::TripleTable& table,
                                 const QueryPlan& plan,
                                 HashJoinMode hash_join = HashJoinMode::kFromPlan,
                                 util::ExecContext* exec = nullptr);
+
+/// Like the above but honoring the full options, including parallelism.
+/// When options.parallelism != 1, the driving scan clears the fan-out gate
+/// (exact Count >= min_parallel_rows), and at least two workers resolve, the
+/// embeddings root is a ParallelGather over per-morsel pipelines instead of
+/// the sequential tree — same rows, same order, byte-identical. Parallel
+/// trees leave step_cursors empty (morsel pipelines are transient); Explain
+/// always compiles sequentially, so nothing reads them.
+CursorTree CompileEmbeddingTree(const store::TripleTable& table,
+                                const QueryPlan& plan,
+                                const ExecutorOptions& options);
 
 /// Compiles the full query tree: joins -> Project(head) -> Distinct ->
 /// LimitOffset (the last only when limit/offset are set). The root yields

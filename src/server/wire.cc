@@ -154,16 +154,23 @@ std::string EncodeQueryRequest(const QueryRequest& req) {
   AppendU32(&p, req.timeout_ms);
   AppendU64(&p, req.max_rows);
   AppendLenBytes(&p, req.query);
+  AppendU32(&p, req.parallelism);  // protocol 1.1 trailing field
   return p;
 }
 
 bool DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
   PayloadReader r(payload);
   uint8_t pad;
-  return r.ReadU8(&out->planner) && r.ReadU8(&pad) && r.ReadU8(&pad) &&
-         r.ReadU8(&pad) && r.ReadU64(&out->limit) && r.ReadU64(&out->offset) &&
-         r.ReadU32(&out->timeout_ms) && r.ReadU64(&out->max_rows) &&
-         r.ReadLenBytes(&out->query) && r.AtEnd();
+  if (!(r.ReadU8(&out->planner) && r.ReadU8(&pad) && r.ReadU8(&pad) &&
+        r.ReadU8(&pad) && r.ReadU64(&out->limit) &&
+        r.ReadU64(&out->offset) && r.ReadU32(&out->timeout_ms) &&
+        r.ReadU64(&out->max_rows) && r.ReadLenBytes(&out->query))) {
+    return false;
+  }
+  // Protocol 1.1 optional trailing field: a 1.0 request ends here.
+  out->parallelism = 0;
+  if (r.AtEnd()) return true;
+  return r.ReadU32(&out->parallelism) && r.AtEnd();
 }
 
 std::string EncodeDone(const Status& status, uint64_t rows) {

@@ -19,7 +19,7 @@ namespace rdfsum::server {
 /// Protocol version. Major must match between client and server (the client
 /// rejects a mismatched HELLO); minor is additive-only.
 inline constexpr uint16_t kProtocolMajor = 1;
-inline constexpr uint16_t kProtocolMinor = 0;
+inline constexpr uint16_t kProtocolMinor = 1;  // 1.1 adds QueryRequest.parallelism
 
 /// Magic leading the HELLO payload.
 inline constexpr char kHelloMagic[4] = {'R', 'S', 'R', 'V'};
@@ -95,6 +95,11 @@ struct QueryRequest {
   uint32_t timeout_ms = 0;
   uint64_t max_rows = 0;
   std::string query;  // SPARQL text
+  /// Requested intra-query fan-out (protocol 1.1, optional trailing field):
+  /// 0 = server default, 1 = sequential, k = k morsel workers (the server
+  /// clamps to its max and admission-controls the extra slots). A 1.0
+  /// client simply omits it; the server reads 0.
+  uint32_t parallelism = 0;
 };
 
 std::string EncodeQueryRequest(const QueryRequest& req);

@@ -158,6 +158,31 @@ class TripleTable {
     return ScanCursor(begin, end);
   }
 
+  /// The contiguous range of `pattern`'s matches in the index ChooseIndex
+  /// picks, as a borrowed span in index order. Requires frozen(); the span
+  /// aliases the permutation storage and is invalidated like a cursor.
+  ///
+  /// This is the morsel-splitting surface of the parallel executor: because
+  /// every pattern's matches are one contiguous sorted range, the range
+  /// splits into fixed-size morsels for free — `MatchSpan(q).subspan(b, n)`
+  /// — and concatenating per-morsel outputs in morsel order reproduces the
+  /// sequential scan exactly.
+  std::span<const Triple> MatchSpan(const TriplePattern& pattern) const {
+    auto [begin, end] = EqualRange(pattern);
+    return {begin, static_cast<size_t>(end - begin)};
+  }
+
+  /// Positions a ScanCursor over a sub-range [begin_offset, end_offset) of
+  /// `pattern`'s match range (offsets clamped to the range length) — one
+  /// morsel of the scan. OpenScanSlice(q, 0, SIZE_MAX) == OpenScan(q).
+  ScanCursor OpenScanSlice(const TriplePattern& pattern, size_t begin_offset,
+                           size_t end_offset) const {
+    std::span<const Triple> range = MatchSpan(pattern);
+    end_offset = std::min(end_offset, range.size());
+    begin_offset = std::min(begin_offset, end_offset);
+    return ScanCursor(range.data() + begin_offset, range.data() + end_offset);
+  }
+
   /// Returns all triples matching `pattern`. Requires frozen(). Prefer the
   /// visitor overload on hot paths; this one allocates a vector per call.
   std::vector<Triple> Scan(const TriplePattern& pattern) const;

@@ -9,6 +9,7 @@
 
 #include "util/exec_context.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rdfsum::util {
 
@@ -42,22 +43,29 @@ inline std::pair<uint64_t, uint64_t> ShardRange(uint64_t total, uint32_t shard,
 }
 
 /// Runs body(shard) for every shard in [0, num_threads): shard 0 on the
-/// calling thread, the rest on spawned threads, joining them all before
-/// returning — the shared spawn/join boilerplate of every parallel
-/// summarization pass, and the barrier between passes.
+/// calling thread, the rest as tasks on the shared ThreadPool, joining them
+/// all before returning — the shared fan-out/join boilerplate of every
+/// parallel pass, and the barrier between passes. Pool tasks replace the
+/// per-call std::thread spawns this used to do: concurrent summarize/load/
+/// query requests now share one set of OS threads, and nested fan-out (a
+/// parallel Freeze inside a parallel load) is safe because TaskGroup::Wait
+/// helps run its own group's queued shards (see util/thread_pool.h).
+///
+/// Shard count, sharding, and outputs are untouched by pool size: a shard
+/// is a unit of *work division*, not a dedicated thread, so results stay
+/// byte-identical however many workers actually run them.
 template <typename Body>
 void ParallelFor(uint32_t num_threads, Body&& body) {
   if (num_threads <= 1) {
     body(0u);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads - 1);
+  TaskGroup group(ThreadPool::Shared());
   for (uint32_t shard = 1; shard < num_threads; ++shard) {
-    workers.emplace_back([&body, shard] { body(shard); });
+    group.Submit([&body, shard] { body(shard); });
   }
   body(0u);
-  for (std::thread& w : workers) w.join();
+  group.Wait();
 }
 
 /// Shards [0, total) contiguously over num_threads threads and runs

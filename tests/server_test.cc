@@ -209,6 +209,93 @@ TEST(ServerTest, ConcurrentReadersRaceSnapshotSwapWithoutTearing) {
   server.Wait();
 }
 
+TEST(ServerTest, ParallelRequestsRaceReloadAndStayByteIdentical) {
+  // ~10K triples so the full-scan query clears the executor's fan-out gate
+  // (kParallelMinScanRows) — req.parallelism really engages morsel fan-out
+  // on the server, not just the sequential fallback.
+  const std::string image_a = FreezeBsbm(300, "par_swap_a.rsb", 0);
+  const std::string image_b = FreezeBsbm(300, "par_swap_b.rsb", 7);
+  const std::vector<std::string> all_a = LocalRows(image_a, kAllQuery);
+  const std::vector<std::string> all_b = LocalRows(image_b, kAllQuery);
+  ASSERT_NE(all_a, all_b);
+
+  ServerOptions options;
+  options.num_workers = 6;
+  options.max_parallelism = 8;
+  Server server;
+  ASSERT_TRUE(server.Start(image_a, options).ok());
+  const uint16_t port = server.port();
+
+  // Order identity over the wire: a 4-way request streams the very same
+  // rows, in the same order, as a sequential one (unsorted compare).
+  {
+    auto collect = [&](uint32_t parallelism) {
+      QueryRequest req;
+      req.parallelism = parallelism;
+      std::vector<std::string> rows;
+      auto client = Client::Connect("127.0.0.1", port);
+      EXPECT_TRUE(client.ok());
+      Status st = (*client)->Query(
+          kAllQuery, req, [&](const std::vector<std::string>& cols) {
+            std::string line;
+            for (const std::string& c : cols) {
+              if (!line.empty()) line.push_back('\t');
+              line += c;
+            }
+            rows.push_back(std::move(line));
+            return true;
+          });
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      return rows;
+    };
+    EXPECT_EQ(collect(4), collect(1));
+  }
+
+  // Race: 4-way readers against a continuous epoch swapper. Every response
+  // must be exactly A's rows or exactly B's — pinned epoch, no tearing,
+  // and the fan-out slots release cleanly every time.
+  std::atomic<int> torn{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 8; ++i) {
+        QueryRequest req;
+        req.parallelism = 4;
+        std::vector<std::string> rows;
+        Status st = ServedRows("127.0.0.1", port, kAllQuery, req, &rows);
+        if (!st.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        if (rows != all_a && rows != all_b) torn.fetch_add(1);
+      }
+    });
+  }
+  std::thread swapper([&] {
+    for (int i = 0; i < 10; ++i) {
+      Status st = server.Reload(i % 2 == 0 ? image_b : image_a);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  });
+  for (std::thread& r : readers) r.join();
+  swapper.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(failed.load(), 0);
+
+  // The admission pool drained back to full and the stats surfaced the
+  // parallel traffic.
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("parallel_queries: "), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("parallel_slots_free: 6"), std::string::npos)
+      << *stats;
+  server.Stop();
+  server.Wait();
+}
+
 TEST(ServerTest, GovernancePropagatesOverTheWire) {
   // ~10K triples: large enough that a full drain of kAllQuery takes many
   // milliseconds of row-frame writes, so a 1-ms deadline below trips

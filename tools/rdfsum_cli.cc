@@ -105,6 +105,10 @@ int Usage() {
       "  rdfsum serve     <graph.rsb> [--host H] [--port N] [--workers N]\n"
       "                   [--queue-depth N] [--no-plan-cache]\n"
       "                   [--plan naive|greedy|summary]\n"
+      "                   [--default-parallelism N] [--max-parallelism N]\n"
+      "                   (defaults 1 and 8: per-request morsel fan-out when\n"
+      "                    the request doesn't ask, and the per-request cap;\n"
+      "                    a k-way query holds k-1 admission slots)\n"
       "                   (daemon over the wire protocol of docs/PROTOCOL.md;\n"
       "                    port 0 picks an ephemeral port, printed on start;\n"
       "                    SIGHUP re-opens the image as a new epoch with zero\n"
@@ -122,10 +126,10 @@ int Usage() {
       "global flags (any command):\n"
       "  --threads N        worker threads for the N-Triples load\n"
       "                     (chunked parse + sharded intern), freeze's\n"
-      "                     permutation sorts, and summarize's partition +\n"
-      "                     quotient phases; 0 = all cores, 1 = sequential\n"
-      "                     (default). Output is byte-identical at every\n"
-      "                     thread count.\n"
+      "                     permutation sorts, summarize's partition +\n"
+      "                     quotient phases, and query's morsel-parallel\n"
+      "                     drain; 0 = all cores, 1 = sequential (default).\n"
+      "                     Output is byte-identical at every thread count.\n"
       "\n"
       "global resource-governance flags (any command; 0 = unlimited):\n"
       "  --timeout-ms N     wall-clock budget; exceeding it aborts with\n"
@@ -543,6 +547,9 @@ int CmdQuery(const std::vector<std::string>& args, util::ExecContext* exec,
   cursor_options.limit = limit;
   cursor_options.offset = static_cast<size_t>(skip);
   cursor_options.exec = exec;
+  // The global --threads is the morsel fan-out for the drain itself (0 =
+  // all cores, 1 = sequential); rows are byte-identical at every count.
+  cursor_options.parallelism = threads;
   StatusOr<std::unique_ptr<query::Cursor>> cursor =
       prune ? pruned->Open(*q, cursor_options)
             : direct->Open(*q, cursor_options);
@@ -649,6 +656,16 @@ int CmdServe(const std::vector<std::string>& args,
         return Fail("bad --queue-depth " + args[i]);
       }
       options.queue_depth = v;
+    } else if (args[i] == "--default-parallelism" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v)) {
+        return Fail("bad --default-parallelism " + args[i]);
+      }
+      options.default_parallelism = v;
+    } else if (args[i] == "--max-parallelism" && i + 1 < args.size()) {
+      if (!ParseUint32(args[++i], &v)) {
+        return Fail("bad --max-parallelism " + args[i]);
+      }
+      options.max_parallelism = v;
     } else if (args[i] == "--no-plan-cache") {
       options.plan_cache = false;
     } else if (args[i] == "--plan" && i + 1 < args.size()) {

@@ -3,7 +3,7 @@
 //
 //   rdfsum_client query    <host:port> <sparql...> [--plan naive|greedy|summary]
 //                          [--limit N] [--offset N] [--timeout-ms N]
-//                          [--max-rows N] [--cancel-after N]
+//                          [--max-rows N] [--cancel-after N] [--parallelism N]
 //   rdfsum_client stats    <host:port>
 //   rdfsum_client reload   <host:port> [image.rsb]
 //   rdfsum_client shutdown <host:port>
@@ -55,7 +55,10 @@ int Usage() {
       "  rdfsum_client query    <host:port> <sparql string>\n"
       "                         [--plan naive|greedy|summary] [--limit N]\n"
       "                         [--offset N] [--timeout-ms N] [--max-rows N]\n"
-      "                         [--cancel-after N]\n"
+      "                         [--cancel-after N] [--parallelism N]\n"
+      "                           --parallelism: morsel workers for this\n"
+      "                           query (0 = server default, 1 = sequential;\n"
+      "                           the server clamps to its own max)\n"
       "  rdfsum_client stats    <host:port>\n"
       "  rdfsum_client reload   <host:port> [image.rsb]\n"
       "  rdfsum_client shutdown <host:port>\n"
@@ -134,6 +137,15 @@ int Run(int argc, char** argv) {
       } else if (args[i] == "--cancel-after" && i + 1 < args.size() &&
                  ParseUint64(args[i + 1], &v)) {
         cancel_after = v;
+        ++i;
+      } else if (args[i] == "--parallelism" && i + 1 < args.size() &&
+                 ParseUint64(args[i + 1], &v)) {
+        if (v > UINT32_MAX) {
+          std::cerr << "rdfsum_client: bad --parallelism " << args[i + 1]
+                    << "\n";
+          return kExitUsage;
+        }
+        req.parallelism = static_cast<uint32_t>(v);
         ++i;
       } else if (args[i].rfind("--", 0) == 0) {
         std::cerr << "rdfsum_client: unknown option " << args[i] << "\n";
